@@ -1,0 +1,108 @@
+"""EXP A9 — data skew vs the proportionality assumption (§4.5).
+
+The paper's extrapolation ``E2 = y/p`` assumes "the number of output
+tuples that have been generated is proportional to the percentage that
+the dominant input has been processed" — and immediately concedes "in
+practice, this assumption may not be valid", which is why E1 is blended
+in.  This experiment quantifies the concession.
+
+Workload: a scan with an unestimatable predicate (``mod(v, 10) = 0``,
+true for 10% of rows; the optimizer assumes 1/3) feeding a sort, whose
+run formation is a counted segment output.  Three physical layouts of the
+same rows:
+
+* **uniform** — qualifying rows spread evenly: output is proportional,
+  the estimate approaches the exact cost monotonically from below;
+* **front-loaded** — qualifying rows stored first: early extrapolation
+  sees a 100% pass rate, so the blended estimate *overshoots* the exact
+  cost before correcting;
+* **back-loaded** — qualifying rows stored last: the indicator sees no
+  output for most of the scan and converges later than uniform.
+"""
+
+from __future__ import annotations
+
+from common import experiment_config, run_once
+
+from repro.bench import metrics, run_experiment
+from repro.database import Database
+from repro.storage.schema import Column, Schema
+from repro.storage.types import INTEGER, string
+
+ROWS = 30_000
+SQL = "select v, pad from skew where mod(v, 10) = 0 order by v"
+
+
+def _db(layout: str) -> Database:
+    values = list(range(ROWS))
+    if layout == "front":
+        values.sort(key=lambda v: (v % 10 != 0, v))
+    elif layout == "back":
+        values.sort(key=lambda v: (v % 10 == 0, v))
+    db = Database(config=experiment_config())
+    db.create_table(
+        "skew",
+        Schema([Column("v", INTEGER), Column("pad", string(60))]),
+        ((v, "x" * 48) for v in values),
+    )
+    db.analyze()
+    return db
+
+
+def _all():
+    return {
+        layout: run_experiment(layout, _db(layout), SQL)
+        for layout in ("uniform", "front", "back")
+    }
+
+
+def _max_overshoot(result):
+    exact = result.exact_cost_pages
+    return max(
+        max(0.0, v - exact) / exact for _, v in result.estimated_cost_series()
+    )
+
+
+def _max_undershoot(result):
+    exact = result.exact_cost_pages
+    return max(
+        max(0.0, exact - v) / exact for _, v in result.estimated_cost_series()
+    )
+
+
+def test_ablation_skew(benchmark, record_figure):
+    results = run_once(benchmark, _all)
+    overshoot = {k: _max_overshoot(r) for k, r in results.items()}
+    undershoot = {k: _max_undershoot(r) for k, r in results.items()}
+    convergence = {
+        k: metrics.convergence_time(
+            r.estimated_cost_series(), r.exact_cost_pages, 0.05
+        )
+        for k, r in results.items()
+    }
+
+    lines = [
+        "Ablation A9: qualifying-row placement vs the proportionality "
+        "assumption",
+        "(scan with unestimatable 10% predicate feeding a sort; the 1/3 "
+        "default over-estimates, so every run starts high)",
+        f"{'layout':<10} {'max over':>10} {'max under':>10} "
+        f"{'converged (s)':>14} {'run (s)':>9}",
+        "-" * 58,
+    ]
+    for k, r in results.items():
+        conv = f"{convergence[k]:.0f}" if convergence[k] is not None else "never"
+        lines.append(
+            f"{k:<10} {overshoot[k]:>9.1%} {undershoot[k]:>9.1%} "
+            f"{conv:>14} {r.total_elapsed:>9.0f}"
+        )
+    record_figure("ablation_skew", "\n".join(lines))
+
+    # Front-loaded matches inflate early extrapolation: the estimate
+    # overshoots beyond the initial (already too-high) E1 level.
+    assert overshoot["front"] > overshoot["uniform"] + 0.02
+    # Back-loaded matches starve the extrapolation: E sinks below the
+    # exact cost while no output arrives; uniform data never undershoots.
+    assert undershoot["back"] > undershoot["uniform"] + 0.02
+    # Everyone converges in the end — the E1 blend recovers (5% band).
+    assert all(c is not None for c in convergence.values())

@@ -1,0 +1,54 @@
+"""EXP A4 — speed-window length sweep (paper Section 4.6).
+
+"this T should not be too small ... [or] too large"; the paper fixes
+T = 10 seconds.  This bench sweeps T over {2, 5, 10, 30, 120} on the Q2
+I/O-interference run and reports the mean absolute remaining-time error —
+showing the sweet spot the paper's choice sits in: very small windows are
+noisy, very large windows react slowly to the interference window's start
+and end.
+"""
+
+from __future__ import annotations
+
+from common import SCALE, experiment_config, run_once
+
+from repro.bench import metrics, run_experiment
+from repro.sim.load import LoadProfile
+from repro.workloads import queries, tpcr
+
+WINDOWS = (2.0, 5.0, 10.0, 30.0, 120.0)
+LOAD = LoadProfile.file_copy(120.0, 400.0, 3.0)
+
+
+def _run_with(window: float):
+    config = experiment_config().with_progress(speed_window=window)
+    db = tpcr.build_database(scale=SCALE, config=config)
+    return run_experiment(f"Q2-T{window:g}", db, queries.Q2, load=LOAD)
+
+
+def _all():
+    return {w: _run_with(w) for w in WINDOWS}
+
+
+def test_ablation_window_length(benchmark, record_figure):
+    results = run_once(benchmark, _all)
+    errors = {
+        w: metrics.mean_abs_error(
+            r.remaining_series(), r.actual_remaining_series()
+        )
+        for w, r in results.items()
+    }
+
+    lines = [
+        "Ablation A4: sliding-window length T (Q2, I/O interference)",
+        "(the paper fixes T = 10 s)",
+        f"{'T (s)':>8} {'mean |est-actual| remaining (s)':>34}",
+        "-" * 44,
+    ]
+    for w in WINDOWS:
+        lines.append(f"{w:>8.0f} {errors[w]:>34.1f}")
+    record_figure("ablation_window", "\n".join(lines))
+
+    # A huge window reacts too slowly to the interference boundaries: the
+    # paper's T=10 must beat T=120.
+    assert errors[10.0] < errors[120.0]

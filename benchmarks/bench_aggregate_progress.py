@@ -1,0 +1,62 @@
+"""EXP A8 — progress for grouped queries (paper future work 3).
+
+"It would be interesting to extend our techniques in order to support
+wider classes of queries."  A hash aggregate is one more blocking
+operator, so the segment model extends unchanged: the accumulate phase is
+a segment whose output is the group table; the finalized groups stream
+into the consumer.  The bench monitors an aggregation over the
+customer-orders join and checks the usual indicator invariants, plus the
+breakdown view attributing work to the aggregate segment.
+"""
+
+from __future__ import annotations
+
+from common import SCALE, experiment_config, run_once
+
+from repro.bench import metrics, render_table, run_experiment
+from repro.workloads import tpcr
+
+SQL = """
+select c.nationkey, count(*), avg(o.totalprice), max(o.totalprice)
+from customer c, orders o
+where c.custkey = o.custkey
+group by c.nationkey
+having count(*) > 10
+order by c.nationkey
+"""
+
+
+def _run():
+    db = tpcr.build_database(scale=SCALE, config=experiment_config())
+    return run_experiment("group-by", db, SQL)
+
+
+def test_grouped_query_progress(benchmark, record_figure):
+    result = run_once(benchmark, _run)
+
+    record_figure(
+        "aggregate_progress",
+        render_table(
+            {
+                "completed %": result.percent_series(),
+                "remaining est (s)": result.remaining_series(),
+                "remaining actual (s)": result.actual_remaining_series(),
+            },
+            title="Extension A8: progress of a grouped (GROUP BY/HAVING) query",
+        ),
+    )
+
+    # The plan contains an aggregate segment in addition to the join's.
+    assert result.num_segments >= 3
+    # Indicator invariants hold for the wider query class.
+    assert metrics.is_nondecreasing(result.percent_series())
+    assert result.percent_series()[-1][1] == 100.0
+    act = dict(result.actual_remaining_series())
+    late = [
+        (t, v)
+        for t, v in result.remaining_series()
+        if v is not None and t >= 0.6 * result.total_elapsed
+    ]
+    assert late
+    for t, v in late:
+        assert abs(v - act[t]) <= 0.25 * result.total_elapsed + 5.0

@@ -1,0 +1,83 @@
+"""EXP OV — the paper's overhead claim (Sections 1 and 5).
+
+"In all our tests, our prototyped progress indicators could be updated
+every ten seconds with less than 1% overhead."
+
+Two measurements:
+
+* **Real (host) time**: the same Q2 execution with and without the
+  tracker attached, timed by pytest-benchmark.  The monitored run pays a
+  few float additions per tuple; we assert the penalty stays small (the
+  bound is looser than 1% because pure-Python per-tuple work is a far
+  larger fraction of run time here than in PostgreSQL's C executor).
+* **Simulated time**: must be *identical* — monitoring charges no
+  virtual time, which is this engine's idealization of the <1% claim.
+"""
+
+from __future__ import annotations
+
+import time
+
+from common import experiment_config
+
+from repro.workloads import queries, tpcr
+
+SCALE = 0.005  # smaller scale: this bench runs the query many times
+
+
+def _db():
+    return tpcr.build_database(scale=SCALE, config=experiment_config())
+
+
+def test_overhead_monitored_vs_plain(benchmark, record_figure):
+    plain_db = _db()
+    monitored_db = _db()
+
+    def monitored_run():
+        monitored_db.restart()
+        return monitored_db.execute_with_progress(queries.Q2)
+
+    # Time the monitored path under pytest-benchmark...
+    monitored = benchmark.pedantic(monitored_run, rounds=3, iterations=1)
+
+    # ...and the unmonitored path manually for the comparison.
+    plain_times = []
+    for _ in range(3):
+        plain_db.restart()
+        t0 = time.perf_counter()
+        plain = plain_db.execute(queries.Q2, keep_rows=False)
+        plain_times.append(time.perf_counter() - t0)
+
+    monitored_times = []
+    for _ in range(3):
+        monitored_db.restart()
+        t0 = time.perf_counter()
+        monitored_db.execute_with_progress(queries.Q2)
+        monitored_times.append(time.perf_counter() - t0)
+
+    plain_real = min(plain_times)
+    monitored_real = min(monitored_times)
+    overhead = (monitored_real - plain_real) / plain_real
+
+    record_figure(
+        "overhead",
+        "\n".join(
+            [
+                "Indicator overhead (paper claim: < 1% on PostgreSQL)",
+                f"  plain run (real)     : {plain_real * 1000:8.1f} ms",
+                f"  monitored run (real) : {monitored_real * 1000:8.1f} ms",
+                f"  real-time overhead   : {overhead * 100:8.2f} %",
+                f"  simulated elapsed    : identical "
+                f"({monitored.result.elapsed:.2f} virtual s monitored vs "
+                f"{plain.elapsed:.2f} plain)",
+                f"  reports emitted      : {len(monitored.log)} "
+                "(one per 10 virtual seconds)",
+            ]
+        ),
+    )
+
+    # Simulated time is exactly unchanged by monitoring.
+    assert monitored.result.elapsed == plain.elapsed
+    # Real-time penalty of the counting hot path stays modest even in
+    # pure Python (PostgreSQL's C implementation measured < 1%).
+    assert overhead < 0.60

@@ -1,0 +1,72 @@
+"""EXP F4-F7 — Figures 4-7: query Q1 on an unloaded system (Section 5.2).
+
+Q1 is a pure table scan; ANALYZE knows the lineitem size exactly, so the
+paper's point is that everything is flat/linear: the cost estimate is a
+straight line (Fig 4), the speed is stable (Fig 5), the remaining-time
+estimate coincides with the actual line and beats — but not by much — the
+optimizer's estimate (Fig 6), and the completed percentage is linear
+(Fig 7).
+"""
+
+from __future__ import annotations
+
+from common import SCALE, experiment_config, run_once
+
+from repro.bench import metrics, render_table, run_experiment
+from repro.workloads import queries, tpcr
+
+
+def _run():
+    db = tpcr.build_database(scale=SCALE, config=experiment_config())
+    return run_experiment("Q1-unloaded", db, queries.Q1)
+
+
+def test_fig4_to_7_q1_unloaded(benchmark, record_figure):
+    result = run_once(benchmark, _run)
+
+    record_figure(
+        "fig04_q1_cost",
+        render_table(
+            {"estimated cost (U)": result.estimated_cost_series()},
+            title="Figure 4: query cost estimated over time (unloaded, Q1)",
+        ),
+    )
+    record_figure(
+        "fig05_q1_speed",
+        render_table(
+            {"speed (U/s)": result.speed_series()},
+            title="Figure 5: query execution speed over time (unloaded, Q1)",
+        ),
+    )
+    record_figure(
+        "fig06_q1_remaining",
+        render_table(
+            {
+                "indicator (s)": result.remaining_series(),
+                "actual (s)": result.actual_remaining_series(),
+                "optimizer (s)": result.optimizer_remaining_series(),
+            },
+            title="Figure 6: remaining execution time over time (unloaded, Q1)",
+        ),
+    )
+    record_figure(
+        "fig07_q1_percent",
+        render_table(
+            {"completed %": result.percent_series()},
+            title="Figure 7: completed percentage over time (unloaded, Q1)",
+        ),
+    )
+
+    # Figure 4: "almost a straight line".
+    cost = result.estimated_cost_series()
+    assert metrics.series_max(cost) - metrics.series_min(cost) <= 0.02 * metrics.series_max(cost)
+    # Figure 6: the indicator's curve is closer to actual than the
+    # optimizer's, and the optimizer's is itself "not far".
+    ind = metrics.mean_abs_error(result.remaining_series(), result.actual_remaining_series())
+    opt = metrics.mean_abs_error(
+        result.optimizer_remaining_series(), result.actual_remaining_series()
+    )
+    assert ind < opt
+    # Figure 7: linear completion.
+    for t, pct in result.percent_series():
+        assert abs(pct - 100.0 * t / result.total_elapsed) < 8.0

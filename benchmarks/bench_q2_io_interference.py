@@ -1,0 +1,108 @@
+"""EXP F13-F16 — Figures 13-16: Q2 under I/O interference (Section 5.3.2).
+
+A large concurrent file copy (here a 3x I/O slowdown window starting at
+t=120) stretches the query.  The paper's observations: the cost-estimate
+curve still converges to the same exact value but *learns more slowly*
+while the copy runs (Fig 13); speed visibly drops during the window and
+recovers after (Fig 14); the remaining-time estimate jumps at the copy's
+start and collapses at its end, staying far closer to actual than the
+optimizer line (Fig 15); percent-done keeps rising, with the window's
+imprint visible (Fig 16).
+"""
+
+from __future__ import annotations
+
+from common import SCALE, experiment_config, run_once
+
+from repro.bench import metrics, render_table, run_experiment
+from repro.sim.load import LoadProfile
+from repro.workloads import queries, tpcr
+
+COPY_START = 120.0
+COPY_END = 400.0
+SLOWDOWN = 3.0
+
+
+def _run():
+    db = tpcr.build_database(scale=SCALE, config=experiment_config())
+    load = LoadProfile.file_copy(COPY_START, COPY_END, SLOWDOWN)
+    unloaded_db = tpcr.build_database(scale=SCALE, config=experiment_config())
+    unloaded = run_experiment("Q2-unloaded", unloaded_db, queries.Q2)
+    loaded = run_experiment("Q2-io", db, queries.Q2, load=load)
+    return unloaded, loaded
+
+
+def test_fig13_to_16_q2_io_interference(benchmark, record_figure):
+    unloaded, result = run_once(benchmark, _run)
+    exact = result.exact_cost_pages
+
+    header = (
+        f"(file copy active from t={COPY_START:.0f}s to t={COPY_END:.0f}s, "
+        f"{SLOWDOWN:.0f}x I/O slowdown)"
+    )
+    record_figure(
+        "fig13_q2io_cost",
+        render_table(
+            {
+                "estimated cost (U)": result.estimated_cost_series(),
+                "exact cost (U)": [
+                    (t, exact) for t, _ in result.estimated_cost_series()
+                ],
+            },
+            title=f"Figure 13: estimated cost, I/O interference {header}",
+        ),
+    )
+    record_figure(
+        "fig14_q2io_speed",
+        render_table(
+            {"speed (U/s)": result.speed_series()},
+            title=f"Figure 14: execution speed, I/O interference {header}",
+        ),
+    )
+    record_figure(
+        "fig15_q2io_remaining",
+        render_table(
+            {
+                "indicator (s)": result.remaining_series(),
+                "actual (s)": result.actual_remaining_series(),
+                "optimizer (s)": result.optimizer_remaining_series(),
+            },
+            title=f"Figure 15: remaining time, I/O interference {header}",
+        ),
+    )
+    record_figure(
+        "fig16_q2io_percent",
+        render_table(
+            {"completed %": result.percent_series()},
+            title=f"Figure 16: completed percentage, I/O interference {header}",
+        ),
+    )
+
+    # The copy stretches the query (paper: 510s -> 1027s).
+    assert result.total_elapsed > 1.2 * unloaded.total_elapsed
+    # Fig 13: same exact cost, later convergence than unloaded.
+    assert exact == metrics.value_near(
+        result.estimated_cost_series(), result.total_elapsed
+    )
+    t_loaded = metrics.convergence_time(result.estimated_cost_series(), exact, 0.02)
+    t_unloaded = metrics.convergence_time(
+        unloaded.estimated_cost_series(), unloaded.exact_cost_pages, 0.02
+    )
+    assert t_loaded > t_unloaded
+    # Fig 14: speed drops inside the window.
+    speeds = result.speed_series()
+    before = [v for t, v in speeds if v is not None and t < COPY_START - 10]
+    during = [
+        v
+        for t, v in speeds
+        if v is not None and COPY_START + 60 < t < COPY_END - 10
+    ]
+    assert min(before) > max(during)
+    # Fig 15: jump at onset, drop at the end.
+    rem = result.remaining_series()
+    assert metrics.value_near(rem, COPY_START + 45) > metrics.value_near(
+        rem, COPY_START - 5
+    )
+    assert metrics.value_near(rem, COPY_END + 30) < metrics.value_near(
+        rem, COPY_END - 10
+    )

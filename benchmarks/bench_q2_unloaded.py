@@ -1,0 +1,79 @@
+"""EXP F9-F12 — Figures 9-12: query Q2 on an unloaded system (Section 5.3.1).
+
+Q2's plan (paper Figure 8) joins customer x orders x lineitem with the
+unestimatable predicate ``absolute(l.partkey) > 0`` on lineitem.  The
+default 1/3 selectivity makes the initial cost a too-low constant; the
+estimate ramps while the lineitem pipeline runs and reaches the exact cost
+before the final join phase, then stays constant (Fig 9).  Speed varies by
+stage (Fig 10); the remaining-time estimate converges to actual and is far
+better than the optimizer's (Fig 11); percent-done keeps rising (Fig 12).
+"""
+
+from __future__ import annotations
+
+from common import SCALE, experiment_config, run_once
+
+from repro.bench import metrics, render_table, run_experiment
+from repro.workloads import queries, tpcr
+
+
+def _run():
+    db = tpcr.build_database(scale=SCALE, config=experiment_config())
+    return run_experiment("Q2-unloaded", db, queries.Q2)
+
+
+def test_fig9_to_12_q2_unloaded(benchmark, record_figure):
+    result = run_once(benchmark, _run)
+    exact = result.exact_cost_pages
+
+    record_figure(
+        "fig09_q2_cost",
+        render_table(
+            {
+                "estimated cost (U)": result.estimated_cost_series(),
+                "exact cost (U)": [
+                    (t, exact) for t, _ in result.estimated_cost_series()
+                ],
+            },
+            title="Figure 9: query cost estimated over time (unloaded, Q2)",
+        ),
+    )
+    record_figure(
+        "fig10_q2_speed",
+        render_table(
+            {"speed (U/s)": result.speed_series()},
+            title="Figure 10: query execution speed over time (unloaded, Q2)",
+        ),
+    )
+    record_figure(
+        "fig11_q2_remaining",
+        render_table(
+            {
+                "indicator (s)": result.remaining_series(),
+                "actual (s)": result.actual_remaining_series(),
+                "optimizer (s)": result.optimizer_remaining_series(),
+            },
+            title="Figure 11: remaining execution time over time (unloaded, Q2)",
+        ),
+    )
+    record_figure(
+        "fig12_q2_percent",
+        render_table(
+            {"completed %": result.percent_series()},
+            title="Figure 12: completed percentage over time (unloaded, Q2)",
+        ),
+    )
+
+    cost = result.estimated_cost_series()
+    # Initial estimate is a too-low constant...
+    assert cost[0][1] < 0.85 * exact
+    # ...that never decreases and reaches the exact cost before completion.
+    assert metrics.is_nondecreasing(cost, slack=1.0)
+    converged = metrics.convergence_time(cost, exact, tolerance=0.02)
+    assert converged is not None and converged < 0.95 * result.total_elapsed
+    # Figure 11: the indicator is much better than the optimizer estimate.
+    ind = metrics.mean_abs_error(result.remaining_series(), result.actual_remaining_series())
+    opt = metrics.mean_abs_error(
+        result.optimizer_remaining_series(), result.actual_remaining_series()
+    )
+    assert ind < 0.6 * opt

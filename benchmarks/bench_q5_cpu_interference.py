@@ -1,0 +1,68 @@
+"""EXP F20 — Figure 20: Q5 under CPU interference (Section 5.6.2).
+
+A CPU-intensive program starts at t=120 and runs until the query finishes
+(the paper: execution time grew from 211s to 463s).  The indicator
+"notices" the slowdown: its remaining-time estimate jumps at the onset and
+then coincides with the actual line within a couple of speed windows.
+"""
+
+from __future__ import annotations
+
+from common import SCALE, experiment_config, run_once
+
+from repro.bench import metrics, render_table, run_experiment
+from repro.sim.load import LoadProfile
+from repro.workloads import queries, tpcr
+
+HOG_START = 120.0
+SLOWDOWN = 2.5
+
+
+def _run():
+    unloaded_db = tpcr.build_database(scale=SCALE, config=experiment_config())
+    unloaded = run_experiment("Q5-unloaded", unloaded_db, queries.Q5)
+    db = tpcr.build_database(scale=SCALE, config=experiment_config())
+    loaded = run_experiment(
+        "Q5-cpu",
+        db,
+        queries.Q5,
+        load=LoadProfile.cpu_hog(HOG_START, slowdown=SLOWDOWN),
+    )
+    return unloaded, loaded
+
+
+def test_fig20_q5_cpu_interference(benchmark, record_figure):
+    unloaded, result = run_once(benchmark, _run)
+
+    record_figure(
+        "fig20_q5cpu_remaining",
+        render_table(
+            {
+                "indicator (s)": result.remaining_series(),
+                "actual (s)": result.actual_remaining_series(),
+            },
+            title=(
+                "Figure 20: remaining execution time over time "
+                f"(CPU interference from t={HOG_START:.0f}s, "
+                f"{SLOWDOWN:.1f}x slowdown, Q5)"
+            ),
+        ),
+    )
+
+    # The hog stretches the query (paper: 211s -> 463s).
+    assert result.total_elapsed > 1.3 * unloaded.total_elapsed
+    # The estimate jumps up when the hog starts...
+    rem = result.remaining_series()
+    assert metrics.value_near(rem, HOG_START + 45) > metrics.value_near(
+        rem, HOG_START - 5
+    )
+    # ...and coincides with actual soon after (paper: from 140s on).
+    act = dict(result.actual_remaining_series())
+    late = [
+        (t, v)
+        for t, v in rem
+        if v is not None and t >= HOG_START + 50
+    ]
+    assert late
+    for t, v in late:
+        assert abs(v - act[t]) <= 0.2 * result.total_elapsed

@@ -1,0 +1,64 @@
+"""EXP A3 — sort-merge join progress (paper Section 4.5, not in their
+prototype).
+
+The paper defines but never implements sort-merge support: a segment
+containing a sort-merge join has *two* dominant inputs and progresses with
+``p = max(qA, qB)``.  This bench forces a merge-join plan for the
+customer-orders join, monitors it, and prints the merge segment's
+remaining-time series — demonstrating the one piece of Section 4 the
+paper's PostgreSQL prototype left out.
+"""
+
+from __future__ import annotations
+
+from common import SCALE, experiment_config, run_once
+
+from repro.bench import metrics, render_table, run_experiment
+from repro.workloads import tpcr
+
+SQL = (
+    "select c.custkey, c.acctbal, o.orderkey, o.totalprice "
+    "from customer c, orders o where c.custkey = o.custkey"
+)
+
+
+def _run():
+    config = experiment_config().with_planner(
+        enable_hashjoin=False, enable_nestloop=False
+    )
+    db = tpcr.build_database(scale=SCALE, config=config)
+    return run_experiment("merge-join", db, SQL)
+
+
+def test_sort_merge_join_progress(benchmark, record_figure):
+    result = run_once(benchmark, _run)
+
+    record_figure(
+        "sort_merge_remaining",
+        render_table(
+            {
+                "indicator (s)": result.remaining_series(),
+                "actual (s)": result.actual_remaining_series(),
+            },
+            title=(
+                "Extension A3: remaining time for a forced sort-merge join\n"
+                "(two dominant inputs, p = max(qA, qB))"
+            ),
+        ),
+    )
+
+    # Three segments: two run-generation sorts + the merge pipeline.
+    assert result.num_segments == 3
+    # Percent-done is monotone and completes.
+    assert metrics.is_nondecreasing(result.percent_series())
+    assert result.percent_series()[-1][1] == 100.0
+    # Remaining-time estimates converge to the actual line late in the run.
+    act = dict(result.actual_remaining_series())
+    late = [
+        (t, v)
+        for t, v in result.remaining_series()
+        if v is not None and t >= 0.7 * result.total_elapsed
+    ]
+    assert late
+    for t, v in late:
+        assert abs(v - act[t]) <= 0.2 * result.total_elapsed + 5.0

@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's tables/figures: it runs the
+experiment once inside pytest-benchmark (so `--benchmark-only` reports the
+harness cost), prints the figure series, and writes the rendered text to
+``benchmarks/results/<name>.txt`` so the series survive pytest's output
+capture.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+
+#: Experiment scale and memory budget shared by all figure benches.  The
+#: 24-page work_mem makes Q2's and Q4's second hash joins spill, matching
+#: the multi-segment structure of the paper's PostgreSQL runs.
+SCALE = 0.01
+
+
+def experiment_config() -> SystemConfig:
+    return SystemConfig(work_mem_pages=24)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,23 @@
+"""Pytest plumbing for the benchmark suite (fixtures only; shared
+constants/helpers live in :mod:`common`)."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_figure():
+    """Persist a rendered figure and echo it through print."""
+
+    def recorder(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return recorder

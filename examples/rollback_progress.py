@@ -1,0 +1,61 @@
+"""Monitoring a long rollback (paper Section 2, integrating [15]).
+
+A bulk update touches every orders row, then the transaction aborts.  The
+rollback monitor watches the undo-log records being replayed and — with
+the same sliding-window speed estimator the query indicator uses —
+estimates the remaining rollback time.  Every simulated second we print a
+progress line, just like the query progress display.
+
+Run:  python examples/rollback_progress.py
+"""
+
+from repro.core.units import format_duration
+from repro.txn import Transaction
+from repro.workloads import tpcr
+
+
+def main() -> None:
+    db = tpcr.build_database(scale=0.01)
+    orders = db.catalog.get_table("orders")
+    print(f"orders: {orders.num_tuples} rows")
+
+    txn = Transaction(db)
+    updated = txn.update(
+        "orders", {"totalprice": lambda row: row[3] * 1.1}
+    )
+    print(f"bulk update touched {updated} rows "
+          f"({txn.undo_records} undo records); aborting...\n")
+
+    printed_at = [db.clock.now]
+
+    def report(monitor) -> None:
+        # Print roughly once per simulated second of rollback work.
+        if db.clock.now - printed_at[0] < 1.0:
+            return
+        printed_at[0] = db.clock.now
+        est = monitor.est_remaining_seconds()
+        est_text = (
+            format_duration(est) if est is not None else "(estimating...)"
+        )
+        print(
+            f"  t={db.clock.now:7.2f}s  rolled back "
+            f"{monitor.total_records - monitor.remaining_records:>6}/"
+            f"{monitor.total_records}  ({100 * monitor.fraction_done:5.1f}%)  "
+            f"est. remaining {est_text}"
+        )
+
+    start = db.clock.now
+    monitor = txn.rollback(on_record=report)
+    print(
+        f"\nrollback complete in {db.clock.now - start:.2f} simulated seconds; "
+        f"{monitor.total_records} records undone."
+    )
+
+    # Sanity: the data is back to its original state.
+    db.analyze("orders")
+    result = db.execute("select sum(totalprice) from orders")
+    print(f"sum(totalprice) after rollback: {result.rows[0][0]:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Legacy setup shim (the environment's pip/setuptools lack wheel support)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Toward a Progress Indicator for Database Queries' "
+        "(SIGMOD 2004)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

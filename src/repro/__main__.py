@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``demo`` — run one of the paper's queries (Q1–Q5) with a live progress
+  display, optionally under I/O or CPU interference, and print the
+  per-segment breakdown at the end.
+* ``sql`` — run an arbitrary SQL statement against the generated TPC-R
+  data set with progress monitoring.
+* ``figures`` — regenerate a figure's series straight to stdout.
+
+Examples::
+
+    python -m repro demo --query Q2 --interference io
+    python -m repro sql "select count(*) from lineitem" --scale 0.005
+    python -m repro figures --query Q2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.figures import render_table
+from repro.bench.harness import run_experiment
+from repro.config import SystemConfig
+from repro.core.units import format_duration
+from repro.planner.explain import explain
+from repro.sim.load import LoadProfile
+from repro.workloads import correlated, queries, tpcr
+
+
+def _build_db(args, for_query: str | None = None):
+    config = SystemConfig(work_mem_pages=args.work_mem)
+    builder = correlated if for_query == "Q3" else tpcr
+    return builder.build_database(scale=args.scale, config=config)
+
+
+def _load_profile(kind: str):
+    if kind == "io":
+        return LoadProfile.file_copy(120.0, 400.0, slowdown=3.0)
+    if kind == "cpu":
+        return LoadProfile.cpu_hog(120.0, slowdown=2.5)
+    return None
+
+
+def cmd_demo(args) -> int:
+    """Run one paper query with live progress and a segment breakdown."""
+    name = args.query.upper()
+    if name not in queries.PAPER_QUERIES:
+        print(f"unknown query {args.query!r}; choose from Q1..Q5", file=sys.stderr)
+        return 2
+    db = _build_db(args, for_query=name)
+    load = _load_profile(args.interference)
+    if load is not None:
+        db.set_load(load)
+
+    planned = db.prepare(queries.PAPER_QUERIES[name])
+    print(f"Plan for {name}:")
+    print(explain(planned.root))
+    print("\nRunning with progress indicator:\n")
+    monitored = db.run_planned_with_progress(
+        planned, on_report=lambda r: print("  " + r.format_line())
+    )
+    print(
+        f"\n{name} finished: {monitored.result.row_count} rows in "
+        f"{format_duration(monitored.log.total_elapsed)} (virtual)."
+    )
+    print("\nSegment breakdown:")
+    print(monitored.indicator.describe_segments())
+    return 0
+
+
+def cmd_sql(args) -> int:
+    """Run arbitrary SQL against the generated data set, monitored."""
+    db = _build_db(args)
+    monitored = db.execute_with_progress(
+        args.statement,
+        keep_rows=True,
+        max_rows=args.max_rows,
+        on_report=lambda r: print("  " + r.format_line()),
+    )
+    result = monitored.result
+    print(f"\n{result.row_count} row(s); showing up to {args.max_rows}:")
+    print("  " + " | ".join(result.names))
+    for row in result.rows:
+        print("  " + " | ".join(str(v) for v in row))
+    return 0
+
+
+def cmd_figures(args) -> int:
+    """Print one query's full figure series as an aligned table."""
+    name = args.query.upper()
+    if name not in queries.PAPER_QUERIES:
+        print(f"unknown query {args.query!r}; choose from Q1..Q5", file=sys.stderr)
+        return 2
+    db = _build_db(args, for_query=name)
+    result = run_experiment(
+        name, db, queries.PAPER_QUERIES[name], load=_load_profile(args.interference)
+    )
+    print(
+        render_table(
+            {
+                "estimated cost (U)": result.estimated_cost_series(),
+                "speed (U/s)": result.speed_series(),
+                "remaining est (s)": result.remaining_series(),
+                "remaining actual (s)": result.actual_remaining_series(),
+                "completed %": result.percent_series(),
+            },
+            title=f"{name} series (scale {args.scale}, "
+            f"interference={args.interference})",
+        )
+    )
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    """Run every Section 5 experiment and print the summary table."""
+    from repro.bench.reproduce import render_summary, run_all
+
+    config = SystemConfig(work_mem_pages=args.work_mem)
+    rows = run_all(scale=args.scale, config=config, progress=print)
+    print()
+    print(render_summary(rows, args.scale))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Progress-indicator reproduction (SIGMOD 2004) CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--scale", type=float, default=0.005,
+                       help="TPC-R scale factor (default 0.005)")
+        p.add_argument("--work-mem", type=int, default=24,
+                       help="work_mem in pages (default 24)")
+
+    demo = sub.add_parser("demo", help="run one of the paper's queries")
+    demo.add_argument("--query", default="Q2", help="Q1..Q5 (default Q2)")
+    demo.add_argument(
+        "--interference", choices=["none", "io", "cpu"], default="none"
+    )
+    common(demo)
+    demo.set_defaults(func=cmd_demo)
+
+    sql = sub.add_parser("sql", help="run arbitrary SQL with monitoring")
+    sql.add_argument("statement", help="a SELECT statement")
+    sql.add_argument("--max-rows", type=int, default=20)
+    common(sql)
+    sql.set_defaults(func=cmd_sql)
+
+    figures = sub.add_parser("figures", help="print one query's figure series")
+    figures.add_argument("--query", default="Q2")
+    figures.add_argument(
+        "--interference", choices=["none", "io", "cpu"], default="none"
+    )
+    common(figures)
+    figures.set_defaults(func=cmd_figures)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="run every Section 5 experiment and summarize"
+    )
+    reproduce.add_argument("--scale", type=float, default=0.01)
+    reproduce.add_argument("--work-mem", type=int, default=24)
+    reproduce.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

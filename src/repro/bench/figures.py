@@ -1,0 +1,66 @@
+"""Text rendering of figure series (the benches print these)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+Series = Sequence[tuple[float, Optional[float]]]
+
+_BARS = " .:-=+*#%@"
+
+
+def render_table(
+    columns: dict[str, Series], title: str = "", time_label: str = "t(s)"
+) -> str:
+    """Render aligned columns of one or more series sharing time points."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    names = list(columns)
+    times: list[float] = []
+    for series in columns.values():
+        for t, _ in series:
+            if not times or t > times[-1]:
+                times.append(t)
+    by_name = {name: dict(series) for name, series in columns.items()}
+    header = f"{time_label:>10}  " + "  ".join(f"{n:>16}" for n in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for t in times:
+        cells = []
+        for name in names:
+            v = by_name[name].get(t)
+            cells.append(f"{v:16.1f}" if v is not None else f"{'-':>16}")
+        lines.append(f"{t:10.1f}  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def render_series(series: Series, title: str = "", width: int = 60) -> str:
+    """A compact ASCII chart of one series (value magnitude per row)."""
+    defined = [(t, v) for t, v in series if v is not None]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not defined:
+        lines.append("(no defined points)")
+        return "\n".join(lines)
+    values = [v for _, v in defined]
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    for t, v in defined:
+        filled = int(round((v - lo) / span * (width - 1)))
+        bar = "#" * (filled + 1)
+        lines.append(f"{t:10.1f} | {bar:<{width}} {v:12.1f}")
+    return "\n".join(lines)
+
+
+def sparkline(series: Series) -> str:
+    """One-line rendering of a series (for compact bench output)."""
+    defined = [v for _, v in series if v is not None]
+    if not defined:
+        return ""
+    lo, hi = min(defined), max(defined)
+    span = hi - lo or 1.0
+    return "".join(
+        _BARS[int((v - lo) / span * (len(_BARS) - 1))] for v in defined
+    )

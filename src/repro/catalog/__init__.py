@@ -1,0 +1,23 @@
+"""Catalog and statistics: table metadata and ANALYZE results.
+
+The paper's experiments run "the PostgreSQL statistics collection program on
+all the five relations" before every test (Section 5.1).  This package is
+that program: :func:`~repro.catalog.analyze.analyze_table` scans a heap and
+records row counts, average widths, per-column distinct counts and
+equi-depth histograms, which the optimizer consumes for its initial
+estimates — the estimates the progress indicator starts from and then
+corrects at run time.
+"""
+
+from repro.catalog.analyze import analyze_table
+from repro.catalog.catalog import Catalog, Table
+from repro.catalog.statistics import ColumnStatistics, Histogram, TableStatistics
+
+__all__ = [
+    "Catalog",
+    "Table",
+    "TableStatistics",
+    "ColumnStatistics",
+    "Histogram",
+    "analyze_table",
+]

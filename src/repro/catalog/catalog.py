@@ -1,0 +1,97 @@
+"""The system catalog: named tables, their heaps, indexes and statistics."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import CatalogError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heap import HeapFile
+from repro.storage.index import BTreeIndex
+from repro.storage.schema import Schema
+
+from repro.catalog.statistics import TableStatistics
+
+
+class Table:
+    """A base relation: heap storage plus optional indexes and statistics."""
+
+    def __init__(self, name: str, heap: HeapFile):
+        self.name = name
+        self.heap = heap
+        #: Indexes keyed by the indexed column name.
+        self.indexes: dict[str, BTreeIndex] = {}
+        #: Populated by ANALYZE; None means "never analyzed".
+        self.statistics: Optional[TableStatistics] = None
+
+    @property
+    def schema(self) -> Schema:
+        return self.heap.schema
+
+    @property
+    def num_tuples(self) -> int:
+        return self.heap.num_tuples
+
+    @property
+    def num_pages(self) -> int:
+        return self.heap.num_pages
+
+    def index_on(self, column: str) -> Optional[BTreeIndex]:
+        """The index on ``column``, or None if the column is unindexed."""
+        return self.indexes.get(column)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, tuples={self.num_tuples}, pages={self.num_pages})"
+
+
+class Catalog:
+    """All tables known to one database instance."""
+
+    def __init__(self, disk: SimulatedDisk, page_size: int):
+        self._disk = disk
+        self._page_size = page_size
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        """Create an empty table; fails if the name exists."""
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        heap = HeapFile(name, schema, self._disk, self._page_size)
+        table = Table(key, heap)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and release its heap storage."""
+        table = self.get_table(name)
+        table.heap.drop()
+        del self._tables[name.lower()]
+
+    def get_table(self, name: str) -> Table:
+        """Look a table up by (case-insensitive) name; raises CatalogError."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no table named {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this name exists."""
+        return name.lower() in self._tables
+
+    def tables(self) -> Iterable[Table]:
+        """All tables in creation order."""
+        return self._tables.values()
+
+    def create_index(self, table_name: str, column: str, name: Optional[str] = None) -> BTreeIndex:
+        """Build a B-tree index on one column of an existing table."""
+        table = self.get_table(table_name)
+        if not table.schema.has_column(column):
+            raise CatalogError(f"table {table_name!r} has no column {column!r}")
+        if column in table.indexes:
+            raise CatalogError(f"index on {table_name}.{column} already exists")
+        index = BTreeIndex(
+            name or f"{table.name}_{column}_idx", table.heap, column, self._page_size
+        )
+        table.indexes[column] = index
+        return index

@@ -1,0 +1,136 @@
+"""Statistics objects produced by ANALYZE and consumed by the optimizer."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+
+class Histogram:
+    """An equi-depth histogram over the non-null values of one column.
+
+    ``bounds`` holds ``num_buckets + 1`` boundary values; each bucket holds
+    (approximately) the same number of rows.  ``fraction_below`` linearly
+    interpolates inside numeric buckets, mirroring PostgreSQL's treatment
+    of its own equi-depth histograms.
+    """
+
+    def __init__(self, bounds: Sequence[Any]):
+        if len(bounds) < 2:
+            raise ValueError("histogram needs at least two bounds")
+        self.bounds = list(bounds)
+
+    @classmethod
+    def from_values(cls, values: Sequence[Any], num_buckets: int) -> Optional["Histogram"]:
+        """Build from raw values; returns None when there is nothing to bin."""
+        data = sorted(v for v in values if v is not None)
+        if not data:
+            return None
+        buckets = max(1, min(num_buckets, len(data)))
+        bounds = [data[0]]
+        for i in range(1, buckets):
+            bounds.append(data[(i * len(data)) // buckets])
+        bounds.append(data[-1])
+        return cls(bounds)
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self.bounds) - 1
+
+    def fraction_below(self, value: Any, inclusive: bool = False) -> float:
+        """Estimated fraction of values ``< value`` (``<=`` when inclusive).
+
+        Interpolation inside a bucket is linear for numeric bounds and
+        bucket-granular otherwise.
+        """
+        bounds = self.bounds
+        if inclusive:
+            idx = bisect.bisect_right(bounds, value)
+        else:
+            idx = bisect.bisect_left(bounds, value)
+        if idx == 0:
+            return 0.0
+        if idx >= len(bounds):
+            return 1.0
+        lo, hi = bounds[idx - 1], bounds[idx]
+        within = 0.0
+        if isinstance(lo, (int, float)) and isinstance(hi, (int, float)) and hi > lo:
+            within = min(1.0, max(0.0, (value - lo) / (hi - lo)))
+        return ((idx - 1) + within) / self.num_buckets
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.num_buckets} buckets, [{self.bounds[0]!r}..{self.bounds[-1]!r}])"
+
+
+@dataclass
+class ColumnStatistics:
+    """ANALYZE output for one column."""
+
+    name: str
+    num_distinct: int
+    null_fraction: float
+    min_value: Any = None
+    max_value: Any = None
+    histogram: Optional[Histogram] = None
+    #: Mean stored width of this column's values in bytes.
+    avg_width: float = 4.0
+
+    def selectivity_eq(self, value: Any) -> float:
+        """Estimated fraction of rows with column = value."""
+        if value is None:
+            return self.null_fraction
+        if self.num_distinct <= 0:
+            return 0.0
+        out_of_range = (
+            self.min_value is not None
+            and self.max_value is not None
+            and isinstance(value, type(self.min_value))
+            and not (self.min_value <= value <= self.max_value)
+        )
+        if out_of_range:
+            return 0.0
+        return (1.0 - self.null_fraction) / self.num_distinct
+
+    def selectivity_cmp(self, op: str, value: Any) -> float:
+        """Estimated fraction of rows satisfying ``column <op> value``."""
+        if value is None:
+            return 0.0
+        nonnull = 1.0 - self.null_fraction
+        if op == "=":
+            return self.selectivity_eq(value)
+        if op in ("<>", "!="):
+            return max(0.0, nonnull - self.selectivity_eq(value))
+        if self.histogram is None:
+            # No distribution information: fall back to a moderate guess.
+            return nonnull / 3.0
+        below_exc = self.histogram.fraction_below(value, inclusive=False)
+        below_inc = self.histogram.fraction_below(value, inclusive=True)
+        if op == "<":
+            frac = below_exc
+        elif op == "<=":
+            frac = below_inc
+        elif op == ">":
+            frac = 1.0 - below_inc
+        elif op == ">=":
+            frac = 1.0 - below_exc
+        else:
+            raise ValueError(f"unsupported comparison operator: {op!r}")
+        return min(1.0, max(0.0, frac)) * nonnull
+
+
+@dataclass
+class TableStatistics:
+    """ANALYZE output for one table."""
+
+    row_count: int
+    avg_width: float
+    columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, name: str) -> Optional[ColumnStatistics]:
+        """Statistics of one column, or None if it was never analyzed."""
+        return self.columns.get(name)
+
+    def total_bytes(self) -> float:
+        """Estimated total table size in bytes (rows x average width)."""
+        return self.row_count * self.avg_width

@@ -1,0 +1,66 @@
+"""The progress indicator — the paper's contribution.
+
+Pipeline:
+
+1. :mod:`repro.core.segments` splits an annotated physical plan into
+   pipelined segments at blocking-operator boundaries and picks each
+   segment's dominant input(s) (Sections 4.2 and 4.5).
+2. The executor reports tuple/byte counts into a
+   :class:`~repro.executor.work.WorkTracker` as the query runs.
+3. :mod:`repro.core.refine` re-estimates segment output cardinalities with
+   the paper's ``E = p*E2 + (1-p)*E1`` heuristic and propagates refined
+   estimates upward (Sections 4.3 and 4.5).
+4. :mod:`repro.core.speed` converts U to time from observed execution
+   speed over the last T seconds (Section 4.6).
+5. :class:`~repro.core.indicator.ProgressIndicator` samples everything on
+   a virtual-clock ticker and emits :class:`~repro.core.report.ProgressReport`
+   rows — the paper's Figure 2 display fields.
+"""
+
+from repro.core.baseline import OptimizerBaseline, StepBaseline
+from repro.core.breakdown import (
+    SegmentProgress,
+    attribute_error,
+    render_breakdown,
+    segment_progress,
+    time_breakdown,
+)
+from repro.core.concurrent import ConcurrentWorkload, QueryRun
+from repro.core.history import ProgressLog
+from repro.core.indicator import ProgressIndicator
+from repro.core.refine import ProgressEstimator, SegmentEstimate
+from repro.core.report import ProgressReport
+from repro.core.segments import SegmentInput, SegmentSpec, build_segments
+from repro.core.speed import (
+    DecayingSpeedEstimator,
+    GlobalSpeedEstimator,
+    WindowSpeedEstimator,
+    make_speed_estimator,
+)
+from repro.core.triggers import ProgressTrigger, slow_progress_condition
+
+__all__ = [
+    "ConcurrentWorkload",
+    "QueryRun",
+    "SegmentProgress",
+    "segment_progress",
+    "render_breakdown",
+    "time_breakdown",
+    "attribute_error",
+    "build_segments",
+    "SegmentSpec",
+    "SegmentInput",
+    "ProgressEstimator",
+    "SegmentEstimate",
+    "ProgressIndicator",
+    "ProgressReport",
+    "ProgressLog",
+    "ProgressTrigger",
+    "slow_progress_condition",
+    "WindowSpeedEstimator",
+    "DecayingSpeedEstimator",
+    "GlobalSpeedEstimator",
+    "make_speed_estimator",
+    "OptimizerBaseline",
+    "StepBaseline",
+]

@@ -1,0 +1,88 @@
+"""Trivial progress indicators the paper compares against (Section 1).
+
+* :class:`OptimizerBaseline`: "if the optimizer estimates that a query
+  will take t seconds, and the query has run for t' seconds, the
+  remaining time is t - t'".  This is the dotted line in Figures 6, 11
+  and 15.  It is wrong for two reasons the paper names: optimizer cost
+  estimates contain errors, and system load varies at run time.
+* :class:`StepBaseline`: the "step k of n" display some commercial
+  systems offer — here, the index of the currently-running segment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SystemConfig
+from repro.core.segments import SegmentSpec, initial_total_cost_bytes
+from repro.executor.work import WorkTracker
+
+
+class OptimizerBaseline:
+    """Remaining time from the optimizer's never-refined cost estimate."""
+
+    def __init__(self, specs: list[SegmentSpec], config: SystemConfig):
+        total_bytes = initial_total_cost_bytes(specs)
+        self.est_total_ios = total_bytes / config.page_size
+        #: The optimizer's assumed I/O time converts its I/O count into the
+        #: "estimate of the query running time" of Section 5.2.
+        self.est_total_seconds = (
+            self.est_total_ios * config.planner.assumed_seconds_per_io
+        )
+
+    def remaining(self, elapsed: float) -> float:
+        """t - t', floored at zero once the estimate is exhausted."""
+        return max(0.0, self.est_total_seconds - elapsed)
+
+
+class StepBaseline:
+    """Plan-step progress: which segment is running, out of how many."""
+
+    def __init__(self, specs: list[SegmentSpec], tracker: WorkTracker):
+        self._specs = specs
+        self._tracker = tracker
+
+    @property
+    def total_steps(self) -> int:
+        return len(self._specs)
+
+    def current_step(self) -> int:
+        """1-based index of the running segment (total+1 when finished)."""
+        finished = sum(1 for s in self._tracker.segments if s.finished)
+        if finished >= len(self._specs):
+            return len(self._specs) + 1
+        current = self._tracker.current_segment()
+        if current is None:
+            return finished + 1
+        return current + 1
+
+    def describe(self) -> str:
+        """Human-readable 'step k of n' line for the current state."""
+        step = self.current_step()
+        if step > self.total_steps:
+            return f"completed all {self.total_steps} steps"
+        label = self._specs[step - 1].label
+        return f"step {step} of {self.total_steps}: {label}"
+
+
+def optimizer_remaining_series(
+    baseline: OptimizerBaseline, elapsed_points: list[float]
+) -> list[tuple[float, float]]:
+    """The dotted-line series of Figures 6/11/15 at the given instants."""
+    return [(t, baseline.remaining(t)) for t in elapsed_points]
+
+
+def actual_remaining_series(
+    total_elapsed: float, elapsed_points: list[float]
+) -> list[tuple[float, float]]:
+    """The dashed ground-truth line of Figures 6/11/15/19/20."""
+    return [(t, max(0.0, total_elapsed - t)) for t in elapsed_points]
+
+
+def closer_to_actual(
+    estimate: Optional[float], baseline: float, actual: float
+) -> bool:
+    """Whether the indicator beats the baseline at one instant."""
+    if estimate is None:
+        return False
+    return abs(estimate - actual) <= abs(baseline - actual)

@@ -1,0 +1,110 @@
+"""Per-segment progress breakdown ("looking inside" the plan).
+
+The paper's future work item 4 asks "whether and when progress
+indicators could be improved by looking inside the pipelined segments".
+This module exposes the estimator's per-segment state as a human-readable
+breakdown: each segment's status, dominant-input fraction p, refined
+output estimate vs the optimizer's initial one, and byte progress — the
+performance-tuning view of Section 6 ("see ... where time goes during
+query execution").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.refine import EstimateSnapshot
+
+
+@dataclass(frozen=True)
+class SegmentProgress:
+    """Digest of one segment for display."""
+
+    id: int
+    label: str
+    status: str
+    fraction_done: float
+    p: float
+    done_pages: float
+    est_cost_pages: float
+    est_output_rows: float
+    initial_output_rows: float
+    started_at: Optional[float]
+    finished_at: Optional[float]
+
+    @property
+    def estimate_drift(self) -> float:
+        """How far the refined output estimate moved from the optimizer's
+        initial one (1.0 = unchanged)."""
+        if self.initial_output_rows <= 0:
+            return 1.0
+        return self.est_output_rows / self.initial_output_rows
+
+
+def segment_progress(
+    snapshot: EstimateSnapshot, page_size: int, tracker=None
+) -> list[SegmentProgress]:
+    """Digest a refinement snapshot into per-segment progress rows."""
+    out = []
+    for est in snapshot.segments:
+        counters = tracker.segments[est.spec.id] if tracker is not None else None
+        fraction = 0.0
+        if est.est_cost_bytes > 0:
+            fraction = min(1.0, est.done_bytes / est.est_cost_bytes)
+        elif est.status == "finished":
+            fraction = 1.0
+        out.append(
+            SegmentProgress(
+                id=est.spec.id,
+                label=est.spec.label,
+                status=est.status,
+                fraction_done=fraction,
+                p=est.p,
+                done_pages=est.done_bytes / page_size,
+                est_cost_pages=est.est_cost_bytes / page_size,
+                est_output_rows=est.est_output_rows,
+                initial_output_rows=est.spec.est_output_rows,
+                started_at=counters.started_at if counters else None,
+                finished_at=counters.finished_at if counters else None,
+            )
+        )
+    return out
+
+
+def render_breakdown(rows: list[SegmentProgress]) -> str:
+    """Format a breakdown as an aligned text table."""
+    lines = [
+        f"{'seg':>4} {'status':<9} {'done':>6} {'p':>5} "
+        f"{'cost (U)':>10} {'rows est':>10} {'drift':>6}  label",
+        "-" * 78,
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.id:>4} {r.status:<9} {100 * r.fraction_done:>5.1f}% "
+            f"{r.p:>5.2f} {r.est_cost_pages:>10.1f} {r.est_output_rows:>10.0f} "
+            f"{r.estimate_drift:>5.2f}x  {r.label}"
+        )
+    return "\n".join(lines)
+
+
+def time_breakdown(rows: list[SegmentProgress]) -> list[tuple[str, float]]:
+    """(label, seconds) per finished segment — "where the time went".
+
+    Segments overlap in pipelined plans; this reports each segment's own
+    started→finished span, the paper's performance-tuning view.
+    """
+    out = []
+    for r in rows:
+        if r.started_at is not None and r.finished_at is not None:
+            out.append((r.label, r.finished_at - r.started_at))
+    return out
+
+
+def attribute_error(rows: list[SegmentProgress]) -> Optional[SegmentProgress]:
+    """The segment whose output estimate drifted the most — the likeliest
+    culprit behind a wrong initial query cost (tuning aid)."""
+    candidates = [r for r in rows if r.initial_output_rows > 0]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda r: abs(r.estimate_drift - 1.0))

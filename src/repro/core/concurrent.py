@@ -1,0 +1,353 @@
+"""Concurrent query execution on one shared virtual clock.
+
+The paper's Section 6 load-management use case presumes "a pool of
+running queries" whose indicators a DBA consults.  This module provides
+that pool: each query runs in its own worker thread against the shared
+database, and a :class:`_ClockGate` installed on the virtual clock
+arbitrates *quanta of virtual work* between the workers, round-robin.
+Because arbitration happens inside ``VirtualClock.advance`` — underneath
+every page I/O and CPU charge — interleaving is fine-grained even through
+blocking operators (a hash join's partition pass yields the system every
+quantum instead of hogging it).
+
+The model is a fully serialized single-CPU / single-disk machine, like
+the paper's one-processor laptop: queries slow each other down simply by
+taking turns, so every indicator organically observes contention without
+any synthetic load window.  Suspending a query (the DBA "blocking" it)
+removes it from the rotation; its indicator keeps ticking, so its
+remaining-time estimate degrades while blocked — exactly the feedback
+loop the paper envisions.
+
+Scheduling is deterministic: exactly one worker is runnable at any
+instant, turns rotate in registration order, and the driving thread only
+observes state at quiescent points (`advance` returns once every worker
+is parked).  OS thread scheduling affects wall-clock timing only, never
+the virtual-time interleaving.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.history import ProgressLog
+from repro.core.indicator import ProgressIndicator
+from repro.core.report import ProgressReport
+from repro.database import Database
+from repro.errors import ProgressError
+from repro.executor.base import ExecContext
+from repro.executor.runtime import execute
+
+
+class _ClockGate:
+    """Round-robin arbiter over quanta of virtual work.
+
+    Worker threads call :meth:`before_charge` (via the clock) and block
+    until they hold the turn and the driver has opened the virtual-time
+    window.  The driver calls :meth:`run_until` to let the workers consume
+    virtual time up to a target instant, returning when all are parked.
+    """
+
+    def __init__(self, clock, quantum: float):
+        if quantum <= 0:
+            raise ProgressError("quantum must be positive")
+        self._clock = clock
+        self._quantum = quantum
+        self._cond = threading.Condition()
+        self._rotation: list[int] = []  # registered worker thread-ids, in order
+        self._suspended: set[int] = set()
+        self._turn: Optional[int] = None
+        self._used = 0.0
+        self._limit: float = 0.0  # workers park once clock.now >= limit
+        self._parked: set[int] = set()
+        self._names: dict[int, str] = {}
+
+    # -- registration (driver thread) -----------------------------------
+
+    def register(self, thread_id: int, name: str) -> None:
+        """Add a worker thread to the rotation (driver thread only)."""
+        with self._cond:
+            self._rotation.append(thread_id)
+            self._names[thread_id] = name
+            if self._turn is None:
+                self._turn = thread_id
+
+    def finish(self, thread_id: int) -> None:
+        """Worker completed: leave the rotation, pass the turn on."""
+        with self._cond:
+            if thread_id in self._rotation:
+                self._rotation.remove(thread_id)
+            self._suspended.discard(thread_id)
+            if self._turn == thread_id:
+                self._advance_turn_locked()
+            self._cond.notify_all()
+
+    def suspend(self, thread_id: int) -> None:
+        with self._cond:
+            active = [
+                t for t in self._rotation if t not in self._suspended
+            ]
+            if active == [thread_id]:
+                raise ProgressError(
+                    "cannot suspend the last runnable query (deadlock)"
+                )
+            self._suspended.add(thread_id)
+            if self._turn == thread_id:
+                self._advance_turn_locked()
+            self._cond.notify_all()
+
+    def resume(self, thread_id: int) -> None:
+        with self._cond:
+            self._suspended.discard(thread_id)
+            if self._turn is None or self._turn not in self._rotation:
+                self._turn = thread_id
+            self._cond.notify_all()
+
+    # -- worker side ------------------------------------------------------
+
+    def before_charge(self, cost: float) -> None:
+        """Called by the clock before every charge: block until this worker
+            holds the turn and the driver's time window is open.
+        """
+        me = threading.get_ident()
+        cond = self._cond
+        with cond:
+            if me not in self._names:
+                return  # not a gated worker (driver/setup work passes through)
+            while True:
+                open_window = self._clock.now < self._limit
+                my_turn = self._turn == me and me not in self._suspended
+                if open_window and my_turn:
+                    break
+                self._parked.add(me)
+                cond.notify_all()
+                cond.wait()
+                self._parked.discard(me)
+            self._used += cost
+            if self._used >= self._quantum:
+                self._advance_turn_locked()
+                # Keep going: this charge is still ours; the *next* charge
+                # will park if the turn moved on.
+
+    # -- driver side ------------------------------------------------------
+
+    def run_until(self, target: float, workers_pending) -> None:
+        """Open the window up to ``target`` and wait for quiescence."""
+        cond = self._cond
+        with cond:
+            self._limit = target
+            if self._turn is None or self._turn not in self._rotation:
+                self._advance_turn_locked()
+            cond.notify_all()
+            while True:
+                runnable = [
+                    t for t in self._rotation if t not in self._suspended
+                ]
+                all_parked = all(t in self._parked for t in runnable)
+                if not runnable or (all_parked and not workers_pending()):
+                    break
+                if all_parked and self._clock.now >= self._limit:
+                    break
+                cond.wait(timeout=0.5)
+            self._limit = 0.0  # close the window
+
+    # -- internals ----------------------------------------------------
+
+    def _advance_turn_locked(self) -> None:
+        self._used = 0.0
+        runnable = [t for t in self._rotation if t not in self._suspended]
+        if not runnable:
+            self._turn = None
+            return
+        if self._turn in runnable:
+            i = runnable.index(self._turn)
+            self._turn = runnable[(i + 1) % len(runnable)]
+        else:
+            self._turn = runnable[0]
+
+
+@dataclass
+class QueryRun:
+    """State of one query inside a concurrent workload."""
+
+    name: str
+    sql: str
+    indicator: ProgressIndicator
+    started_at: float
+    finished_at: Optional[float] = None
+    row_count: int = 0
+    suspended: bool = False
+    log: Optional[ProgressLog] = None
+    error: Optional[BaseException] = None
+    _thread: Optional[threading.Thread] = field(default=None, repr=False)
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at is not None or self.error is not None
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+class ConcurrentWorkload:
+    """Runs several monitored queries interleaved on one database.
+
+    ``quantum`` is the slice of virtual work (in simulated seconds) each
+    query consumes before the turn rotates.
+    """
+
+    def __init__(self, db: Database, quantum: float = 0.25):
+        self._db = db
+        self._gate = _ClockGate(db.clock, quantum)
+        db.clock.gate = self._gate
+        self.queries: dict[str, QueryRun] = {}
+        self._started = False
+        #: Workers block on this until every thread is registered with the
+        #: gate, so no charge can slip through ungated at startup.
+        self._go = threading.Event()
+
+    # ------------------------------------------------------------------
+    # setup
+
+    def add(self, name: str, sql: str) -> QueryRun:
+        """Register a query; its worker starts parked until time advances."""
+        if name in self.queries:
+            raise ProgressError(f"query {name!r} already registered")
+        if self._started:
+            raise ProgressError("cannot add queries after the workload started")
+        planned = self._db.prepare(sql)
+        indicator = ProgressIndicator(planned, self._db.clock, self._db.config)
+        ctx = ExecContext(
+            self._db.clock,
+            self._db.disk,
+            self._db.buffer_pool,
+            self._db.config,
+            tracker=indicator.tracker,
+        )
+        run = QueryRun(
+            name=name,
+            sql=sql,
+            indicator=indicator,
+            started_at=self._db.clock.now,
+        )
+
+        def work() -> None:
+            self._go.wait()
+            try:
+                for _row in execute(planned, ctx):
+                    run.row_count += 1
+            except BaseException as exc:  # surface worker failures
+                run.error = exc
+            else:
+                run.finished_at = self._db.clock.now
+                run.log = run.indicator.finalize()
+            finally:
+                self._gate.finish(threading.get_ident())
+
+        thread = threading.Thread(target=work, name=f"query-{name}", daemon=True)
+        run._thread = thread
+        self.queries[name] = run
+        return run
+
+    # ------------------------------------------------------------------
+    # control
+
+    def suspend(self, name: str) -> None:
+        """Block a query (the DBA's action from the paper's Section 6)."""
+        run = self._get(name)
+        if run.done or run.suspended:
+            return
+        if self._started:
+            self._gate.suspend(run._thread.ident)
+        run.suspended = True
+
+    def resume(self, name: str) -> None:
+        run = self._get(name)
+        if run.done or not run.suspended:
+            return
+        if self._started:
+            self._gate.resume(run._thread.ident)
+        run.suspended = False
+
+    def _get(self, name: str) -> QueryRun:
+        try:
+            return self.queries[name]
+        except KeyError:
+            raise ProgressError(f"no query named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        if not self.queries:
+            raise ProgressError("workload has no queries")
+        self._started = True
+        for run in self.queries.values():
+            run._thread.start()
+        # Thread ids are final once started; register everyone with the
+        # gate, apply queued suspensions, then release the workers together.
+        for run in self.queries.values():
+            self._gate.register(run._thread.ident, run.name)
+        for run in self.queries.values():
+            if run.suspended:
+                self._gate.suspend(run._thread.ident)
+        self._go.set()
+
+    def _pending(self) -> bool:
+        return any(not r.done and not r.suspended for r in self.queries.values())
+
+    def advance(self, virtual_seconds: float) -> bool:
+        """Let the workload consume up to ``virtual_seconds`` of clock time.
+
+        Returns True while any unsuspended query still has work left.
+        """
+        if virtual_seconds <= 0:
+            raise ProgressError("virtual_seconds must be positive")
+        self._ensure_started()
+        pending_any = any(not r.done for r in self.queries.values())
+        if pending_any and not self._pending():
+            raise ProgressError("deadlock: all pending queries are suspended")
+        if self._pending():
+            self._gate.run_until(
+                self._db.clock.now + virtual_seconds, self._pending
+            )
+        self._raise_worker_errors()
+        return self._pending()
+
+    def step(self, virtual_seconds: float = 10.0) -> bool:
+        """One scheduling slice (defaults to one report interval)."""
+        return self.advance(virtual_seconds)
+
+    def run(self) -> dict[str, QueryRun]:
+        """Run every unsuspended query to completion, interleaved."""
+        while self.advance(1e6):
+            pass
+        for run in self.queries.values():
+            if run.done and run._thread is not None:
+                run._thread.join(timeout=10.0)
+        self._raise_worker_errors()
+        return self.queries
+
+    def _raise_worker_errors(self) -> None:
+        for run in self.queries.values():
+            if run.error is not None:
+                raise ProgressError(
+                    f"query {run.name!r} failed: {run.error!r}"
+                ) from run.error
+
+    # ------------------------------------------------------------------
+    # observation
+
+    def reports(self) -> dict[str, ProgressReport]:
+        """Latest progress report of each unfinished query (for the DBA)."""
+        out = {}
+        for name, run in self.queries.items():
+            if not run.done:
+                out[name] = run.indicator.report()
+        return out

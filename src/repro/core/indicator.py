@@ -1,0 +1,152 @@
+"""The progress indicator facade.
+
+Attach one to a planned query before execution::
+
+    indicator = ProgressIndicator(planned, clock, config)
+    ctx = ExecContext(clock, disk, pool, config, tracker=indicator.tracker)
+    run_query(planned, ctx)
+    log = indicator.finalize()
+
+While the query runs, two virtual-clock tickers drive the indicator:
+
+* a fine-grained one (default every 1 s) feeding the speed estimator with
+  cumulative-work samples, and
+* the user-facing one (default every 10 s, the paper's pacing) taking a
+  full refinement snapshot and emitting a :class:`ProgressReport`.
+
+Goals from Section 3: continuously revised estimates (every report
+re-runs the Section 4.5 refinement), acceptable pacing (periodic ticks),
+minimal overhead (counters are a handful of float adds per page/tuple;
+refinement runs only at tick time).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.config import SystemConfig
+from repro.core.history import ProgressLog
+from repro.core.refine import EstimateSnapshot, ProgressEstimator
+from repro.core.report import ProgressReport
+from repro.core.segments import build_segments, initial_total_cost_bytes
+from repro.core.speed import make_speed_estimator
+from repro.errors import ProgressError
+from repro.executor.work import WorkTracker
+from repro.planner.optimizer import PlannedQuery
+from repro.sim.clock import VirtualClock
+
+
+class ProgressIndicator:
+    """Monitors one query execution on a virtual clock."""
+
+    def __init__(
+        self,
+        planned: PlannedQuery,
+        clock: VirtualClock,
+        config: Optional[SystemConfig] = None,
+        on_report: Optional[Callable[[ProgressReport], None]] = None,
+    ):
+        self._config = config or planned.config
+        self._progress_cfg = self._config.progress
+        self._page_size = self._config.page_size
+        self._clock = clock
+        self._on_report = on_report
+
+        self.segments = build_segments(planned.root)
+        self.tracker = WorkTracker(
+            num_inputs=[len(s.inputs) for s in self.segments],
+            final_segment=self.segments[-1].id,
+            clock=clock,
+        )
+        self.estimator = ProgressEstimator(
+            self.segments, self.tracker, refine_mode=self._progress_cfg.refine_mode
+        )
+        self._speed = make_speed_estimator(
+            self._progress_cfg.speed_estimator,
+            self._progress_cfg.speed_window,
+            self._progress_cfg.decay_alpha,
+        )
+        #: The optimizer's initial total cost, in U (pages) — what a trivial
+        #: optimizer-based indicator would use for its whole life.
+        self.initial_cost_pages = (
+            initial_total_cost_bytes(self.segments) / self._page_size
+        )
+
+        self.started_at = clock.now
+        self.reports: list[ProgressReport] = []
+        self._finalized = False
+
+        interval = self._progress_cfg.speed_sample_interval
+        self._speed.record(clock.now, 0.0)
+        self._speed_ticker = clock.add_ticker(interval, self._sample_speed)
+        self._report_ticker = clock.add_ticker(
+            self._progress_cfg.update_interval, self._sample_report
+        )
+
+    # ------------------------------------------------------------------
+    # ticker callbacks
+
+    def _sample_speed(self, t: float) -> None:
+        self._speed.record(t, self.tracker.total_done_bytes / self._page_size)
+
+    def _sample_report(self, t: float) -> None:
+        self.reports.append(self.report(at=t))
+        if self._on_report is not None:
+            self._on_report(self.reports[-1])
+
+    # ------------------------------------------------------------------
+    # reporting
+
+    def report(self, at: Optional[float] = None, finished: bool = False) -> ProgressReport:
+        """Build a report from the current refinement snapshot."""
+        t = self._clock.now if at is None else at
+        snapshot = self.estimator.snapshot()
+        elapsed = t - self.started_at
+
+        speed = self._speed.speed()
+        if elapsed < self._progress_cfg.warmup:
+            speed = None  # the indicator "watches" before first estimate
+        remaining = None
+        if speed is not None and speed > 0:
+            _done, _total, remaining_pages = snapshot.pages(self._page_size)
+            remaining = remaining_pages / speed
+
+        done, total, _ = snapshot.pages(self._page_size)
+        return ProgressReport(
+            time=t,
+            elapsed=elapsed,
+            done_pages=done,
+            est_cost_pages=total,
+            fraction_done=snapshot.fraction_done,
+            speed_pages_per_sec=speed,
+            est_remaining_seconds=remaining,
+            current_segment=snapshot.current_segment,
+            finished=finished,
+        )
+
+    def snapshot(self) -> EstimateSnapshot:
+        """Expose the raw refinement snapshot (tests, dashboards)."""
+        return self.estimator.snapshot()
+
+    def describe_segments(self) -> str:
+        """Per-segment progress table (the "looking inside" view)."""
+        from repro.core.breakdown import render_breakdown, segment_progress
+
+        rows = segment_progress(self.snapshot(), self._page_size, self.tracker)
+        return render_breakdown(rows)
+
+    def finalize(self) -> ProgressLog:
+        """Stop sampling and return the full progress history."""
+        if self._finalized:
+            raise ProgressError("indicator already finalized")
+        self._finalized = True
+        self._speed_ticker.cancel()
+        self._report_ticker.cancel()
+        final = self.report(finished=True)
+        self.reports.append(final)
+        return ProgressLog(
+            reports=list(self.reports),
+            started_at=self.started_at,
+            finished_at=self._clock.now,
+            initial_cost_pages=self.initial_cost_pages,
+        )

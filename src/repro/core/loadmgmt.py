@@ -1,0 +1,64 @@
+"""Load management helpers (paper Section 6, use 1).
+
+"A progress indicator can help the DBA choose which queries to block":
+given the latest report of each running query, rank them under a policy
+and pick victims to suspend so a preferred query can finish sooner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.report import ProgressReport
+
+
+@dataclass(frozen=True)
+class MonitoredQuery:
+    """One running query as the load manager sees it."""
+
+    name: str
+    report: ProgressReport
+
+
+Policy = Callable[[MonitoredQuery], float]
+
+
+def longest_remaining(query: MonitoredQuery) -> float:
+    """Prefer blocking queries that will run the longest anyway."""
+    remaining = query.report.est_remaining_seconds
+    return remaining if remaining is not None else float("inf")
+
+
+def least_progress(query: MonitoredQuery) -> float:
+    """Prefer blocking queries that have completed the least work."""
+    return -query.report.fraction_done
+
+
+def most_remaining_work(query: MonitoredQuery) -> float:
+    """Prefer blocking queries with the most remaining U."""
+    return query.report.est_cost_pages - query.report.done_pages
+
+
+def choose_victims(
+    queries: list[MonitoredQuery],
+    count: int,
+    policy: Policy = longest_remaining,
+    protect: Optional[set[str]] = None,
+) -> list[MonitoredQuery]:
+    """Pick up to ``count`` queries to block, highest policy score first.
+
+    ``protect`` names queries that must never be chosen (e.g. the query
+    the DBA is trying to speed up).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    protected = protect or set()
+    candidates = [q for q in queries if q.name not in protected]
+    candidates.sort(key=policy, reverse=True)
+    return candidates[:count]
+
+
+def nearly_done(queries: list[MonitoredQuery], threshold: float = 0.9) -> list[MonitoredQuery]:
+    """Queries past ``threshold`` completion — poor blocking victims."""
+    return [q for q in queries if q.report.fraction_done >= threshold]

@@ -1,0 +1,258 @@
+"""Continuous refinement of the query cost estimate (Sections 4.3 & 4.5).
+
+For every segment the estimator combines:
+
+* **Base-input refinement** (Section 4.3): keep the optimizer's Ne until
+  the scan finishes (then the exact Np is known) or until the actual
+  number of tuples read exceeds Ne (then use the running count).
+* **Output-cardinality refinement** (Section 4.5): with dominant-input
+  fraction ``p``, observed outputs ``y``, and the optimizer's (re-invoked)
+  estimate ``E1``, use ``E = p*E2 + (1-p)*E1`` where ``E2 = y/p`` — which
+  simplifies to ``E = y + (1-p)*E1``.  Segments with two dominant inputs
+  (sort-merge joins) use ``p = max(qA, qB)``.
+* **Upward propagation**: a future segment's E1 is recomputed from its
+  inputs' *current* refined estimates via the multiplicative factor the
+  optimizer recorded at plan time (its cost-estimation module, re-invoked).
+* **Exact accounting** for finished segments.
+
+Everything is recomputed from the tracker's counters on demand — the
+estimator itself is stateless between snapshots, which keeps it trivially
+consistent with whatever the executor has done so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.segments import SegmentSpec
+from repro.executor.work import WorkTracker
+
+
+@dataclass
+class InputEstimate:
+    """Refined view of one segment input."""
+
+    index: int
+    label: str
+    rows_read: int
+    bytes_read: float
+    est_rows: float
+    est_width: float
+    dominant: bool
+
+    @property
+    def est_bytes(self) -> float:
+        return self.est_rows * self.est_width
+
+    @property
+    def progress(self) -> float:
+        """Fraction of this input processed so far (q of Section 4.5)."""
+        if self.est_rows <= 0:
+            return 1.0
+        return min(1.0, self.rows_read / self.est_rows)
+
+
+@dataclass
+class SegmentEstimate:
+    """Refined view of one segment."""
+
+    spec: SegmentSpec
+    status: str  # "pending" | "running" | "finished"
+    inputs: list[InputEstimate]
+    #: Dominant-input fraction p (0 for pending, 1 for finished).
+    p: float
+    #: Current output-cardinality estimate E (exact when finished).
+    est_output_rows: float
+    est_output_width: float
+    #: Current total cost estimate of this segment, in bytes.
+    est_cost_bytes: float
+    done_bytes: float
+
+    @property
+    def remaining_bytes(self) -> float:
+        return max(0.0, self.est_cost_bytes - self.done_bytes)
+
+
+@dataclass
+class EstimateSnapshot:
+    """A full refinement pass at one instant."""
+
+    segments: list[SegmentEstimate]
+    est_total_bytes: float
+    done_bytes: float
+    current_segment: Optional[int]
+
+    @property
+    def remaining_bytes(self) -> float:
+        return max(0.0, self.est_total_bytes - self.done_bytes)
+
+    @property
+    def fraction_done(self) -> float:
+        if self.est_total_bytes <= 0:
+            return 1.0
+        return min(1.0, self.done_bytes / self.est_total_bytes)
+
+    def pages(self, page_size: int) -> tuple[float, float, float]:
+        """(done, total, remaining) in U (pages)."""
+        return (
+            self.done_bytes / page_size,
+            self.est_total_bytes / page_size,
+            self.remaining_bytes / page_size,
+        )
+
+
+#: Output-cardinality refinement modes (the A2 ablation):
+#: "paper" is E = p*E2 + (1-p)*E1; "optimizer" never extrapolates from
+#: observed outputs (E = E1, inputs still refined per Section 4.3);
+#: "extrapolate" uses raw E2 = y/p with no smoothing toward E1.
+REFINE_MODES = ("paper", "optimizer", "extrapolate")
+
+
+class ProgressEstimator:
+    """Recomputes refined estimates from tracker counters."""
+
+    def __init__(
+        self,
+        specs: list[SegmentSpec],
+        tracker: WorkTracker,
+        refine_mode: str = "paper",
+    ):
+        if refine_mode not in REFINE_MODES:
+            raise ValueError(f"unknown refine mode {refine_mode!r}")
+        self._specs = specs
+        self._tracker = tracker
+        self._refine_mode = refine_mode
+
+    @property
+    def specs(self) -> list[SegmentSpec]:
+        return self._specs
+
+    def snapshot(self) -> EstimateSnapshot:
+        """Run one refinement pass (Section 4.5's refining procedure)."""
+        estimates: list[SegmentEstimate] = []
+        # Producers close before consumers, so ids are topologically ordered
+        # and each child's estimate exists before its consumers need it.
+        for spec in self._specs:
+            estimates.append(self._estimate_segment(spec, estimates))
+        total = sum(e.est_cost_bytes for e in estimates)
+        return EstimateSnapshot(
+            segments=estimates,
+            est_total_bytes=total,
+            done_bytes=self._tracker.total_done_bytes,
+            current_segment=self._tracker.current_segment(),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _estimate_segment(
+        self, spec: SegmentSpec, done: list[SegmentEstimate]
+    ) -> SegmentEstimate:
+        counters = self._tracker.segments[spec.id]
+        inputs = [
+            self._estimate_input(spec, i, counters, done)
+            for i in range(len(spec.inputs))
+        ]
+
+        if counters.finished:
+            width = counters.avg_output_width()
+            if width is None:
+                width = spec.est_output_width
+            return SegmentEstimate(
+                spec=spec,
+                status="finished",
+                inputs=inputs,
+                p=1.0,
+                est_output_rows=float(counters.output_rows),
+                est_output_width=width,
+                est_cost_bytes=counters.done_bytes,
+                done_bytes=counters.done_bytes,
+            )
+
+        # E1: the optimizer's estimate, re-invoked with refined input
+        # cardinalities (upward propagation of Section 4.5).
+        e1 = spec.card_factor
+        for inp in inputs:
+            e1 *= max(inp.est_rows, 1e-9)
+
+        status = "running" if counters.started else "pending"
+        dominants = [inp for inp in inputs if inp.dominant]
+        if counters.started and dominants:
+            # Two dominant inputs (sort-merge): the faster-consumed side
+            # decides p (Section 4.5, citing the LEO-style rule).
+            p = max(inp.progress for inp in dominants)
+        else:
+            p = 0.0
+
+        y = float(counters.output_rows)
+        if self._refine_mode == "optimizer":
+            estimate = max(e1, y)
+        elif self._refine_mode == "extrapolate":
+            estimate = y / p if p > 0 else e1
+        else:
+            estimate = y + (1.0 - p) * e1  # == p*E2 + (1-p)*E1 with E2 = y/p
+        width = counters.avg_output_width()
+        if width is None:
+            width = spec.est_output_width
+
+        cost = sum(inp.est_bytes for inp in inputs) + spec.est_extra_bytes
+        if not spec.final:
+            cost += estimate * width
+        # A running segment can never cost less than what it already did.
+        cost = max(cost, counters.done_bytes)
+
+        return SegmentEstimate(
+            spec=spec,
+            status=status,
+            inputs=inputs,
+            p=p,
+            est_output_rows=estimate,
+            est_output_width=width,
+            est_cost_bytes=cost,
+            done_bytes=counters.done_bytes,
+        )
+
+    def _estimate_input(
+        self,
+        spec: SegmentSpec,
+        index: int,
+        counters,
+        done: list[SegmentEstimate],
+    ) -> InputEstimate:
+        meta = spec.inputs[index]
+        rows_read = counters.input_rows[index]
+        bytes_read = counters.input_bytes[index]
+
+        if meta.kind == "base":
+            # Section 4.3: Ne until the scan finishes or overruns it.
+            if counters.finished:
+                est_rows = float(rows_read)
+            else:
+                est_rows = max(float(meta.est_rows), float(rows_read))
+            if rows_read > 0:
+                est_width = bytes_read / rows_read
+            else:
+                est_width = meta.est_width
+        else:
+            child = done[meta.child_segment]
+            if child.status == "finished":
+                est_rows = child.est_output_rows
+                est_width = child.est_output_width
+            else:
+                # Propagated (still-moving) child estimate.
+                est_rows = child.est_output_rows
+                est_width = child.est_output_width
+            est_rows = max(est_rows, float(rows_read))
+            if rows_read > 0 and child.status == "finished":
+                # Trust observed input width once we are actually reading.
+                est_width = bytes_read / rows_read if rows_read else est_width
+
+        return InputEstimate(
+            index=index,
+            label=meta.label,
+            rows_read=rows_read,
+            bytes_read=bytes_read,
+            est_rows=est_rows,
+            est_width=est_width,
+            dominant=meta.dominant,
+        )

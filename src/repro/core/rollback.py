@@ -1,0 +1,56 @@
+"""Rollback-progress monitoring (paper Section 2, citing [15]).
+
+The related-work technique the paper says "can be integrated into the
+progress indicators": watch how many update log records remain to be
+rolled back, measure the roll-back speed, and estimate the remaining
+rollback time.  We reuse the same window speed estimator the query
+indicator uses, so the integration is literal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.speed import WindowSpeedEstimator
+from repro.errors import ProgressError
+from repro.sim.clock import VirtualClock
+
+
+class RollbackMonitor:
+    """Tracks a transaction rollback by its remaining undo-log records."""
+
+    def __init__(self, total_records: int, clock: VirtualClock, window: float = 10.0):
+        if total_records < 0:
+            raise ProgressError("total_records must be non-negative")
+        self.total_records = total_records
+        self._clock = clock
+        self._speed = WindowSpeedEstimator(window)
+        self._remaining = total_records
+        self._speed.record(clock.now, 0.0)
+
+    @property
+    def remaining_records(self) -> int:
+        return self._remaining
+
+    @property
+    def fraction_done(self) -> float:
+        if self.total_records == 0:
+            return 1.0
+        return (self.total_records - self._remaining) / self.total_records
+
+    def record_rolled_back(self, count: int) -> None:
+        """Report that ``count`` more log records were undone."""
+        if count < 0:
+            raise ProgressError("count must be non-negative")
+        self._remaining = max(0, self._remaining - count)
+        self._speed.record(self._clock.now, self.total_records - self._remaining)
+
+    def speed_records_per_sec(self) -> Optional[float]:
+        return self._speed.speed()
+
+    def est_remaining_seconds(self) -> Optional[float]:
+        """Remaining records divided by the observed rollback speed."""
+        speed = self._speed.speed()
+        if speed is None or speed <= 0:
+            return None
+        return self._remaining / speed

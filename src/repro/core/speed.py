@@ -1,0 +1,115 @@
+"""Execution-speed monitoring (Section 4.6).
+
+The paper's estimator: the amount of work done in the last T seconds,
+divided by T (T = 10 in their implementation).  Section 4.6 also sketches
+a decaying-average improvement ("so that while the most recent execution
+speed has the major impact, the overall execution speed also has an
+impact") — implemented here as :class:`DecayingSpeedEstimator` and
+compared in the speed-ablation benchmark.  :class:`GlobalSpeedEstimator`
+(whole-history mean) is the naive baseline both beat under varying load.
+
+All estimators consume periodic samples of ``(virtual time, cumulative
+work)`` recorded by the indicator's fine-grained ticker.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.errors import ProgressError
+
+
+class SpeedEstimator:
+    """Interface: feed cumulative-work samples, ask for current speed."""
+
+    def record(self, t: float, cumulative_work: float) -> None:
+        raise NotImplementedError
+
+    def speed(self) -> Optional[float]:
+        """Current speed in work-units/second; None when undetermined."""
+        raise NotImplementedError
+
+
+class WindowSpeedEstimator(SpeedEstimator):
+    """The paper's sliding-window estimator over the last ``window`` seconds."""
+
+    def __init__(self, window: float = 10.0):
+        if window <= 0:
+            raise ProgressError("speed window must be positive")
+        self.window = window
+        self._samples: deque[tuple[float, float]] = deque()
+
+    def record(self, t: float, cumulative_work: float) -> None:
+        self._samples.append((t, cumulative_work))
+        cutoff = t - self.window
+        # Keep one sample at/before the cutoff so the window stays full.
+        while len(self._samples) > 2 and self._samples[1][0] <= cutoff:
+            self._samples.popleft()
+
+    def speed(self) -> Optional[float]:
+        if len(self._samples) < 2:
+            return None
+        t0, w0 = self._samples[0]
+        t1, w1 = self._samples[-1]
+        if t1 <= t0:
+            return None
+        return (w1 - w0) / (t1 - t0)
+
+
+class DecayingSpeedEstimator(SpeedEstimator):
+    """Exponentially-decaying average of per-interval speeds."""
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0.0 < alpha <= 1.0:
+            raise ProgressError("decay alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._last: Optional[tuple[float, float]] = None
+        self._ewma: Optional[float] = None
+
+    def record(self, t: float, cumulative_work: float) -> None:
+        if self._last is not None:
+            t0, w0 = self._last
+            if t > t0:
+                rate = (cumulative_work - w0) / (t - t0)
+                if self._ewma is None:
+                    self._ewma = rate
+                else:
+                    self._ewma = self.alpha * rate + (1.0 - self.alpha) * self._ewma
+        self._last = (t, cumulative_work)
+
+    def speed(self) -> Optional[float]:
+        return self._ewma
+
+
+class GlobalSpeedEstimator(SpeedEstimator):
+    """Whole-history mean speed (ablation baseline)."""
+
+    def __init__(self):
+        self._first: Optional[tuple[float, float]] = None
+        self._last: Optional[tuple[float, float]] = None
+
+    def record(self, t: float, cumulative_work: float) -> None:
+        if self._first is None:
+            self._first = (t, cumulative_work)
+        self._last = (t, cumulative_work)
+
+    def speed(self) -> Optional[float]:
+        if self._first is None or self._last is None:
+            return None
+        t0, w0 = self._first
+        t1, w1 = self._last
+        if t1 <= t0:
+            return None
+        return (w1 - w0) / (t1 - t0)
+
+
+def make_speed_estimator(kind: str, window: float, alpha: float) -> SpeedEstimator:
+    """Factory keyed by :class:`repro.config.ProgressConfig`."""
+    if kind == "window":
+        return WindowSpeedEstimator(window)
+    if kind == "decay":
+        return DecayingSpeedEstimator(alpha)
+    if kind == "global":
+        return GlobalSpeedEstimator()
+    raise ProgressError(f"unknown speed estimator kind {kind!r}")

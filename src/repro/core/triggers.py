@@ -1,0 +1,90 @@
+"""Progress triggers: automatic administration (paper Section 6, use 2).
+
+The paper's example: "send an email to the user if after a whole day's
+execution, the query finishes less than 10% of the work."  A
+:class:`ProgressTrigger` couples a condition over progress reports with an
+action; install triggers on an indicator via ``on_report``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.report import ProgressReport
+
+Condition = Callable[[ProgressReport], bool]
+Action = Callable[[ProgressReport], None]
+
+
+class ProgressTrigger:
+    """Fires ``action`` when ``condition`` first holds on a report."""
+
+    def __init__(self, name: str, condition: Condition, action: Action, once: bool = True):
+        self.name = name
+        self.condition = condition
+        self.action = action
+        self.once = once
+        self.fired = 0
+
+    def observe(self, report: ProgressReport) -> bool:
+        """Check one report; returns True when the trigger fired."""
+        if self.once and self.fired:
+            return False
+        if self.condition(report):
+            self.fired += 1
+            self.action(report)
+            return True
+        return False
+
+
+class TriggerSet:
+    """A collection of triggers usable as an indicator's on_report hook."""
+
+    def __init__(self, triggers: Optional[list[ProgressTrigger]] = None):
+        self.triggers = list(triggers or [])
+
+    def add(self, trigger: ProgressTrigger) -> None:
+        """Install one more trigger."""
+        self.triggers.append(trigger)
+
+    def __call__(self, report: ProgressReport) -> None:
+        for trigger in self.triggers:
+            trigger.observe(report)
+
+
+def slow_progress_condition(max_fraction: float, after_seconds: float) -> Condition:
+    """The paper's example condition: < ``max_fraction`` done after a while."""
+
+    def condition(report: ProgressReport) -> bool:
+        return report.elapsed >= after_seconds and report.fraction_done < max_fraction
+
+    return condition
+
+
+def stalled_condition(min_speed_pages: float, after_seconds: float) -> Condition:
+    """Fires when the observed speed collapses below a floor."""
+
+    def condition(report: ProgressReport) -> bool:
+        return (
+            report.elapsed >= after_seconds
+            and report.speed_pages_per_sec is not None
+            and report.speed_pages_per_sec < min_speed_pages
+        )
+
+    return condition
+
+
+def overrun_condition(factor: float) -> Condition:
+    """Fires when estimated remaining work implies a blown cost estimate.
+
+    ``factor`` is how much the current cost estimate may exceed the done
+    work plus remaining estimate before we call it an overrun — useful for
+    the performance-tuning use of Section 6.
+    """
+
+    def condition(report: ProgressReport) -> bool:
+        if report.est_remaining_seconds is None:
+            return False
+        return report.est_remaining_seconds > factor * max(report.elapsed, 1.0)
+
+    return condition

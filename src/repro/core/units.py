@@ -1,0 +1,47 @@
+"""The unit of work U (paper Section 4.1).
+
+U is one page of bytes processed.  These helpers keep the byte/page/time
+conversions in one place: the estimated cost of a query is measured in U,
+the speed monitor reports U/second, and remaining time is the ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def bytes_to_units(nbytes: float, page_size: int) -> float:
+    """Convert bytes of work into U (pages)."""
+    if page_size <= 0:
+        raise ValueError("page size must be positive")
+    return nbytes / page_size
+
+
+def units_to_bytes(units: float, page_size: int) -> float:
+    """Convert U (pages) back into bytes."""
+    return units * page_size
+
+
+def remaining_time(
+    remaining_units: float, speed_units_per_sec: Optional[float]
+) -> Optional[float]:
+    """Remaining seconds = remaining U / observed speed (Section 4.6)."""
+    if speed_units_per_sec is None or speed_units_per_sec <= 0:
+        return None
+    return remaining_units / speed_units_per_sec
+
+
+def format_duration(seconds: float) -> str:
+    """Render seconds the way the paper's Figure 2 does (h/min/s)."""
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    total = int(round(seconds))
+    hours, rest = divmod(total, 3600)
+    minutes, secs = divmod(rest, 60)
+    parts = []
+    if hours:
+        parts.append(f"{hours} hour")
+    if minutes or hours:
+        parts.append(f"{minutes} min")
+    parts.append(f"{secs} sec")
+    return " ".join(parts)

@@ -1,0 +1,174 @@
+"""The top-level database facade.
+
+One :class:`Database` is a complete simulated RDBMS instance: virtual
+clock, disk, buffer pool, catalog, optimizer and executor.  Experiments
+build one, load tables, ANALYZE, and run queries — optionally with a
+progress indicator attached, which is the monitored path the paper's
+Section 5 evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.catalog.analyze import analyze_table
+from repro.catalog.catalog import Catalog, Table
+from repro.config import SystemConfig
+from repro.core.history import ProgressLog
+from repro.core.indicator import ProgressIndicator
+from repro.executor.base import ExecContext
+from repro.executor.runtime import QueryResult, run_query
+from repro.planner.optimizer import Optimizer, PlannedQuery
+from repro.sim.clock import VirtualClock
+from repro.sim.load import LoadProfile
+from repro.sql.binder import Binder
+from repro.sql.parser import parse_select
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.schema import Schema
+
+
+@dataclass
+class MonitoredResult:
+    """Result of a query executed with a progress indicator attached."""
+
+    result: QueryResult
+    log: ProgressLog
+    indicator: ProgressIndicator
+
+
+class Database:
+    """A simulated database instance on a virtual clock."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        load: Optional[LoadProfile] = None,
+    ):
+        self.config = config or SystemConfig()
+        self.clock = VirtualClock(load)
+        self.disk = SimulatedDisk(self.clock, self.config.cost)
+        self.buffer_pool = BufferPool(
+            self.disk, self.config.buffer_pool_pages, self.config.cost
+        )
+        self.catalog = Catalog(self.disk, self.config.page_size)
+
+    # ------------------------------------------------------------------
+    # schema & data
+
+    def create_table(
+        self, name: str, schema: Schema, rows: Optional[Iterable[Sequence]] = None
+    ) -> Table:
+        """Create a table; optionally bulk-load rows (no I/O charged)."""
+        table = self.catalog.create_table(name, schema)
+        if rows is not None:
+            table.heap.bulk_load(rows)
+        return table
+
+    def create_index(self, table: str, column: str):
+        """Build a B-tree index on one column of an existing table."""
+        return self.catalog.create_index(table, column)
+
+    def analyze(self, table: Optional[str] = None) -> None:
+        """Run the statistics collector (Section 5.1 does this pre-test)."""
+        buckets = self.config.planner.histogram_buckets
+        if table is not None:
+            analyze_table(self.catalog.get_table(table), buckets)
+            return
+        for t in self.catalog.tables():
+            analyze_table(t, buckets)
+
+    def restart(self) -> None:
+        """Cold-start the buffer pool (the paper restarts before each test)."""
+        self.buffer_pool.clear()
+
+    def set_load(self, load: LoadProfile) -> None:
+        """Install a run-time load profile (interference windows)."""
+        self.clock.set_load(load)
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def prepare(self, sql: str) -> PlannedQuery:
+        """Parse, bind and optimize one SELECT statement."""
+        statement = parse_select(sql)
+        bound = Binder(self.catalog).bind(statement)
+        return Optimizer(self.config).plan(bound)
+
+    def execute(
+        self, sql: str, keep_rows: bool = True, max_rows: Optional[int] = None
+    ) -> QueryResult:
+        """Run a query without progress monitoring (the fast path)."""
+        planned = self.prepare(sql)
+        ctx = ExecContext(
+            self.clock, self.disk, self.buffer_pool, self.config, tracker=None
+        )
+        return run_query(planned, ctx, keep_rows=keep_rows, max_rows=max_rows)
+
+    def explain(self, sql: str) -> str:
+        """EXPLAIN: the annotated plan without executing it."""
+        from repro.planner.explain import explain as render
+
+        return render(self.prepare(sql).root)
+
+    def explain_analyze(self, sql: str) -> str:
+        """EXPLAIN ANALYZE: run the query and show actual vs estimated rows.
+
+        The performance-tuning companion of the paper's Section 6: after a
+        monitored run reveals a wrong cost estimate, this pinpoints which
+        operator's cardinality estimate was off.
+        """
+        from repro.planner.explain import explain as render
+
+        planned = self.prepare(sql)
+        ctx = ExecContext(
+            self.clock,
+            self.disk,
+            self.buffer_pool,
+            self.config,
+            tracker=None,
+            count_rows=True,
+        )
+        result = run_query(planned, ctx, keep_rows=False)
+        plan_text = render(planned.root, actual_rows=ctx.actual_rows)
+        return (
+            plan_text
+            + f"\nExecution: {result.row_count} rows in "
+            + f"{result.elapsed:.2f} simulated seconds"
+        )
+
+    def execute_with_progress(
+        self,
+        sql: str,
+        keep_rows: bool = False,
+        max_rows: Optional[int] = None,
+        on_report=None,
+    ) -> MonitoredResult:
+        """Run a query with a progress indicator attached."""
+        planned = self.prepare(sql)
+        return self.run_planned_with_progress(
+            planned, keep_rows=keep_rows, max_rows=max_rows, on_report=on_report
+        )
+
+    def run_planned_with_progress(
+        self,
+        planned: PlannedQuery,
+        keep_rows: bool = False,
+        max_rows: Optional[int] = None,
+        on_report=None,
+    ) -> MonitoredResult:
+        """Run an already-prepared plan with a progress indicator attached."""
+        indicator = ProgressIndicator(
+            planned, self.clock, self.config, on_report=on_report
+        )
+        ctx = ExecContext(
+            self.clock,
+            self.disk,
+            self.buffer_pool,
+            self.config,
+            tracker=indicator.tracker,
+        )
+        result = run_query(planned, ctx, keep_rows=keep_rows, max_rows=max_rows)
+        log = indicator.finalize()
+        return MonitoredResult(result=result, log=log, indicator=indicator)

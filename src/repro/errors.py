@@ -1,0 +1,55 @@
+"""Exception hierarchy for the ``repro`` engine.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch one type at the boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro engine."""
+
+
+class StorageError(ReproError):
+    """Raised for storage-layer failures (bad page ids, full pages, ...)."""
+
+
+class BufferPoolError(StorageError):
+    """Raised when the buffer pool cannot satisfy a request (e.g. all pinned)."""
+
+
+class CatalogError(ReproError):
+    """Raised for catalog lookups that fail or conflicting definitions."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class LexerError(SqlError):
+    """Raised when the SQL lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(SqlError):
+    """Raised when the SQL parser cannot derive a statement."""
+
+
+class BindError(SqlError):
+    """Raised when name resolution fails (unknown table/column, ambiguity)."""
+
+
+class PlanError(ReproError):
+    """Raised when the optimizer cannot produce a plan for a query."""
+
+
+class ExecutionError(ReproError):
+    """Raised for run-time executor failures."""
+
+
+class ProgressError(ReproError):
+    """Raised for invalid progress-indicator configuration or use."""

@@ -1,0 +1,25 @@
+"""Volcano-style iterator executor over the simulated storage engine.
+
+Operators charge the virtual clock for every page I/O and per-tuple CPU
+action, and — when a progress indicator is attached — report tuple/byte
+counts at segment boundaries through a :class:`~repro.executor.work.WorkTracker`.
+Statistics collection is embedded in the operator code behind the tracker
+reference (the per-plan flag of the paper's Section 4.4): executing with
+``tracker=None`` is the unmonitored fast path used to measure indicator
+overhead.
+"""
+
+from repro.executor.base import ExecContext, Operator, build_operator
+from repro.executor.runtime import QueryResult, execute, run_query
+from repro.executor.work import SegmentCounters, WorkTracker
+
+__all__ = [
+    "ExecContext",
+    "Operator",
+    "build_operator",
+    "WorkTracker",
+    "SegmentCounters",
+    "execute",
+    "run_query",
+    "QueryResult",
+]

@@ -1,0 +1,130 @@
+"""Executor plumbing: execution context and the operator factory."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.config import SystemConfig
+from repro.errors import ExecutionError
+from repro.executor.work import WorkTracker
+from repro.planner.physical import (
+    DistinctNode,
+    FilterNode,
+    HashAggregateNode,
+    HashJoinNode,
+    IndexScanNode,
+    LimitNode,
+    MergeJoinNode,
+    NestLoopNode,
+    PhysicalNode,
+    ProjectNode,
+    SeqScanNode,
+    SortNode,
+)
+from repro.sim.clock import VirtualClock
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+
+
+class ExecContext:
+    """Everything an operator needs at run time."""
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        disk: SimulatedDisk,
+        buffer_pool: BufferPool,
+        config: SystemConfig,
+        tracker: Optional[WorkTracker] = None,
+        count_rows: bool = False,
+    ):
+        self.clock = clock
+        self.disk = disk
+        self.buffer_pool = buffer_pool
+        self.config = config
+        #: None disables all progress accounting (the unmonitored fast path).
+        self.tracker = tracker
+        self.work_mem_bytes = config.work_mem_pages * config.page_size
+        #: EXPLAIN ANALYZE support: when True, every operator's emitted-row
+        #: count is recorded in ``actual_rows`` keyed by plan-node identity.
+        self.count_rows = count_rows
+        self.actual_rows: dict[int, int] = {}
+
+
+class Operator:
+    """Base class: an operator is an iterable of output rows.
+
+    ``rows()`` returns a generator; iterating it *is* execution.  Operators
+    own their children and any temp files they spill; ``close()`` releases
+    resources (the driver calls it once iteration ends or is abandoned).
+    """
+
+    def __init__(self, node: PhysicalNode, ctx: ExecContext):
+        self.node = node
+        self.ctx = ctx
+
+    def rows(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release temp resources; default is a no-op."""
+
+
+class _CountingOperator(Operator):
+    """EXPLAIN ANALYZE wrapper: counts rows an operator emits."""
+
+    def __init__(self, inner: Operator, ctx: ExecContext):
+        super().__init__(inner.node, ctx)
+        self._inner = inner
+        ctx.actual_rows.setdefault(id(inner.node), 0)
+
+    def rows(self) -> Iterator[tuple]:
+        counters = self.ctx.actual_rows
+        key = id(self._inner.node)
+        for row in self._inner.rows():
+            counters[key] += 1
+            yield row
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+def build_operator(node: PhysicalNode, ctx: ExecContext) -> Operator:
+    """Instantiate the operator tree for a physical plan subtree."""
+    # Imports here avoid a circular dependency between operator modules
+    # and this factory.
+    from repro.executor.aggregate import FilterOp, HashAggregateOp
+    from repro.executor.filter_project import DistinctOp, LimitOp, ProjectOp
+    from repro.executor.hash_join import HashJoinOp
+    from repro.executor.merge_join import MergeJoinOp
+    from repro.executor.nl_join import NestLoopOp
+    from repro.executor.scans import IndexScanOp, SeqScanOp
+    from repro.executor.sort import SortOp
+
+    op = None
+    if isinstance(node, HashAggregateNode):
+        op = HashAggregateOp(node, ctx)
+    elif isinstance(node, DistinctNode):
+        op = DistinctOp(node, ctx)
+    elif isinstance(node, FilterNode):
+        op = FilterOp(node, ctx)
+    elif isinstance(node, SeqScanNode):
+        op = SeqScanOp(node, ctx)
+    elif isinstance(node, IndexScanNode):
+        op = IndexScanOp(node, ctx)
+    elif isinstance(node, HashJoinNode):
+        op = HashJoinOp(node, ctx)
+    elif isinstance(node, NestLoopNode):
+        op = NestLoopOp(node, ctx)
+    elif isinstance(node, MergeJoinNode):
+        op = MergeJoinOp(node, ctx)
+    elif isinstance(node, SortNode):
+        op = SortOp(node, ctx)
+    elif isinstance(node, ProjectNode):
+        op = ProjectOp(node, ctx)
+    if op is not None:
+        return _CountingOperator(op, ctx) if ctx.count_rows else op
+    if isinstance(node, LimitNode):
+        op = LimitOp(node, ctx)
+        return _CountingOperator(op, ctx) if ctx.count_rows else op
+    raise ExecutionError(f"no operator for plan node {type(node).__name__}")

@@ -1,0 +1,84 @@
+"""Query driver: runs a plan to completion on the virtual clock."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.executor.base import ExecContext, build_operator
+from repro.planner.optimizer import PlannedQuery
+
+
+@dataclass
+class QueryResult:
+    """Outcome of a completed query.
+
+    ``row_count`` is the number of rows the query *produced*; ``rows``
+    holds the retained subset (all of them unless ``keep_rows=False`` or
+    ``max_rows`` capped retention).
+    """
+
+    rows: list[tuple]
+    names: list[str]
+    #: Virtual seconds from first pull to completion.
+    elapsed: float
+    started_at: float
+    finished_at: float
+    row_count: int
+
+
+def execute(planned: PlannedQuery, ctx: ExecContext) -> Iterator[tuple]:
+    """Stream a plan's output rows (caller owns iteration pacing).
+
+    Uncorrelated IN-subqueries (hashed InitPlans) run first, on the same
+    simulated resources but without progress accounting — their time is
+    visible to the indicator only through the clock, matching PostgreSQL
+    InitPlans, which the paper's prototype also does not model.
+    """
+    for expr, subplan in planned.subplans:
+        sub_ctx = ExecContext(
+            ctx.clock, ctx.disk, ctx.buffer_pool, ctx.config, tracker=None
+        )
+        sub_op = build_operator(subplan.root, sub_ctx)
+        try:
+            expr.set_result(row[0] for row in sub_op.rows())
+        finally:
+            sub_op.close()
+
+    op = build_operator(planned.root, ctx)
+    try:
+        yield from op.rows()
+    finally:
+        op.close()
+        if ctx.tracker is not None:
+            ctx.tracker.finish_all()
+
+
+def run_query(
+    planned: PlannedQuery,
+    ctx: ExecContext,
+    keep_rows: bool = True,
+    max_rows: Optional[int] = None,
+) -> QueryResult:
+    """Run ``planned`` to completion, collecting results.
+
+    ``keep_rows=False`` discards output tuples (large experiments care
+    about timing, not materialized results).  ``max_rows`` caps retained
+    rows without stopping execution.
+    """
+    started = ctx.clock.now
+    rows: list[tuple] = []
+    produced = 0
+    for row in execute(planned, ctx):
+        produced += 1
+        if keep_rows and (max_rows is None or len(rows) < max_rows):
+            rows.append(row)
+    finished = ctx.clock.now
+    return QueryResult(
+        rows=rows,
+        names=planned.output_names,
+        elapsed=finished - started,
+        started_at=started,
+        finished_at=finished,
+        row_count=produced,
+    )

@@ -1,0 +1,231 @@
+"""External sort: blocking run generation, streaming merge.
+
+Matches the paper's segment model (Figure 3): run formation ends a segment
+(segments S3/S4 "sort the results into multiple sorted runs"), while the
+merge is performed by the *consuming* segment, which reads the runs as its
+inputs (segment S5 "computes a sort-merge join using RAB and RC").
+
+The tracker wiring mirrors that: rows absorbed into runs count as this
+sort's segment output; rows read back during the merge count as input of
+the consumer segment (``pi_merge_input_ref``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Optional
+
+from repro.executor.base import ExecContext, Operator, build_operator
+from repro.executor.rowops import row_width_fn
+from repro.planner.physical import SortNode
+from repro.sim.load import CPU
+from repro.storage.heap import HeapFile
+from repro.storage.schema import Column, Schema
+
+#: Charge sort-comparison CPU in slices of this many comparisons so the
+#: clock's tickers can fire during large sorts.
+_CPU_CHUNK = 50_000
+
+
+class _KeyPart:
+    """One sort-key component with NULLS LAST and optional descending order."""
+
+    __slots__ = ("is_null", "value", "descending")
+
+    def __init__(self, value, descending: bool):
+        self.is_null = value is None
+        self.value = value
+        self.descending = descending
+
+    def __lt__(self, other: "_KeyPart") -> bool:
+        if self.is_null != other.is_null:
+            return other.is_null  # non-null sorts before null
+        if self.is_null:
+            return False
+        if self.descending:
+            return other.value < self.value
+        return self.value < other.value
+
+    def __eq__(self, other) -> bool:
+        return self.is_null == other.is_null and self.value == other.value
+
+
+def make_sort_key(node: SortNode):
+    """Build a ``row -> sortable key`` function from the node's keys."""
+    layout = {c.coordinate: i for i, c in enumerate(node.columns)}
+    parts = [(layout[coord], asc) for coord, asc in node.keys]
+    if len(parts) == 1 and parts[0][1]:
+        slot = parts[0][0]
+        return lambda row: _KeyPart(row[slot], False)
+    return lambda row: tuple(
+        _KeyPart(row[slot], not asc) for slot, asc in parts
+    )
+
+
+class SortOp(Operator):
+    def __init__(self, node: SortNode, ctx: ExecContext):
+        super().__init__(node, ctx)
+        self._child = build_operator(node.child, ctx)
+        self._key = make_sort_key(node)
+        self._width = row_width_fn(node.columns)
+        self._runs: list[HeapFile] = []
+
+    # ------------------------------------------------------------------
+
+    def rows(self) -> Iterator[tuple]:
+        memory_run = self._form_runs()
+        if memory_run is not None:
+            yield from self._stream_memory_run(memory_run)
+        else:
+            yield from self._merge_spilled_runs()
+
+    def close(self) -> None:
+        self._child.close()
+        for run in self._runs:
+            run.drop()
+        self._runs.clear()
+
+    # ------------------------------------------------------------------
+    # run formation (blocking; ends this sort's segment)
+
+    def _form_runs(self) -> Optional[list[tuple]]:
+        """Drain the child into sorted runs.
+
+        Returns the single in-memory run when everything fit in work_mem,
+        otherwise None (runs were spilled to ``self._runs``).
+        """
+        ctx = self.ctx
+        cost = ctx.config.cost
+        tracker = ctx.tracker
+        segment = getattr(self.node, "pi_sort_segment", None)
+        width_fn = self._width
+
+        buffer: list[tuple] = []
+        buffer_bytes = 0.0
+        for row in self._child.rows():
+            ctx.clock.advance(cost.cpu_tuple, CPU)
+            width = width_fn(row)
+            if tracker is not None and segment is not None:
+                tracker.output_rows(segment, 1, width)
+            buffer.append(row)
+            buffer_bytes += width
+            if buffer_bytes > ctx.work_mem_bytes:
+                self._spill_run(buffer)
+                buffer = []
+                buffer_bytes = 0.0
+
+        memory_run: Optional[list[tuple]] = None
+        if self._runs:
+            if buffer:
+                self._spill_run(buffer)
+            self._collapse_runs(segment)
+        else:
+            self._sort_buffer(buffer)
+            memory_run = buffer
+        if tracker is not None and segment is not None:
+            tracker.segment_finished(segment)
+        return memory_run
+
+    def _sort_buffer(self, buffer: list[tuple]) -> None:
+        n = len(buffer)
+        if n <= 1:
+            return
+        comparisons = n * max(1.0, (n).bit_length() - 1)
+        cost = self.ctx.config.cost.cpu_compare
+        remaining = comparisons
+        while remaining > 0:
+            step = min(remaining, _CPU_CHUNK)
+            self.ctx.clock.advance(step * cost, CPU)
+            remaining -= step
+        buffer.sort(key=self._key)
+
+    def _spill_run(self, buffer: list[tuple]) -> None:
+        self._sort_buffer(buffer)
+        ctx = self.ctx
+        schema = Schema(
+            Column(f"s{i}_{c.name.replace('.', '_')}", c.type)
+            for i, c in enumerate(self.node.columns)
+        )
+        run = HeapFile(
+            f"sortrun_{id(self)}_{len(self._runs)}",
+            schema,
+            ctx.disk,
+            ctx.config.page_size,
+            temp=True,
+        )
+        run.extend(buffer)
+        run.flush()
+        self._runs.append(run)
+
+    def _collapse_runs(self, segment: Optional[int]) -> None:
+        """Cascade-merge runs until they fit the merge fanout.
+
+        Each extra pass re-reads and re-writes every byte; those bytes are
+        the paper's multi-stage costs, reported via ``extra_pass``.
+        """
+        ctx = self.ctx
+        fanout = max(2, ctx.config.work_mem_pages)
+        while len(self._runs) > fanout:
+            group = self._runs[:fanout]
+            merged_rows = list(
+                heapq.merge(*(run.iter_rows() for run in group), key=self._key)
+            )
+            nbytes = sum(run.total_bytes for run in group)
+            npages = sum(run.handle.num_pages for run in group)
+            cost = ctx.config.cost
+            ctx.clock.advance(npages * (cost.seq_page_read + cost.page_write), "io")
+            if ctx.tracker is not None and segment is not None:
+                ctx.tracker.extra_pass(segment, 2.0 * nbytes)
+            schema = group[0].schema
+            merged = HeapFile(
+                f"sortrun_{id(self)}_m{len(self._runs)}",
+                schema,
+                ctx.disk,
+                ctx.config.page_size,
+                temp=True,
+            )
+            previous = merged.charge_io
+            merged.charge_io = False  # I/O charged in bulk above
+            merged.extend(merged_rows)
+            merged.flush()
+            merged.charge_io = previous
+            for run in group:
+                run.drop()
+            self._runs = self._runs[fanout:] + [merged]
+
+    # ------------------------------------------------------------------
+    # merge phase (streams into the consuming segment)
+
+    def _stream_memory_run(self, run: list[tuple]) -> Iterator[tuple]:
+        ctx = self.ctx
+        tracker = ctx.tracker
+        ref = getattr(self.node, "pi_merge_input_ref", None)
+        cpu_tuple = ctx.config.cost.cpu_tuple
+        width_fn = self._width
+        for row in run:
+            ctx.clock.advance(cpu_tuple, CPU)
+            if tracker is not None and ref is not None:
+                tracker.input_rows(ref[0], ref[1], 1, width_fn(row))
+            yield row
+
+    def _merge_spilled_runs(self) -> Iterator[tuple]:
+        ctx = self.ctx
+        tracker = ctx.tracker
+        ref = getattr(self.node, "pi_merge_input_ref", None)
+        cost = ctx.config.cost
+        key = self._key
+
+        def read_run(run: HeapFile) -> Iterator[tuple]:
+            for page_no in range(run.handle.num_pages):
+                page = ctx.disk.read_page(run.handle, page_no, sequential=True)
+                n = len(page.rows)
+                if n:
+                    ctx.clock.advance(n * cost.cpu_tuple, CPU)
+                if tracker is not None and ref is not None:
+                    tracker.input_rows(ref[0], ref[1], n, page.bytes_used)
+                yield from page.rows
+
+        compare = cost.cpu_compare * max(1, len(self._runs)).bit_length()
+        for row in heapq.merge(*(read_run(r) for r in self._runs), key=key):
+            ctx.clock.advance(compare, CPU)
+            yield row

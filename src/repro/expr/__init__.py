@@ -1,0 +1,45 @@
+"""Typed bound expressions and their closure compiler.
+
+The binder turns AST expressions into *bound* expressions whose column
+references carry (table index, column index) coordinates.  At plan time the
+compiler lowers a bound expression against a concrete slot layout into a
+plain Python closure ``f(row) -> value`` — the fast path the executor calls
+per tuple.
+"""
+
+from repro.expr.bound import (
+    ArithmeticExpr,
+    BoundExpr,
+    ColumnExpr,
+    ComparisonExpr,
+    FunctionExpr,
+    LiteralExpr,
+    LogicalExpr,
+    NegativeExpr,
+    NotExpr,
+    as_conjuncts,
+    equijoin_sides,
+    referenced_tables,
+)
+from repro.expr.compiler import compile_expr, compile_predicate
+from repro.expr.functions import FUNCTIONS, SqlFunction, lookup_function
+
+__all__ = [
+    "BoundExpr",
+    "ColumnExpr",
+    "LiteralExpr",
+    "FunctionExpr",
+    "ComparisonExpr",
+    "LogicalExpr",
+    "ArithmeticExpr",
+    "NotExpr",
+    "NegativeExpr",
+    "as_conjuncts",
+    "referenced_tables",
+    "equijoin_sides",
+    "compile_expr",
+    "compile_predicate",
+    "SqlFunction",
+    "FUNCTIONS",
+    "lookup_function",
+]

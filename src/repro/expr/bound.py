@@ -1,0 +1,355 @@
+"""Bound (name-resolved, typed) expression trees."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import BindError
+from repro.expr.functions import SqlFunction
+from repro.storage.types import BOOLEAN, DataType, FLOAT, INTEGER
+
+COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+#: Flip a comparison when its operands are swapped (x < y  <=>  y > x).
+MIRRORED_OP = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+class BoundExpr:
+    """Base class: every node carries its result :class:`DataType`."""
+
+    type: DataType
+
+    def columns(self) -> Iterator["ColumnExpr"]:
+        """Yield every column reference in this subtree."""
+        raise NotImplementedError
+
+    def display(self) -> str:
+        """Human-readable rendering (used by EXPLAIN output)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}: {self.display()}>"
+
+
+class ColumnExpr(BoundExpr):
+    """A reference to column ``column_index`` of base table ``table_index``.
+
+    ``table_index`` indexes the query's FROM list, so two uses of the same
+    base table under different aliases (Q3's ``orders o1, orders o2``) are
+    distinct coordinates.
+    """
+
+    __slots__ = ("table_index", "column_index", "name", "type")
+
+    def __init__(self, table_index: int, column_index: int, name: str, type_: DataType):
+        self.table_index = table_index
+        self.column_index = column_index
+        self.name = name
+        self.type = type_
+
+    @property
+    def coordinate(self) -> tuple[int, int]:
+        return (self.table_index, self.column_index)
+
+    def columns(self) -> Iterator["ColumnExpr"]:
+        yield self
+
+    def display(self) -> str:
+        return self.name
+
+
+class LiteralExpr(BoundExpr):
+    __slots__ = ("value", "type")
+
+    def __init__(self, value, type_: DataType):
+        self.value = value
+        self.type = type_
+
+    def columns(self) -> Iterator[ColumnExpr]:
+        return iter(())
+
+    def display(self) -> str:
+        if isinstance(self.value, str):
+            return "'" + self.value.replace("'", "''") + "'"
+        return "null" if self.value is None else str(self.value)
+
+
+class FunctionExpr(BoundExpr):
+    __slots__ = ("func", "args", "type")
+
+    def __init__(self, func: SqlFunction, args: list[BoundExpr]):
+        self.func = func
+        self.args = list(args)
+        self.type = func.return_type([a.type for a in args])
+
+    def columns(self) -> Iterator[ColumnExpr]:
+        for arg in self.args:
+            yield from arg.columns()
+
+    def display(self) -> str:
+        return f"{self.func.name}({', '.join(a.display() for a in self.args)})"
+
+
+class ComparisonExpr(BoundExpr):
+    __slots__ = ("op", "left", "right", "type")
+
+    def __init__(self, op: str, left: BoundExpr, right: BoundExpr):
+        if op not in COMPARISON_OPS:
+            raise BindError(f"unsupported comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+        self.type = BOOLEAN
+
+    def columns(self) -> Iterator[ColumnExpr]:
+        yield from self.left.columns()
+        yield from self.right.columns()
+
+    def display(self) -> str:
+        return f"({self.left.display()} {self.op} {self.right.display()})"
+
+
+class LogicalExpr(BoundExpr):
+    """``and``/``or`` over boolean children."""
+
+    __slots__ = ("op", "args", "type")
+
+    def __init__(self, op: str, args: list[BoundExpr]):
+        if op not in ("and", "or"):
+            raise BindError(f"unsupported logical operator {op!r}")
+        self.op = op
+        self.args = list(args)
+        self.type = BOOLEAN
+
+    def columns(self) -> Iterator[ColumnExpr]:
+        for arg in self.args:
+            yield from arg.columns()
+
+    def display(self) -> str:
+        joiner = f" {self.op} "
+        return "(" + joiner.join(a.display() for a in self.args) + ")"
+
+
+class ArithmeticExpr(BoundExpr):
+    __slots__ = ("op", "left", "right", "type")
+
+    def __init__(self, op: str, left: BoundExpr, right: BoundExpr):
+        if op not in ("+", "-", "*", "/"):
+            raise BindError(f"unsupported arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+        if op == "/" or FLOAT in (left.type, right.type):
+            self.type = FLOAT
+        else:
+            self.type = left.type
+
+    def columns(self) -> Iterator[ColumnExpr]:
+        yield from self.left.columns()
+        yield from self.right.columns()
+
+    def display(self) -> str:
+        return f"({self.left.display()} {self.op} {self.right.display()})"
+
+
+class InSubqueryExpr(BoundExpr):
+    """``operand [NOT] IN (subquery)`` over an *uncorrelated* subquery.
+
+    The binder stores the independently-bound inner query; the optimizer
+    plans it (attaching the plan here) and the executor pre-runs it at
+    query start, depositing the value set via :meth:`set_result` — a
+    PostgreSQL-style hashed InitPlan.  SQL three-valued semantics apply:
+    NULL operand, or a miss against a set containing NULL, yields NULL.
+    """
+
+    __slots__ = ("operand", "subquery", "negated", "type", "plan", "_values", "_has_null")
+
+    def __init__(self, operand: BoundExpr, subquery, negated: bool = False):
+        self.operand = operand
+        self.subquery = subquery  # a BoundQuery
+        self.negated = negated
+        self.type = BOOLEAN
+        #: Filled by the optimizer: the inner PlannedQuery.
+        self.plan = None
+        self._values: Optional[frozenset] = None
+        self._has_null = False
+
+    def columns(self) -> Iterator["ColumnExpr"]:
+        # Only the outer operand's columns: the subquery's coordinates
+        # belong to a different query and must not leak into this one.
+        yield from self.operand.columns()
+
+    def display(self) -> str:
+        op = "not in" if self.negated else "in"
+        return f"({self.operand.display()} {op} (subquery))"
+
+    # -- runtime result (set by the driver before the outer plan runs) --
+
+    def set_result(self, values: Iterator) -> None:
+        concrete = list(values)
+        self._has_null = any(v is None for v in concrete)
+        self._values = frozenset(v for v in concrete if v is not None)
+
+    def membership(self, value):
+        """Three-valued IN test (None = unknown)."""
+        if self._values is None:
+            raise BindError("IN-subquery evaluated before its subplan ran")
+        if value is None:
+            return None
+        if value in self._values:
+            result = True
+        elif self._has_null:
+            result = None
+        else:
+            result = False
+        if result is None:
+            return None
+        return (not result) if self.negated else result
+
+
+class LikeExpr(BoundExpr):
+    """``operand [NOT] LIKE pattern`` (% = any run, _ = any character)."""
+
+    __slots__ = ("operand", "pattern", "negated", "type")
+
+    def __init__(self, operand: BoundExpr, pattern: str, negated: bool = False):
+        self.operand = operand
+        self.pattern = pattern
+        self.negated = negated
+        self.type = BOOLEAN
+
+    def columns(self) -> Iterator["ColumnExpr"]:
+        yield from self.operand.columns()
+
+    def display(self) -> str:
+        op = "not like" if self.negated else "like"
+        quoted = self.pattern.replace("'", "''")
+        return f"({self.operand.display()} {op} '{quoted}')"
+
+    def literal_prefix(self) -> str:
+        """The leading wildcard-free part of the pattern (selectivity aid)."""
+        prefix = []
+        for ch in self.pattern:
+            if ch in ("%", "_"):
+                break
+            prefix.append(ch)
+        return "".join(prefix)
+
+
+#: Supported aggregate functions and whether they require an argument.
+AGGREGATE_KINDS = ("count", "sum", "avg", "min", "max")
+
+
+class AggregateExpr(BoundExpr):
+    """An aggregate call: ``count(*)``, ``sum(x)``, ``avg(x)``, ...
+
+    ``arg`` is None only for ``count(*)``.  Aggregates appear in SELECT
+    lists and HAVING clauses of grouped queries; the planner compiles them
+    into a hash-aggregate operator and rewires references positionally.
+    """
+
+    __slots__ = ("kind", "arg", "type")
+
+    def __init__(self, kind: str, arg: Optional[BoundExpr]):
+        if kind not in AGGREGATE_KINDS:
+            raise BindError(f"unknown aggregate function {kind!r}")
+        self.kind = kind
+        self.arg = arg
+        if kind == "count":
+            self.type = INTEGER
+        elif kind == "avg":
+            self.type = FLOAT
+        else:
+            self.type = arg.type if arg is not None else INTEGER
+
+    def columns(self) -> Iterator["ColumnExpr"]:
+        if self.arg is not None:
+            yield from self.arg.columns()
+
+    def display(self) -> str:
+        inner = "*" if self.arg is None else self.arg.display()
+        return f"{self.kind}({inner})"
+
+
+def contains_aggregate(expr: BoundExpr) -> bool:
+    """Whether any :class:`AggregateExpr` appears in the subtree."""
+    if isinstance(expr, AggregateExpr):
+        return True
+    for attr in ("args", "left", "right", "operand", "arg"):
+        child = getattr(expr, attr, None)
+        if child is None:
+            continue
+        if isinstance(child, BoundExpr):
+            if contains_aggregate(child):
+                return True
+        elif isinstance(child, list):
+            if any(contains_aggregate(c) for c in child):
+                return True
+    return False
+
+
+class NotExpr(BoundExpr):
+    __slots__ = ("operand", "type")
+
+    def __init__(self, operand: BoundExpr):
+        self.operand = operand
+        self.type = BOOLEAN
+
+    def columns(self) -> Iterator[ColumnExpr]:
+        yield from self.operand.columns()
+
+    def display(self) -> str:
+        return f"(not {self.operand.display()})"
+
+
+class NegativeExpr(BoundExpr):
+    __slots__ = ("operand", "type")
+
+    def __init__(self, operand: BoundExpr):
+        self.operand = operand
+        self.type = operand.type
+
+    def columns(self) -> Iterator[ColumnExpr]:
+        yield from self.operand.columns()
+
+    def display(self) -> str:
+        return f"(-{self.operand.display()})"
+
+
+# ----------------------------------------------------------------------
+# structural helpers used by the planner
+
+
+def as_conjuncts(expr: Optional[BoundExpr]) -> list[BoundExpr]:
+    """Flatten a WHERE expression into its top-level AND conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, LogicalExpr) and expr.op == "and":
+        out: list[BoundExpr] = []
+        for arg in expr.args:
+            out.extend(as_conjuncts(arg))
+        return out
+    return [expr]
+
+
+def referenced_tables(expr: BoundExpr) -> frozenset[int]:
+    """Set of FROM-list table indexes referenced by ``expr``."""
+    return frozenset(c.table_index for c in expr.columns())
+
+
+def equijoin_sides(expr: BoundExpr) -> Optional[tuple[ColumnExpr, ColumnExpr]]:
+    """If ``expr`` is ``colA = colB`` across two different tables, return
+    the two column references; otherwise None.
+
+    Equi-join detection drives hash-join and sort-merge-join eligibility;
+    anything else (like Q5's ``c1.custkey <> c2.custkey``) can only be
+    evaluated by nested loops over a cross product.
+    """
+    if not isinstance(expr, ComparisonExpr) or expr.op != "=":
+        return None
+    left, right = expr.left, expr.right
+    if not isinstance(left, ColumnExpr) or not isinstance(right, ColumnExpr):
+        return None
+    if left.table_index == right.table_index:
+        return None
+    return (left, right)

@@ -1,0 +1,42 @@
+"""Cost-based optimizer.
+
+The optimizer produces an *annotated* physical plan: every node carries the
+cardinality, width and byte estimates the progress indicator starts from
+(the "annotated query plan technique" the paper borrows from Kabra &
+DeWitt).  Its cost-estimation entry points are deliberately reusable at run
+time — Section 4.5 refines a running query's estimates by re-invoking the
+optimizer's cost module with improved input cardinalities, and
+:mod:`repro.core.refine` does exactly that through the factors recorded on
+each plan node.
+"""
+
+from repro.planner.explain import explain
+from repro.planner.optimizer import Optimizer, PlannedQuery
+from repro.planner.physical import (
+    HashJoinNode,
+    IndexScanNode,
+    LimitNode,
+    MergeJoinNode,
+    NestLoopNode,
+    PhysicalNode,
+    PlanColumn,
+    ProjectNode,
+    SeqScanNode,
+    SortNode,
+)
+
+__all__ = [
+    "Optimizer",
+    "PlannedQuery",
+    "explain",
+    "PhysicalNode",
+    "PlanColumn",
+    "SeqScanNode",
+    "IndexScanNode",
+    "HashJoinNode",
+    "NestLoopNode",
+    "MergeJoinNode",
+    "SortNode",
+    "ProjectNode",
+    "LimitNode",
+]

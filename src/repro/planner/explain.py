@@ -1,0 +1,48 @@
+"""EXPLAIN-style plan rendering."""
+
+from __future__ import annotations
+
+from repro.planner.physical import (
+    HashJoinNode,
+    IndexScanNode,
+    PhysicalNode,
+    SeqScanNode,
+)
+
+
+def explain(node: PhysicalNode, indent: int = 0, actual_rows=None) -> str:
+    """Render an annotated plan tree as indented text.
+
+    Each line shows the operator, its cardinality/width estimates, and —
+    after segmentation — the segment it belongs to, mirroring the way the
+    paper reasons about plans (Figures 3 and 8).  Pass ``actual_rows``
+    (an ``id(node) -> count`` mapping from an EXPLAIN ANALYZE run) to show
+    actual emitted rows next to the estimates.
+    """
+    lines: list[str] = []
+    _render(node, indent, lines, actual_rows or {})
+    return "\n".join(lines)
+
+
+def _render(
+    node: PhysicalNode, depth: int, lines: list[str], actual_rows: dict
+) -> None:
+    pad = "  " * depth
+    seg = f" [segment {node.segment_id}]" if node.segment_id is not None else ""
+    detail = ""
+    if isinstance(node, (SeqScanNode, IndexScanNode)) and node.filters:
+        detail = " filter: " + " and ".join(f.display() for f in node.filters)
+    elif isinstance(node, HashJoinNode):
+        keys = ", ".join(
+            f"{b}={p}" for b, p in zip(node.build_keys, node.probe_keys)
+        )
+        detail = f" on {keys}"
+    actual = ""
+    if id(node) in actual_rows:
+        actual = f" (actual rows={actual_rows[id(node)]})"
+    lines.append(
+        f"{pad}{node.label()}  (rows={node.est_rows:.0f} width={node.est_width:.0f})"
+        f"{actual}{detail}{seg}"
+    )
+    for child in node.children:
+        _render(child, depth + 1, lines, actual_rows)

@@ -1,0 +1,22 @@
+"""Virtual-time simulation substrate.
+
+The engine never consults the real clock: every action that would take time
+on a real system (page I/O, per-tuple CPU work) advances a
+:class:`~repro.sim.clock.VirtualClock` by an amount given by the cost model,
+stretched by the active :class:`~repro.sim.load.LoadProfile`.  This is the
+substitution for the paper's physical testbed: interference experiments
+(Figures 13-16 and 20) become deterministic load windows instead of an
+actual concurrent file copy or CPU hog.
+"""
+
+from repro.sim.clock import Ticker, VirtualClock
+from repro.sim.load import CPU, IO, InterferenceWindow, LoadProfile
+
+__all__ = [
+    "VirtualClock",
+    "Ticker",
+    "LoadProfile",
+    "InterferenceWindow",
+    "IO",
+    "CPU",
+]

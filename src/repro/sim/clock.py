@@ -1,0 +1,171 @@
+"""The virtual clock that drives every experiment.
+
+Operators charge *costs* (simulated seconds of work in a resource class);
+the clock converts cost into elapsed virtual wall time by integrating the
+active :class:`~repro.sim.load.LoadProfile` piecewise.  Registered
+:class:`Ticker` callbacks fire at exact periodic instants, even when those
+instants fall inside a single large ``advance`` — that is how the progress
+indicator samples its state every 10 simulated seconds regardless of what
+the executor happens to be doing.
+
+``advance`` is the hottest function in the engine (one call per page I/O
+and per tuple batch), so it keeps a precomputed fast path: when the step
+stays strictly before the next "event" (ticker firing or load-profile
+boundary) it is a couple of float operations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.load import CPU, IO, LoadProfile
+
+_EPSILON = 1e-12
+
+
+class Ticker:
+    """A periodic callback registered on a :class:`VirtualClock`."""
+
+    __slots__ = ("interval", "callback", "next_fire", "active")
+
+    def __init__(self, interval: float, callback: Callable[[float], None], first: float):
+        if interval <= 0:
+            raise ValueError("ticker interval must be positive")
+        self.interval = interval
+        self.callback = callback
+        self.next_fire = first
+        self.active = True
+
+    def cancel(self) -> None:
+        """Stop this ticker from firing again."""
+        self.active = False
+
+
+class VirtualClock:
+    """Simulated wall clock with load-aware cost accounting.
+
+    Parameters
+    ----------
+    load:
+        The system-load profile.  ``None`` means an unloaded system.
+    """
+
+    def __init__(self, load: Optional[LoadProfile] = None):
+        self.now = 0.0
+        self._load = load or LoadProfile.unloaded()
+        self._tickers: list[Ticker] = []
+        #: Cumulative raw cost charged per resource class (load-independent).
+        self.cost_charged = {IO: 0.0, CPU: 0.0}
+        #: Optional arbiter consulted before every charge (concurrent
+        #: workloads install one; see repro.core.concurrent).
+        self.gate = None
+        self._refresh_factors()
+
+    # ------------------------------------------------------------------
+    # configuration
+
+    @property
+    def load(self) -> LoadProfile:
+        return self._load
+
+    def set_load(self, load: LoadProfile) -> None:
+        """Replace the load profile (takes effect immediately)."""
+        self._load = load
+        self._refresh_factors()
+
+    def add_ticker(
+        self,
+        interval: float,
+        callback: Callable[[float], None],
+        first: Optional[float] = None,
+    ) -> Ticker:
+        """Register ``callback(now)`` to fire every ``interval`` seconds.
+
+        ``first`` sets the first firing instant; it defaults to
+        ``now + interval``.
+        """
+        ticker = Ticker(interval, callback, self.now + interval if first is None else first)
+        self._tickers.append(ticker)
+        self._refresh_factors()
+        return ticker
+
+    # ------------------------------------------------------------------
+    # advancing time
+
+    def advance(self, cost: float, resource: str = CPU) -> None:
+        """Charge ``cost`` simulated seconds of ``resource`` work.
+
+        Elapsed virtual wall time is ``cost`` scaled by the load factor(s)
+        active along the way; ticker callbacks fire at their exact instants.
+        """
+        if cost < 0:
+            raise ValueError("cannot charge negative cost")
+        if cost == 0:
+            return
+        if self.gate is not None:
+            self.gate.before_charge(cost)
+        self.cost_charged[resource] += cost
+        # Fast path: the whole step fits before the next event.
+        factor = self._factors[resource]
+        end = self.now + cost * factor
+        if end < self._next_event:
+            self.now = end
+            return
+        self._advance_slow(cost, resource)
+
+    def advance_wall(self, seconds: float) -> None:
+        """Advance pure wall time (idle waiting); fires tickers on the way."""
+        if seconds < 0:
+            raise ValueError("cannot advance backwards")
+        target = self.now + seconds
+        while True:
+            event = self._next_event
+            if event >= target:
+                self.now = target
+                return
+            self.now = event
+            self._fire_due()
+            self._refresh_factors()
+
+    def _advance_slow(self, cost: float, resource: str) -> None:
+        remaining = cost
+        while remaining > _EPSILON:
+            factor = self._factors[resource]
+            event = self._next_event
+            wall_needed = remaining * factor
+            if self.now + wall_needed < event:
+                self.now += wall_needed
+                return
+            # Consume work up to the event boundary, then handle the event.
+            wall_step = event - self.now
+            remaining -= wall_step / factor
+            self.now = event
+            self._fire_due()
+            self._refresh_factors()
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _fire_due(self) -> None:
+        """Fire all active tickers whose next_fire time has arrived."""
+        for ticker in self._tickers:
+            while ticker.active and ticker.next_fire <= self.now + _EPSILON:
+                fire_at = ticker.next_fire
+                ticker.next_fire += ticker.interval
+                ticker.callback(fire_at)
+        self._tickers = [t for t in self._tickers if t.active]
+
+    def _refresh_factors(self) -> None:
+        """Recompute cached per-resource factors and the next event time."""
+        self._factors = {
+            IO: self._load.factor(self.now, IO),
+            CPU: self._load.factor(self.now, CPU),
+        }
+        next_event = self._load.next_change_after(self.now)
+        for ticker in self._tickers:
+            if ticker.active and ticker.next_fire < next_event:
+                next_event = ticker.next_fire
+        self._next_event = next_event
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self.now:.3f})"

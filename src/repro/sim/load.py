@@ -1,0 +1,122 @@
+"""Run-time system-load profiles.
+
+The paper evaluates its indicator under three regimes (Section 5.1):
+
+* an unloaded system,
+* an *I/O interference* test where a large concurrent file copy runs during
+  part of the query, and
+* a *CPU interference* test where a CPU-intensive program runs.
+
+We model each concurrent job as an :class:`InterferenceWindow` that scales
+the virtual time charged for one resource class by a slowdown factor while
+the window is active.  The progress indicator never sees these windows
+directly; it only observes their effect on the query-execution speed, which
+is exactly the information a real indicator would get.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+#: Resource class for disk work (page reads/writes).
+IO = "io"
+#: Resource class for processor work (tuple handling, hashing, comparing).
+CPU = "cpu"
+
+_RESOURCES = (IO, CPU)
+
+
+@dataclass(frozen=True)
+class InterferenceWindow:
+    """A concurrent job active during ``[start, end)`` virtual seconds.
+
+    ``io_factor``/``cpu_factor`` multiply the virtual time charged for the
+    corresponding resource while the window is active.  A large file copy is
+    expressed as ``io_factor > 1``; a CPU hog as ``cpu_factor > 1``.  An
+    ``end`` of ``math.inf`` means "runs until the query finishes", as in the
+    paper's CPU interference test for Q5.
+    """
+
+    start: float
+    end: float
+    io_factor: float = 1.0
+    cpu_factor: float = 1.0
+
+    def __post_init__(self):
+        if self.end <= self.start:
+            raise ValueError("interference window must have end > start")
+        if self.io_factor <= 0 or self.cpu_factor <= 0:
+            raise ValueError("slowdown factors must be positive")
+
+    def factor(self, resource: str) -> float:
+        """Return this window's slowdown factor for ``resource``."""
+        if resource == IO:
+            return self.io_factor
+        if resource == CPU:
+            return self.cpu_factor
+        raise ValueError(f"unknown resource class: {resource!r}")
+
+    def active_at(self, t: float) -> bool:
+        """Return whether the window covers virtual instant ``t``."""
+        return self.start <= t < self.end
+
+
+class LoadProfile:
+    """A piecewise-constant system-load profile.
+
+    The profile maps a virtual instant and a resource class to a slowdown
+    factor (the product of all active windows' factors, so overlapping jobs
+    compound).  ``next_change_after(t)`` exposes the next instant at which
+    any factor changes, which lets the clock advance in large steps between
+    boundaries.
+    """
+
+    def __init__(self, windows: Iterable[InterferenceWindow] = ()):
+        self._windows = tuple(windows)
+        boundaries = set()
+        for w in self._windows:
+            boundaries.add(w.start)
+            if math.isfinite(w.end):
+                boundaries.add(w.end)
+        self._boundaries = sorted(boundaries)
+
+    @classmethod
+    def unloaded(cls) -> "LoadProfile":
+        """An idle system: factor 1.0 everywhere."""
+        return cls(())
+
+    @classmethod
+    def file_copy(cls, start: float, end: float, slowdown: float = 3.0) -> "LoadProfile":
+        """The paper's I/O interference test: a file copy in [start, end)."""
+        return cls([InterferenceWindow(start, end, io_factor=slowdown)])
+
+    @classmethod
+    def cpu_hog(cls, start: float, end: float = math.inf, slowdown: float = 2.5) -> "LoadProfile":
+        """The paper's CPU interference test: a compute job from ``start``."""
+        return cls([InterferenceWindow(start, end, cpu_factor=slowdown)])
+
+    @property
+    def windows(self) -> tuple[InterferenceWindow, ...]:
+        return self._windows
+
+    def factor(self, t: float, resource: str) -> float:
+        """Slowdown factor for ``resource`` at virtual instant ``t``."""
+        if resource not in _RESOURCES:
+            raise ValueError(f"unknown resource class: {resource!r}")
+        f = 1.0
+        for w in self._windows:
+            if w.active_at(t):
+                f *= w.factor(resource)
+        return f
+
+    def next_change_after(self, t: float) -> float:
+        """First instant strictly after ``t`` where any factor changes."""
+        for b in self._boundaries:
+            if b > t:
+                return b
+        return math.inf
+
+    def __repr__(self) -> str:
+        return f"LoadProfile({list(self._windows)!r})"

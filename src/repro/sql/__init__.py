@@ -1,0 +1,42 @@
+"""SQL front end for select-project-join queries.
+
+Scope matches the paper's Section 4: SELECT lists (columns, expressions,
+``*``), multi-table FROM with aliases, conjunctive WHERE clauses including
+function-call predicates like ``absolute(l.partkey) > 0``, plus ORDER BY
+and LIMIT.  Parsing produces an AST; the binder resolves names against the
+catalog and yields typed bound expressions ready for planning.
+"""
+
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    FunctionCall,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.binder import Binder, BoundQuery
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse_select
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "parse_select",
+    "Binder",
+    "BoundQuery",
+    "SelectStatement",
+    "SelectItem",
+    "Star",
+    "TableRef",
+    "ColumnRef",
+    "Literal",
+    "FunctionCall",
+    "BinaryOp",
+    "UnaryOp",
+    "OrderItem",
+]

@@ -1,0 +1,145 @@
+"""Abstract syntax tree for the SQL subset (parser output, binder input)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+class Expression:
+    """Base class for unbound scalar expressions."""
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """``name`` or ``qualifier.name``."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A number, string, boolean, or NULL literal."""
+
+    value: object
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return "'" + self.value.replace("'", "''") + "'"
+        return "null" if self.value is None else str(self.value)
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """``name(arg, ...)`` — e.g. the paper's ``absolute(l.partkey)``."""
+
+    name: str
+    args: tuple[Expression, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Binary operator: comparisons, AND/OR, arithmetic."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """Unary operator: ``-`` or ``not``."""
+
+    op: str
+    operand: Expression
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass(frozen=True)
+class InSubquery(Expression):
+    """``expr [NOT] IN (SELECT ...)`` — uncorrelated subqueries only."""
+
+    operand: Expression
+    subquery: "SelectStatement"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        op = "not in" if self.negated else "in"
+        return f"({self.operand} {op} (subquery))"
+
+
+@dataclass(frozen=True)
+class LikePattern(Expression):
+    """``expr [NOT] LIKE 'pattern'`` with SQL % and _ wildcards."""
+
+    operand: Expression
+    pattern: str
+    negated: bool = False
+
+    def __str__(self) -> str:
+        op = "not like" if self.negated else "like"
+        return f"({self.operand} {op} '{self.pattern}')"
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` or ``alias.*`` in a select list."""
+
+    qualifier: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.*" if self.qualifier else "*"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One select-list entry with an optional output alias."""
+
+    expr: Union[Expression, Star]
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-list table with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expr: Expression
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A full SELECT statement."""
+
+    select_items: tuple[SelectItem, ...]
+    from_tables: tuple[TableRef, ...]
+    distinct: bool = False
+    where: Optional[Expression] = None
+    group_by: tuple[Expression, ...] = field(default=())
+    having: Optional[Expression] = None
+    order_by: tuple[OrderItem, ...] = field(default=())
+    limit: Optional[int] = None

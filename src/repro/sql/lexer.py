@@ -1,0 +1,128 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import LexerError
+
+KEYWORDS = frozenset(
+    {
+        "select",
+        "distinct",
+        "from",
+        "where",
+        "and",
+        "or",
+        "not",
+        "as",
+        "between",
+        "in",
+        "like",
+        "order",
+        "group",
+        "having",
+        "by",
+        "asc",
+        "desc",
+        "limit",
+        "null",
+        "true",
+        "false",
+    }
+)
+
+#: Multi-character operators must be matched before their prefixes.
+_TWO_CHAR_OPS = ("<>", "<=", ">=", "!=")
+_ONE_CHAR_OPS = "=<>+-*/(),."
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of: "keyword", "ident", "number", "string", "op", "eof".
+    Keyword and identifier values are lower-cased (SQL is case-insensitive).
+    """
+
+    kind: str
+    value: object
+    position: int
+
+    def matches(self, kind: str, value: object = None) -> bool:
+        """Whether this token has the given kind (and value, when provided)."""
+        return self.kind == kind and (value is None or self.value == value)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`LexerError` on bad input."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i].lower()
+            kind = "keyword" if word in KEYWORDS else "ident"
+            yield Token(kind, word, start)
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+                if text[i] == ".":
+                    # A trailing dot followed by a non-digit is a qualifier dot.
+                    if i + 1 >= n or not text[i + 1].isdigit():
+                        break
+                    seen_dot = True
+                i += 1
+            literal = text[start:i]
+            value = float(literal) if "." in literal else int(literal)
+            yield Token("number", value, start)
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            parts = []
+            while True:
+                if i >= n:
+                    raise LexerError("unterminated string literal", start)
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":  # escaped quote
+                        parts.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                parts.append(text[i])
+                i += 1
+            yield Token("string", "".join(parts), start)
+            continue
+        matched_two = text[i : i + 2]
+        if matched_two in _TWO_CHAR_OPS:
+            yield Token("op", "<>" if matched_two == "!=" else matched_two, i)
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            yield Token("op", ch, i)
+            i += 1
+            continue
+        if ch == ";":
+            i += 1
+            continue
+        raise LexerError(f"unexpected character {ch!r}", i)
+    yield Token("eof", None, n)

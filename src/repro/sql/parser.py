@@ -1,0 +1,305 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (informal)::
+
+    select    := SELECT [DISTINCT] item (',' item)* FROM table (',' table)*
+                 [WHERE expr] [GROUP BY expr (',' expr)*] [HAVING expr]
+                 [ORDER BY order (',' order)*] [LIMIT number]
+    item      := '*' | ident '.' '*' | expr [AS ident | ident]
+    table     := ident [AS ident | ident]
+    expr      := or_expr
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := NOT not_expr | cmp_expr
+    cmp_expr  := add_expr [cmp_op add_expr | [NOT] BETWEEN add AND add
+                 | [NOT] IN '(' (exprs | select) ')' | [NOT] LIKE string]
+    add_expr  := mul_expr (('+'|'-') mul_expr)*
+    mul_expr  := unary (('*'|'/') unary)*
+    unary     := '-' unary | primary
+    primary   := literal | ident '(' args ')' | ident ['.' ident] | '(' expr ')'
+
+BETWEEN and IN-lists are desugared to range/equality conjunctions at parse
+time; IN-subqueries and LIKE become dedicated AST nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InSubquery,
+    LikePattern,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.lexer import Token, tokenize
+
+_COMPARISONS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse one SELECT statement from ``sql``."""
+    return _Parser(tokenize(sql)).parse_statement()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _accept(self, kind: str, value: object = None) -> Optional[Token]:
+        if self._current.matches(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: object = None) -> Token:
+        token = self._accept(kind, value)
+        if token is None:
+            want = f"{kind} {value!r}" if value is not None else kind
+            got = f"{self._current.kind} {self._current.value!r}"
+            raise ParseError(f"expected {want}, found {got} at offset {self._current.position}")
+        return token
+
+    # -- statement ------------------------------------------------------
+
+    def parse_statement(self) -> SelectStatement:
+        """Parse a complete statement and require end-of-input."""
+        statement = self._parse_select_body()
+        self._expect("eof")
+        return statement
+
+    def _parse_select_body(self) -> SelectStatement:
+        self._expect("keyword", "select")
+        distinct = self._accept("keyword", "distinct") is not None
+        items = [self._parse_select_item()]
+        while self._accept("op", ","):
+            items.append(self._parse_select_item())
+
+        self._expect("keyword", "from")
+        tables = [self._parse_table_ref()]
+        while self._accept("op", ","):
+            tables.append(self._parse_table_ref())
+
+        where = None
+        if self._accept("keyword", "where"):
+            where = self._parse_expr()
+
+        group_by: list[Expression] = []
+        if self._accept("keyword", "group"):
+            self._expect("keyword", "by")
+            group_by.append(self._parse_expr())
+            while self._accept("op", ","):
+                group_by.append(self._parse_expr())
+
+        having = None
+        if self._accept("keyword", "having"):
+            having = self._parse_expr()
+
+        order_by: list[OrderItem] = []
+        if self._accept("keyword", "order"):
+            self._expect("keyword", "by")
+            order_by.append(self._parse_order_item())
+            while self._accept("op", ","):
+                order_by.append(self._parse_order_item())
+
+        limit = None
+        if self._accept("keyword", "limit"):
+            token = self._expect("number")
+            if not isinstance(token.value, int) or token.value < 0:
+                raise ParseError("LIMIT requires a non-negative integer")
+            limit = token.value
+
+        return SelectStatement(
+            select_items=tuple(items),
+            from_tables=tuple(tables),
+            distinct=distinct,
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+        )
+
+    def _parse_select_item(self) -> SelectItem:
+        if self._accept("op", "*"):
+            return SelectItem(Star())
+        # Lookahead for "alias.*".
+        if (
+            self._current.kind == "ident"
+            and self._tokens[self._pos + 1].matches("op", ".")
+            and self._tokens[self._pos + 2].matches("op", "*")
+        ):
+            qualifier = self._advance().value
+            self._advance()  # '.'
+            self._advance()  # '*'
+            return SelectItem(Star(qualifier=qualifier))
+        expr = self._parse_expr()
+        alias = None
+        if self._accept("keyword", "as"):
+            alias = self._expect("ident").value
+        elif self._current.kind == "ident":
+            alias = self._advance().value
+        return SelectItem(expr, alias)
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self._expect("ident").value
+        alias = None
+        if self._accept("keyword", "as"):
+            alias = self._expect("ident").value
+        elif self._current.kind == "ident":
+            alias = self._advance().value
+        return TableRef(name=name, alias=alias)
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self._parse_expr()
+        ascending = True
+        if self._accept("keyword", "desc"):
+            ascending = False
+        else:
+            self._accept("keyword", "asc")
+        return OrderItem(expr, ascending)
+
+    # -- expressions ------------------------------------------------------
+
+    def _parse_expr(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        expr = self._parse_and()
+        while self._accept("keyword", "or"):
+            expr = BinaryOp("or", expr, self._parse_and())
+        return expr
+
+    def _parse_and(self) -> Expression:
+        expr = self._parse_not()
+        while self._accept("keyword", "and"):
+            expr = BinaryOp("and", expr, self._parse_not())
+        return expr
+
+    def _parse_not(self) -> Expression:
+        if self._accept("keyword", "not"):
+            return UnaryOp("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_additive()
+        if self._current.kind == "op" and self._current.value in _COMPARISONS:
+            op = self._advance().value
+            right = self._parse_additive()
+            return BinaryOp(op, left, right)
+        # [NOT] BETWEEN / IN / LIKE
+        negated = False
+        if (
+            self._current.matches("keyword", "not")
+            and self._tokens[self._pos + 1].kind == "keyword"
+            and self._tokens[self._pos + 1].value in ("between", "in", "like")
+        ):
+            self._advance()
+            negated = True
+        if self._accept("keyword", "between"):
+            low = self._parse_additive()
+            self._expect("keyword", "and")
+            high = self._parse_additive()
+            # Desugar: x BETWEEN a AND b  ==  x >= a AND x <= b.
+            expr = BinaryOp(
+                "and", BinaryOp(">=", left, low), BinaryOp("<=", left, high)
+            )
+            return UnaryOp("not", expr) if negated else expr
+        if self._accept("keyword", "in"):
+            self._expect("op", "(")
+            if self._current.matches("keyword", "select"):
+                subquery = self._parse_select_body()
+                self._expect("op", ")")
+                return InSubquery(left, subquery, negated=negated)
+            values = [self._parse_expr()]
+            while self._accept("op", ","):
+                values.append(self._parse_expr())
+            self._expect("op", ")")
+            # Desugar: x IN (a, b)  ==  x = a OR x = b.
+            expr = BinaryOp("=", left, values[0])
+            for value in values[1:]:
+                expr = BinaryOp("or", expr, BinaryOp("=", left, value))
+            return UnaryOp("not", expr) if negated else expr
+        if self._accept("keyword", "like"):
+            token = self._expect("string")
+            return LikePattern(left, token.value, negated=negated)
+        if negated:
+            raise ParseError("NOT must be followed by BETWEEN, IN or LIKE here")
+        return left
+
+    def _parse_additive(self) -> Expression:
+        expr = self._parse_multiplicative()
+        while self._current.kind == "op" and self._current.value in ("+", "-"):
+            op = self._advance().value
+            expr = BinaryOp(op, expr, self._parse_multiplicative())
+        return expr
+
+    def _parse_multiplicative(self) -> Expression:
+        expr = self._parse_unary()
+        while self._current.kind == "op" and self._current.value in ("*", "/"):
+            op = self._advance().value
+            expr = BinaryOp(op, expr, self._parse_unary())
+        return expr
+
+    def _parse_unary(self) -> Expression:
+        if self._accept("op", "-"):
+            return UnaryOp("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self._current
+        if token.kind == "number" or token.kind == "string":
+            self._advance()
+            return Literal(token.value)
+        if token.kind == "keyword" and token.value in ("null", "true", "false"):
+            self._advance()
+            value = {"null": None, "true": True, "false": False}[token.value]
+            return Literal(value)
+        if self._accept("op", "("):
+            expr = self._parse_expr()
+            self._expect("op", ")")
+            return expr
+        if token.kind == "ident":
+            self._advance()
+            if self._accept("op", "("):
+                args: list[Expression] = []
+                if self._accept("op", "*"):
+                    # count(*) — the only star-argument call SQL allows;
+                    # the binder validates the function name.
+                    self._expect("op", ")")
+                    return FunctionCall(token.value, (Star(),))
+                if not self._current.matches("op", ")"):
+                    args.append(self._parse_expr())
+                    while self._accept("op", ","):
+                        args.append(self._parse_expr())
+                self._expect("op", ")")
+                return FunctionCall(token.value, tuple(args))
+            if self._accept("op", "."):
+                column = self._expect("ident").value
+                return ColumnRef(name=column, qualifier=token.value)
+            return ColumnRef(name=token.value)
+        raise ParseError(
+            f"unexpected token {token.kind} {token.value!r} at offset {token.position}"
+        )

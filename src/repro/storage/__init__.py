@@ -1,0 +1,48 @@
+"""Storage substrate: typed schemas, pages, simulated disk, buffer pool.
+
+This package plays the role of PostgreSQL's storage manager for the
+reproduction.  Tables are heap files of 8 KB pages; base-table reads go
+through an LRU buffer pool; spill files (hash-join partitions, sort runs)
+are temp files that bypass the pool, so re-reading spilled bytes always
+pays simulated I/O — which is what makes multi-stage operators visible to
+the progress indicator exactly as in the paper (Section 4.5, "multi-stage
+operator" special case).
+"""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import FileHandle, SimulatedDisk
+from repro.storage.heap import HeapFile
+from repro.storage.index import BTreeIndex
+from repro.storage.page import Page
+from repro.storage.schema import Column, Schema
+from repro.storage.types import (
+    DataType,
+    DateType,
+    FloatType,
+    IntegerType,
+    StringType,
+    DATE,
+    FLOAT,
+    INTEGER,
+    string,
+)
+
+__all__ = [
+    "BufferPool",
+    "SimulatedDisk",
+    "FileHandle",
+    "HeapFile",
+    "BTreeIndex",
+    "Page",
+    "Column",
+    "Schema",
+    "DataType",
+    "IntegerType",
+    "FloatType",
+    "StringType",
+    "DateType",
+    "INTEGER",
+    "FLOAT",
+    "DATE",
+    "string",
+]

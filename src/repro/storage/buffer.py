@@ -1,0 +1,72 @@
+"""An LRU buffer pool in front of the simulated disk.
+
+Base-table page reads go through the pool: a hit costs only a token CPU
+charge, a miss pays the disk's I/O time.  This is what lets a query's
+observed speed differ between "disk-bound" and "completely cached" — the
+paper's Section 4.1 explicitly ranges the time-per-U between those poles.
+
+Temp files (spill partitions, sort runs) intentionally bypass the pool so
+multi-stage passes always pay I/O.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.config import CostModelConfig
+from repro.sim.load import CPU
+from repro.storage.disk import FileHandle, SimulatedDisk
+from repro.storage.page import Page
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of (file_id, page_no) -> Page."""
+
+    def __init__(self, disk: SimulatedDisk, capacity_pages: int, cost: CostModelConfig):
+        if capacity_pages <= 0:
+            raise ValueError("buffer pool capacity must be positive")
+        self._disk = disk
+        self._capacity = capacity_pages
+        self._cost = cost
+        self._frames: OrderedDict[tuple[int, int], Page] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def num_cached(self) -> int:
+        return len(self._frames)
+
+    def get_page(self, handle: FileHandle, page_no: int, sequential: bool = True) -> Page:
+        """Fetch a page, charging I/O on a miss and a token CPU hit cost."""
+        key = (handle.file_id, page_no)
+        page = self._frames.get(key)
+        if page is not None:
+            self.hits += 1
+            self._frames.move_to_end(key)
+            self._disk.clock.advance(self._cost.cpu_operator, CPU)
+            return page
+        self.misses += 1
+        page = self._disk.read_page(handle, page_no, sequential=sequential)
+        self._frames[key] = page
+        if len(self._frames) > self._capacity:
+            self._frames.popitem(last=False)
+        return page
+
+    def invalidate_file(self, handle: FileHandle) -> None:
+        """Drop all cached pages of a file (after truncation/drop)."""
+        stale = [key for key in self._frames if key[0] == handle.file_id]
+        for key in stale:
+            del self._frames[key]
+
+    def clear(self) -> None:
+        """Empty the pool (the paper restarts with a cold buffer pool)."""
+        self._frames.clear()
+
+    def hit_rate(self) -> float:
+        """Fraction of requests served from memory."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

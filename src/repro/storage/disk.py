@@ -1,0 +1,129 @@
+"""The simulated disk.
+
+Every page read or write charges the virtual clock with I/O cost from the
+cost model.  Sequential reads are cheap, random reads expensive, writes in
+between — the ratio is what makes table scans, index probes and spill
+passes occupy realistic proportions of a query's life, which in turn shapes
+the speed curves in the paper's Figures 5, 10 and 14.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.config import CostModelConfig
+from repro.errors import StorageError
+from repro.sim.clock import VirtualClock
+from repro.sim.load import IO
+from repro.storage.page import Page
+
+
+class FileHandle:
+    """A file on the simulated disk: an ordered sequence of pages."""
+
+    __slots__ = ("file_id", "name", "pages", "temp")
+
+    def __init__(self, file_id: int, name: str, temp: bool):
+        self.file_id = file_id
+        self.name = name
+        self.pages: list[Page] = []
+        self.temp = temp
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.pages)
+
+    def __repr__(self) -> str:
+        kind = "temp" if self.temp else "perm"
+        return f"FileHandle({self.file_id}, {self.name!r}, {kind}, pages={len(self.pages)})"
+
+
+class SimulatedDisk:
+    """Allocates files and charges I/O time for page transfers.
+
+    ``charge_io=False`` reads/writes are used only for cost-free setup
+    (bulk-loading the test data set before the experiment clock starts).
+    """
+
+    def __init__(self, clock: VirtualClock, cost: CostModelConfig):
+        self._clock = clock
+        self._cost = cost
+        self._files: dict[int, FileHandle] = {}
+        self._ids = itertools.count(1)
+        # Observability counters.
+        self.seq_reads = 0
+        self.random_reads = 0
+        self.writes = 0
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self._clock
+
+    # ------------------------------------------------------------------
+    # file lifecycle
+
+    def allocate(self, name: str, temp: bool = False) -> FileHandle:
+        """Create a new empty file."""
+        handle = FileHandle(next(self._ids), name, temp)
+        self._files[handle.file_id] = handle
+        return handle
+
+    def deallocate(self, handle: FileHandle) -> None:
+        """Drop a file (used to reclaim temp partitions and sort runs)."""
+        self._files.pop(handle.file_id, None)
+        handle.pages.clear()
+
+    def file(self, file_id: int) -> FileHandle:
+        """Look up a file handle by id; raises StorageError when absent."""
+        try:
+            return self._files[file_id]
+        except KeyError:
+            raise StorageError(f"no such file id: {file_id}") from None
+
+    # ------------------------------------------------------------------
+    # page transfer
+
+    def read_page(
+        self, handle: FileHandle, page_no: int, sequential: bool = True, charge_io: bool = True
+    ) -> Page:
+        """Read one page, charging sequential or random I/O time."""
+        try:
+            page = handle.pages[page_no]
+        except IndexError:
+            raise StorageError(
+                f"page {page_no} out of range for file {handle.name!r} "
+                f"({handle.num_pages} pages)"
+            ) from None
+        if charge_io:
+            if sequential:
+                self.seq_reads += 1
+                self._clock.advance(self._cost.seq_page_read, IO)
+            else:
+                self.random_reads += 1
+                self._clock.advance(self._cost.random_page_read, IO)
+        return page
+
+    def append_page(self, handle: FileHandle, page: Page, charge_io: bool = True) -> int:
+        """Append a full page to a file, charging one page write."""
+        handle.pages.append(page)
+        if charge_io:
+            self.writes += 1
+            self._clock.advance(self._cost.page_write, IO)
+        return len(handle.pages) - 1
+
+    def write_page(self, handle: FileHandle, page_no: int, page: Page, charge_io: bool = True) -> None:
+        """Overwrite an existing page in place (buffer-pool eviction path)."""
+        if not 0 <= page_no < handle.num_pages:
+            raise StorageError(f"page {page_no} out of range for file {handle.name!r}")
+        handle.pages[page_no] = page
+        if charge_io:
+            self.writes += 1
+            self._clock.advance(self._cost.page_write, IO)
+
+    def io_counters(self) -> dict[str, int]:
+        """Snapshot of read/write counters (for tests and overhead benches)."""
+        return {
+            "seq_reads": self.seq_reads,
+            "random_reads": self.random_reads,
+            "writes": self.writes,
+        }

@@ -1,0 +1,124 @@
+"""A B-tree-style secondary index over a heap file.
+
+The index stores sorted ``(key, page_no, slot)`` entries.  Structure is a
+sorted array with binary search; *costs* are charged as a B-tree would
+charge them — a root-to-leaf descent of ``height`` random page reads plus
+sequential leaf reads proportional to the number of matching entries.
+Heap-tuple fetches are the caller's business (the index-scan operator
+fetches pages through the buffer pool).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Iterator, Optional
+
+from repro.errors import StorageError
+from repro.storage.heap import HeapFile
+
+#: Approximate bytes of one (key, rid) leaf entry, used to derive fanout.
+_ENTRY_BYTES = 16
+
+
+class BTreeIndex:
+    """Ordered index mapping key values to row identifiers."""
+
+    def __init__(self, name: str, heap: HeapFile, key_column: str, page_size: int = 8192):
+        self.name = name
+        self.heap = heap
+        self.key_column = key_column
+        self.key_index = heap.schema.index_of(key_column)
+        self.fanout = max(2, page_size // _ENTRY_BYTES)
+        self._keys: list[Any] = []
+        self._rids: list[tuple[int, int]] = []
+        self._build()
+
+    def _build(self) -> None:
+        entries = []
+        for page_no, page in enumerate(self.heap.iter_pages()):
+            for slot, row in enumerate(page.rows):
+                key = row[self.key_index]
+                if key is None:
+                    continue
+                entries.append((key, page_no, slot))
+        entries.sort(key=lambda e: e[0])
+        self._keys = [e[0] for e in entries]
+        self._rids = [(e[1], e[2]) for e in entries]
+
+    # ------------------------------------------------------------------
+    # geometry
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._keys)
+
+    @property
+    def height(self) -> int:
+        """Number of levels from root to leaf (>= 1)."""
+        n = max(1, len(self._keys))
+        return max(1, math.ceil(math.log(n, self.fanout)) or 1)
+
+    @property
+    def num_leaf_pages(self) -> int:
+        return max(1, math.ceil(len(self._keys) / self.fanout))
+
+    def leaf_pages_for(self, num_matches: int) -> int:
+        """Leaf pages touched to read ``num_matches`` consecutive entries."""
+        return max(1, math.ceil(num_matches / self.fanout)) if num_matches else 0
+
+    # ------------------------------------------------------------------
+    # lookups (cost-free; the index-scan operator charges time)
+
+    def search_eq(self, key: Any) -> list[tuple[int, int]]:
+        """Row ids of tuples whose key equals ``key``."""
+        lo = bisect.bisect_left(self._keys, key)
+        hi = bisect.bisect_right(self._keys, key)
+        return self._rids[lo:hi]
+
+    def search_range(
+        self,
+        low: Optional[Any] = None,
+        high: Optional[Any] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[tuple[Any, tuple[int, int]]]:
+        """Yield (key, rid) for keys in the given range, in key order."""
+        if low is None:
+            lo = 0
+        elif low_inclusive:
+            lo = bisect.bisect_left(self._keys, low)
+        else:
+            lo = bisect.bisect_right(self._keys, low)
+        if high is None:
+            hi = len(self._keys)
+        elif high_inclusive:
+            hi = bisect.bisect_right(self._keys, high)
+        else:
+            hi = bisect.bisect_left(self._keys, high)
+        for i in range(lo, hi):
+            yield self._keys[i], self._rids[i]
+
+    def count_range(
+        self,
+        low: Optional[Any] = None,
+        high: Optional[Any] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> int:
+        """Number of entries in the given key range (for cost estimation)."""
+        return sum(1 for _ in self.search_range(low, high, low_inclusive, high_inclusive))
+
+    def fetch(self, rid: tuple[int, int]) -> tuple:
+        """Return the heap row addressed by ``rid`` (no cost charged)."""
+        page_no, slot = rid
+        try:
+            return self.heap.handle.pages[page_no].rows[slot]
+        except IndexError:
+            raise StorageError(f"dangling rid {rid} in index {self.name!r}") from None
+
+    def __repr__(self) -> str:
+        return (
+            f"BTreeIndex({self.name!r} on {self.heap.name}.{self.key_column}, "
+            f"entries={self.num_entries}, height={self.height})"
+        )

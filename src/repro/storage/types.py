@@ -1,0 +1,128 @@
+"""Column data types.
+
+Types carry just enough behaviour for this engine: a byte width (used for
+page layout and for the byte-based work unit U), value validation, and
+parsing from SQL literals.  Widths follow common fixed-width conventions;
+strings are varying-width with a one-byte length header, so tuple widths —
+and therefore U — respond to actual data, as they do in the paper's
+"average tuple size" statistics (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class DataType:
+    """Abstract column type."""
+
+    name: str = "unknown"
+
+    def width(self, value: Any) -> int:
+        """Byte width of ``value`` when stored in a tuple."""
+        raise NotImplementedError
+
+    def validate(self, value: Any) -> bool:
+        """Whether ``value`` is storable under this type (None is a NULL)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+
+class IntegerType(DataType):
+    """32-bit signed integer."""
+
+    name = "integer"
+    _WIDTH = 4
+
+    def width(self, value: Any) -> int:
+        return self._WIDTH
+
+    def validate(self, value: Any) -> bool:
+        return value is None or isinstance(value, int)
+
+
+class FloatType(DataType):
+    """64-bit float (SQL ``double precision``)."""
+
+    name = "float"
+    _WIDTH = 8
+
+    def width(self, value: Any) -> int:
+        return self._WIDTH
+
+    def validate(self, value: Any) -> bool:
+        return value is None or isinstance(value, (int, float))
+
+
+class DateType(DataType):
+    """A date stored as an integer day number."""
+
+    name = "date"
+    _WIDTH = 4
+
+    def width(self, value: Any) -> int:
+        return self._WIDTH
+
+    def validate(self, value: Any) -> bool:
+        return value is None or isinstance(value, int)
+
+
+class StringType(DataType):
+    """Varying-width character string with a declared maximum length."""
+
+    name = "string"
+
+    def __init__(self, max_length: int = 255):
+        if max_length <= 0:
+            raise ValueError("max_length must be positive")
+        self.max_length = max_length
+
+    def width(self, value: Any) -> int:
+        if value is None:
+            return 1
+        return 1 + len(value)
+
+    def validate(self, value: Any) -> bool:
+        return value is None or (isinstance(value, str) and len(value) <= self.max_length)
+
+    def __repr__(self) -> str:
+        return f"string({self.max_length})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StringType) and other.max_length == self.max_length
+
+    def __hash__(self) -> int:
+        return hash(("string", self.max_length))
+
+
+class BooleanType(DataType):
+    """Boolean (predicate results; not storable in base tables here)."""
+
+    name = "boolean"
+    _WIDTH = 1
+
+    def width(self, value: Any) -> int:
+        return self._WIDTH
+
+    def validate(self, value: Any) -> bool:
+        return value is None or isinstance(value, bool)
+
+
+#: Shared singleton instances for fixed types.
+INTEGER = IntegerType()
+FLOAT = FloatType()
+DATE = DateType()
+BOOLEAN = BooleanType()
+
+
+def string(max_length: int = 255) -> StringType:
+    """Convenience constructor mirroring ``INTEGER``/``FLOAT`` style."""
+    return StringType(max_length)

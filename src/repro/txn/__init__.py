@@ -1,0 +1,15 @@
+"""Minimal transactions with undo logging.
+
+Exists to make the paper's Section 2 rollback integration concrete: "[15]
+proposed a method for monitoring the progress of long-running rollback
+operations ... This method can be integrated into the progress indicators
+for RDBMSs."  A :class:`~repro.txn.transaction.Transaction` applies
+updates/deletes while writing undo records; rolling it back replays the
+records in reverse while a :class:`~repro.core.rollback.RollbackMonitor`
+estimates the remaining rollback time from the observed undo speed —
+the same window-speed machinery the query indicator uses.
+"""
+
+from repro.txn.transaction import Transaction, UndoRecord
+
+__all__ = ["Transaction", "UndoRecord"]

@@ -1,0 +1,23 @@
+"""Workload generators and the paper's test queries.
+
+:mod:`repro.workloads.tpcr` generates the TPC-R-schema data set of the
+paper's Table 1 (scaled), :mod:`repro.workloads.correlated` produces the
+Q3 variant with nationkey-correlated order counts, and
+:mod:`repro.workloads.queries` holds queries Q1-Q5 verbatim (modulo our
+SQL dialect).
+"""
+
+from repro.workloads.queries import Q1, Q2, Q3, Q4, Q5, PAPER_QUERIES
+from repro.workloads.tpcr import TpcrTables, build_database, generate_tables
+
+__all__ = [
+    "Q1",
+    "Q2",
+    "Q3",
+    "Q4",
+    "Q5",
+    "PAPER_QUERIES",
+    "build_database",
+    "generate_tables",
+    "TpcrTables",
+]

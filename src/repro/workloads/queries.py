@@ -1,0 +1,60 @@
+"""The paper's five test queries (Section 5.1), verbatim.
+
+The only dialect difference: the paper writes ``absolute(...)``, which we
+register as a SQL function exactly so these queries parse unchanged.  Its
+predicates (``absolute(x) > 0``) are always true but unestimatable, forcing
+PostgreSQL's — and our — default selectivity of 1/3.
+"""
+
+from __future__ import annotations
+
+#: Q1: a pure table scan; the optimizer's estimate is accurate (Figures 4-7).
+Q1 = "select * from lineitem"
+
+#: Q2: two joins with one unestimatable lineitem predicate (Figures 9-16).
+Q2 = """
+select c.custkey, c.acctbal, o.orderkey, o.totalprice,
+       l.discount, l.extendedprice
+from customer c, orders o, lineitem l
+where c.custkey = o.custkey
+  and o.orderkey = l.orderkey
+  and absolute(l.partkey) > 0
+"""
+
+#: Q3: a self-join whose first join cardinality is wrecked by correlation
+#: between customer.nationkey and the per-customer order count (Figure 17).
+Q3 = """
+select c.custkey, c.acctbal, o1.orderkey, o1.totalprice, o2.totalprice
+from customer c, orders o1, orders o2
+where c.custkey = o1.custkey
+  and o1.orderkey = o2.orderkey
+  and c.nationkey < 10
+"""
+
+#: Q4: Q2 plus a second unestimatable predicate on orders, so *both* join
+#: cost estimates are wrong and the indicator adjusts twice (Figure 18).
+Q4 = """
+select c.custkey, c.acctbal, o.orderkey, o.totalprice, o.shippriority,
+       l.discount, l.extendedprice
+from customer c, orders o, lineitem l
+where c.custkey = o.custkey
+  and o.orderkey = l.orderkey
+  and absolute(o.totalprice) > 0
+  and absolute(l.partkey) > 0
+"""
+
+#: Q5: a CPU-bound nested-loops join over the two customer subsets
+#: (Figures 19-20).
+Q5 = """
+select *
+from customer_subset1 c1, customer_subset2 c2
+where c1.custkey <> c2.custkey
+"""
+
+PAPER_QUERIES: dict[str, str] = {
+    "Q1": Q1,
+    "Q2": Q2,
+    "Q3": Q3,
+    "Q4": Q4,
+    "Q5": Q5,
+}

@@ -1,0 +1,233 @@
+"""Scaled TPC-R-schema data generator (the paper's Table 1 data set).
+
+The paper's test data (Section 5.1):
+
+=================  ==========  ==========
+relation           tuples      total size
+=================  ==========  ==========
+customer           0.15M       23 MB
+orders             1.5M        114 MB
+lineitem           6M          755 MB
+customer_subset1   3K          0.46 MB
+customer_subset2   3K          0.46 MB
+=================  ==========  ==========
+
+with, on average, 10 orders per customer (on ``custkey``) and 4 lineitems
+per order (on ``orderkey``).  ``scale`` multiplies the big relations'
+cardinalities; the subsets scale with ``subset_rows`` separately because
+the Q5 nested-loops join is quadratic in them.
+
+Generation is deterministic per seed and bulk-loads without charging
+simulated I/O (the data exists before the experiment begins).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import SystemConfig
+from repro.database import Database
+from repro.storage.schema import Column, Schema
+from repro.storage.types import FLOAT, INTEGER, string
+
+#: Paper cardinalities at scale 1.0.
+CUSTOMER_BASE = 150_000
+ORDERS_PER_CUSTOMER = 10
+LINEITEMS_PER_ORDER = 4
+SUBSET_BASE = 3_000
+
+NATION_COUNT = 25
+MARKET_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+ORDER_STATUSES = ("F", "O", "P")
+RETURN_FLAGS = ("A", "N", "R")
+LINE_STATUSES = ("F", "O")
+
+
+CUSTOMER_SCHEMA = Schema(
+    [
+        Column("custkey", INTEGER),
+        Column("name", string(25)),
+        Column("address", string(40)),
+        Column("nationkey", INTEGER),
+        Column("phone", string(15)),
+        Column("acctbal", FLOAT),
+        Column("mktsegment", string(10)),
+    ]
+)
+
+ORDERS_SCHEMA = Schema(
+    [
+        Column("orderkey", INTEGER),
+        Column("custkey", INTEGER),
+        Column("orderstatus", string(1)),
+        Column("totalprice", FLOAT),
+        Column("orderdate", INTEGER),
+        Column("shippriority", INTEGER),
+    ]
+)
+
+LINEITEM_SCHEMA = Schema(
+    [
+        Column("orderkey", INTEGER),
+        Column("partkey", INTEGER),
+        Column("suppkey", INTEGER),
+        Column("linenumber", INTEGER),
+        Column("quantity", FLOAT),
+        Column("extendedprice", FLOAT),
+        Column("discount", FLOAT),
+        Column("tax", FLOAT),
+        Column("returnflag", string(1)),
+        Column("linestatus", string(1)),
+    ]
+)
+
+
+@dataclass
+class TpcrTables:
+    """Generated rows for the five relations."""
+
+    customer: list[tuple]
+    orders: list[tuple]
+    lineitem: list[tuple]
+    customer_subset1: list[tuple]
+    customer_subset2: list[tuple]
+
+    def row_counts(self) -> dict[str, int]:
+        """Relation name -> generated row count (the Table 1 cardinalities)."""
+        return {
+            "customer": len(self.customer),
+            "orders": len(self.orders),
+            "lineitem": len(self.lineitem),
+            "customer_subset1": len(self.customer_subset1),
+            "customer_subset2": len(self.customer_subset2),
+        }
+
+
+def _customer_row(rng: random.Random, custkey: int) -> tuple:
+    return (
+        custkey,
+        f"Customer#{custkey:09d}",
+        f"{rng.randint(1, 9999)} {'x' * rng.randint(8, 24)} Street",
+        rng.randrange(NATION_COUNT),
+        f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+        round(rng.uniform(-999.99, 9999.99), 2),
+        rng.choice(MARKET_SEGMENTS),
+    )
+
+
+def generate_customers(num: int, rng: random.Random, key_offset: int = 0) -> list[tuple]:
+    """Customer rows with unique custkeys starting at ``key_offset + 1``."""
+    return [_customer_row(rng, key_offset + i + 1) for i in range(num)]
+
+
+def generate_orders(
+    customers: list[tuple],
+    rng: random.Random,
+    orders_per_customer_fn=None,
+) -> list[tuple]:
+    """Orders matching customers on custkey.
+
+    ``orders_per_customer_fn(customer_row) -> int`` controls the fan-out;
+    the default is the paper's flat 10.  The correlated Q3 data set passes
+    a nationkey-dependent function here.
+    """
+    if orders_per_customer_fn is None:
+        orders_per_customer_fn = lambda _row: ORDERS_PER_CUSTOMER  # noqa: E731
+    orders = []
+    orderkey = 0
+    for customer in customers:
+        for _ in range(orders_per_customer_fn(customer)):
+            orderkey += 1
+            orders.append(
+                (
+                    orderkey,
+                    customer[0],
+                    rng.choice(ORDER_STATUSES),
+                    round(rng.uniform(900.0, 500_000.0), 2),
+                    rng.randint(8_000, 11_000),  # day number
+                    rng.randint(0, 1),
+                )
+            )
+    return orders
+
+
+def generate_lineitems(orders: list[tuple], rng: random.Random) -> list[tuple]:
+    """Lineitems matching orders on orderkey (4 per order)."""
+    items = []
+    for order in orders:
+        orderkey = order[0]
+        for linenumber in range(1, LINEITEMS_PER_ORDER + 1):
+            price = round(rng.uniform(900.0, 100_000.0), 2)
+            items.append(
+                (
+                    orderkey,
+                    rng.randint(1, 200_000),
+                    rng.randint(1, 10_000),
+                    linenumber,
+                    float(rng.randint(1, 50)),
+                    price,
+                    round(rng.uniform(0.0, 0.10), 2),
+                    round(rng.uniform(0.0, 0.08), 2),
+                    rng.choice(RETURN_FLAGS),
+                    rng.choice(LINE_STATUSES),
+                )
+            )
+    return items
+
+
+def generate_tables(
+    scale: float = 0.01,
+    subset_rows: Optional[int] = None,
+    seed: int = 42,
+    orders_per_customer_fn=None,
+) -> TpcrTables:
+    """Generate the five relations of Table 1 at the given scale."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    rng = random.Random(seed)
+    num_customers = max(1, round(CUSTOMER_BASE * scale))
+    if subset_rows is None:
+        # Q5 is quadratic in the subsets; scale them gently (x sqrt-ish of
+        # the main scale) so the paper's fixed 3K stays tractable in Python.
+        subset_rows = max(50, round(SUBSET_BASE * scale * 20))
+
+    customers = generate_customers(num_customers, rng)
+    orders = generate_orders(customers, rng, orders_per_customer_fn)
+    lineitems = generate_lineitems(orders, rng)
+    subset1 = generate_customers(subset_rows, rng, key_offset=1_000_000)
+    subset2 = generate_customers(subset_rows, rng, key_offset=2_000_000)
+    return TpcrTables(customers, orders, lineitems, subset1, subset2)
+
+
+def build_database(
+    scale: float = 0.01,
+    config: Optional[SystemConfig] = None,
+    subset_rows: Optional[int] = None,
+    seed: int = 42,
+    orders_per_customer_fn=None,
+    with_indexes: bool = False,
+    analyze: bool = True,
+) -> Database:
+    """Create a loaded, ANALYZEd database instance for experiments."""
+    tables = generate_tables(
+        scale=scale,
+        subset_rows=subset_rows,
+        seed=seed,
+        orders_per_customer_fn=orders_per_customer_fn,
+    )
+    db = Database(config=config)
+    db.create_table("customer", CUSTOMER_SCHEMA, tables.customer)
+    db.create_table("orders", ORDERS_SCHEMA, tables.orders)
+    db.create_table("lineitem", LINEITEM_SCHEMA, tables.lineitem)
+    db.create_table("customer_subset1", CUSTOMER_SCHEMA, tables.customer_subset1)
+    db.create_table("customer_subset2", CUSTOMER_SCHEMA, tables.customer_subset2)
+    if with_indexes:
+        db.create_index("customer", "custkey")
+        db.create_index("orders", "orderkey")
+        db.create_index("orders", "custkey")
+        db.create_index("lineitem", "orderkey")
+    if analyze:
+        db.analyze()
+    return db

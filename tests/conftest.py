@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.database import Database
+from repro.storage.schema import Column, Schema
+from repro.storage.types import FLOAT, INTEGER, string
+from repro.workloads import queries, tpcr
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    return SystemConfig()
+
+
+@pytest.fixture
+def small_db() -> Database:
+    """A tiny two-table database for executor/planner unit tests."""
+    db = Database()
+    db.create_table(
+        "t1",
+        Schema([Column("a", INTEGER), Column("b", INTEGER), Column("s", string(20))]),
+        [(i, i % 10, f"row{i}") for i in range(100)],
+    )
+    db.create_table(
+        "t2",
+        Schema([Column("a", INTEGER), Column("v", FLOAT)]),
+        [(i % 50, float(i)) for i in range(200)],
+    )
+    db.analyze()
+    return db
+
+
+@pytest.fixture(scope="session")
+def tiny_tpcr() -> Database:
+    """A session-shared tiny TPC-R database (read-only tests)."""
+    return tpcr.build_database(scale=0.002, subset_rows=60)
+
+
+@pytest.fixture(scope="session")
+def tpcr_queries() -> dict[str, str]:
+    return queries.PAPER_QUERIES

@@ -1,0 +1,198 @@
+"""Integration: the paper's Figure 3 plan, segment by segment.
+
+Figure 3's example plan: π(σ(A)) is hashed into partitions PA (S1), σ(B)
+into PB (S2); a hash join consumes PA/PB and sorts its result into runs
+RAB (S3); σ(C) is sorted into runs RC (S4); a sort-merge join of RAB and
+RC produces the final output (S5).  Dominant inputs: A, B, PB, C, and
+{RAB, RC}.
+
+The optimizer would not normally mix join algorithms this way, so the
+plan is built by hand from physical nodes — exactly what Figure 3 depicts
+— then segmented and executed, verifying both the structure and the
+answer.
+"""
+
+import pytest
+
+from repro.core.segments import build_segments
+from repro.database import Database
+from repro.executor.base import ExecContext
+from repro.executor.runtime import run_query
+from repro.expr.bound import ColumnExpr, ComparisonExpr, LiteralExpr
+from repro.planner.optimizer import PlannedQuery
+from repro.planner.cost import Cost
+from repro.planner.physical import (
+    HashJoinNode,
+    MergeJoinNode,
+    PlanColumn,
+    ProjectNode,
+    SeqScanNode,
+    SortNode,
+)
+from repro.sql.binder import BoundQuery, BoundTable
+from repro.storage.schema import Column, Schema
+from repro.storage.types import INTEGER
+
+
+@pytest.fixture(scope="module")
+def setup():
+    db = Database()
+    # A(k, v), B(k, w), C(j, u): A joins B on k (hash), AB joins C on v=j
+    # (sort-merge).
+    db.create_table(
+        "a", Schema([Column("k", INTEGER), Column("v", INTEGER)]),
+        [(i % 40, i % 25) for i in range(200)],
+    )
+    db.create_table(
+        "b", Schema([Column("k", INTEGER), Column("w", INTEGER)]),
+        [(i % 40, i) for i in range(300)],
+    )
+    db.create_table(
+        "c", Schema([Column("j", INTEGER), Column("u", INTEGER)]),
+        [(i % 25, i * 3) for i in range(150)],
+    )
+    db.analyze()
+
+    def col(t, i, name):
+        return PlanColumn((t, i), name, INTEGER, 4.0)
+
+    # S1 feed: π(σ(A)) — filter a.v < 20, keep both columns.
+    a_table = db.catalog.get_table("a")
+    a_filter = ComparisonExpr(
+        "<", ColumnExpr(0, 1, "a.v", INTEGER), LiteralExpr(20, INTEGER)
+    )
+    scan_a = SeqScanNode(
+        a_table, 0, [a_filter],
+        [col(0, 0, "a.k"), col(0, 1, "a.v")],
+        est_rows=160.0, est_base_rows=200.0,
+    )
+    # S2 feed: σ(B) (no-op filter keeps the shape of Figure 3).
+    b_table = db.catalog.get_table("b")
+    scan_b = SeqScanNode(
+        b_table, 1, [],
+        [col(1, 0, "b.k"), col(1, 1, "b.w")],
+        est_rows=300.0, est_base_rows=300.0,
+    )
+    # Multi-batch hash join A x B => segments S1 (PA), S2 (PB), S3 opens.
+    join_ab = HashJoinNode(
+        build=scan_a, probe=scan_b,
+        build_keys=[(0, 0)], probe_keys=[(1, 0)],
+        extra_filters=[], num_batches=3,
+        columns=[col(0, 0, "a.k"), col(0, 1, "a.v"), col(1, 1, "b.w")],
+        est_rows=1200.0,
+    )
+    # S3's tail: sort AB by a.v into runs RAB.
+    sort_ab = SortNode(
+        join_ab, [((0, 1), True)], list(join_ab.columns), join_ab.est_rows
+    )
+    # S4: σ(C) sorted into runs RC.
+    c_table = db.catalog.get_table("c")
+    scan_c = SeqScanNode(
+        c_table, 2, [],
+        [col(2, 0, "c.j"), col(2, 1, "c.u")],
+        est_rows=150.0, est_base_rows=150.0,
+    )
+    sort_c = SortNode(
+        scan_c, [((2, 0), True)], list(scan_c.columns), scan_c.est_rows
+    )
+    # S5: sort-merge join RAB x RC on a.v = c.j, then the final projection.
+    merge = MergeJoinNode(
+        sort_ab, sort_c, (0, 1), (2, 0), [],
+        columns=[col(0, 0, "a.k"), col(1, 1, "b.w"), col(2, 1, "c.u")],
+        est_rows=7000.0,
+    )
+    project = ProjectNode(
+        merge,
+        [
+            ColumnExpr(0, 0, "a.k", INTEGER),
+            ColumnExpr(1, 1, "b.w", INTEGER),
+            ColumnExpr(2, 1, "c.u", INTEGER),
+        ],
+        ["k", "w", "u"],
+        merge.est_rows,
+        36.0,
+    )
+    bound = BoundQuery(
+        tables=[
+            BoundTable(0, a_table, "a"),
+            BoundTable(1, b_table, "b"),
+            BoundTable(2, c_table, "c"),
+        ],
+        output=[
+            (ColumnExpr(0, 0, "a.k", INTEGER), "k"),
+            (ColumnExpr(1, 1, "b.w", INTEGER), "w"),
+            (ColumnExpr(2, 1, "c.u", INTEGER), "u"),
+        ],
+        conjuncts=[],
+    )
+    planned = PlannedQuery(
+        root=project, query=bound, config=db.config, search_cost=Cost.zero()
+    )
+    specs = build_segments(planned.root)
+    return db, planned, specs
+
+
+class TestFigure3Segments:
+    def test_five_segments(self, setup):
+        _, _, specs = setup
+        assert len(specs) == 5
+
+    def test_s1_partitions_a(self, setup):
+        _, _, specs = setup
+        s1 = specs[0]
+        assert s1.inputs[0].label == "a"
+        assert s1.inputs[0].dominant
+        assert "partition build" in s1.label
+
+    def test_s2_partitions_b(self, setup):
+        _, _, specs = setup
+        s2 = specs[1]
+        assert s2.inputs[0].label == "b"
+        assert s2.inputs[0].dominant
+
+    def test_s3_joins_partitions_and_forms_runs(self, setup):
+        # S3's inputs are PA and PB; PB (the probe partitions) dominates;
+        # its output is the sorted runs RAB.
+        _, _, specs = setup
+        s3 = specs[2]
+        labels = [i.label for i in s3.inputs]
+        assert any("PA" in label for label in labels)
+        assert any("PB" in label for label in labels)
+        dominants = [i for i in s3.inputs if i.dominant]
+        assert len(dominants) == 1
+        assert "PB" in dominants[0].label
+        assert "sort runs" in s3.label
+
+    def test_s4_sorts_c(self, setup):
+        _, _, specs = setup
+        s4 = specs[3]
+        assert s4.inputs[0].label == "c"
+        assert "sort runs" in s4.label
+
+    def test_s5_merges_with_two_dominant_inputs(self, setup):
+        _, _, specs = setup
+        s5 = specs[4]
+        assert s5.final
+        assert len(s5.inputs) == 2
+        assert all(i.dominant for i in s5.inputs)
+        assert {i.child_segment for i in s5.inputs} == {2, 3}
+
+
+class TestFigure3Execution:
+    def test_hand_built_plan_computes_the_join(self, setup):
+        db, planned, _specs = setup
+        ctx = ExecContext(db.clock, db.disk, db.buffer_pool, db.config)
+        result = run_query(planned, ctx, keep_rows=True)
+
+        a_rows = [r for r in db.catalog.get_table("a").heap.iter_rows() if r[1] < 20]
+        b_rows = list(db.catalog.get_table("b").heap.iter_rows())
+        c_rows = list(db.catalog.get_table("c").heap.iter_rows())
+        expected = sorted(
+            (a[0], b[1], c[1])
+            for a in a_rows
+            for b in b_rows
+            if a[0] == b[0]
+            for c in c_rows
+            if a[1] == c[0]
+        )
+        assert sorted(result.rows) == expected

@@ -1,0 +1,73 @@
+"""Integration: the one-shot reproduction runner covers every figure."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.bench.reproduce import render_summary, run_all
+from repro.config import SystemConfig
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_all(scale=0.002, config=SystemConfig(work_mem_pages=8))
+
+
+class TestRunAll:
+    def test_all_seven_experiments_run(self, rows):
+        names = [r.experiment for r in rows]
+        assert names == [
+            "Q1 unloaded",
+            "Q2 unloaded",
+            "Q2 I/O interference",
+            "Q3 correlated",
+            "Q4 two errors",
+            "Q5 unloaded",
+            "Q5 CPU interference",
+        ]
+
+    def test_every_figure_covered(self, rows):
+        figures = " ".join(r.figures for r in rows)
+        for fig in ("4-7", "9-12", "13-16", "17", "18", "19", "20"):
+            assert fig in figures
+
+    def test_indicator_beats_optimizer_everywhere(self, rows):
+        # The paper's headline: on every experiment, the refined
+        # indicator's remaining-time error is below the baseline's.
+        for row in rows:
+            ind, opt = row.indicator_error(), row.optimizer_error()
+            assert ind is not None and opt is not None
+            # Strictly better wherever the baseline is meaningfully wrong;
+            # on very short runs both can round to ~zero (a tie).
+            assert ind <= opt, row.experiment
+            if opt > 1.0:
+                assert ind < opt, row.experiment
+
+    def test_interference_runs_are_stretched(self, rows):
+        by_name = {r.experiment: r.result for r in rows}
+        assert (
+            by_name["Q2 I/O interference"].total_elapsed
+            > 1.2 * by_name["Q2 unloaded"].total_elapsed
+        )
+        assert (
+            by_name["Q5 CPU interference"].total_elapsed
+            > 1.2 * by_name["Q5 unloaded"].total_elapsed
+        )
+
+    def test_cost_estimates_converge(self, rows):
+        for row in rows:
+            assert row.cost_convergence() is not None, row.experiment
+
+    def test_summary_renders_every_row(self, rows):
+        text = render_summary(rows, scale=0.002)
+        for row in rows:
+            assert row.experiment in text
+        assert "err ind" in text
+
+
+class TestCliReproduce:
+    def test_cli_subcommand(self, capsys):
+        code = main(["reproduce", "--scale", "0.001"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Reproduction summary" in out
+        assert "Q5 CPU interference" in out

@@ -1,0 +1,60 @@
+"""Integration: the figure shapes are not artifacts of one scale factor.
+
+The calibrated defaults target scale 0.01; this re-checks the Q2 cost
+signature (Figure 9) and the Q5 tracking behaviour (Figure 19) at a
+different scale and memory budget, guarding against overfitting the
+reproduction to a single configuration.
+"""
+
+import pytest
+
+from repro.bench import metrics, run_experiment
+from repro.config import SystemConfig
+from repro.workloads import queries, tpcr
+
+SCALE = 0.02
+CFG = SystemConfig(work_mem_pages=48)
+
+
+@pytest.fixture(scope="module")
+def q2():
+    db = tpcr.build_database(scale=SCALE, config=CFG)
+    return run_experiment("Q2@0.02", db, queries.Q2)
+
+
+class TestQ2SignatureAtOtherScale:
+    def test_initial_underestimate(self, q2):
+        assert q2.estimated_cost_series()[0][1] < 0.85 * q2.exact_cost_pages
+
+    def test_monotone_ramp_to_exact(self, q2):
+        series = q2.estimated_cost_series()
+        assert metrics.is_nondecreasing(series, slack=1.0)
+        converged = metrics.convergence_time(series, q2.exact_cost_pages, 0.02)
+        assert converged is not None
+        assert converged < 0.95 * q2.total_elapsed
+
+    def test_indicator_beats_optimizer(self, q2):
+        ind = metrics.mean_abs_error(
+            q2.remaining_series(), q2.actual_remaining_series()
+        )
+        opt = metrics.mean_abs_error(
+            q2.optimizer_remaining_series(), q2.actual_remaining_series()
+        )
+        assert ind < 0.6 * opt
+
+    def test_multibatch_structure_preserved(self, q2):
+        assert q2.num_segments == 4
+
+
+class TestQ5TrackingAtOtherScale:
+    def test_remaining_tracks_actual(self):
+        db = tpcr.build_database(scale=SCALE, subset_rows=500, config=CFG)
+        q5 = run_experiment("Q5@0.02", db, queries.Q5)
+        act = dict(q5.actual_remaining_series())
+        checked = 0
+        for t, v in q5.remaining_series():
+            if v is None or t < 20.0:
+                continue
+            checked += 1
+            assert abs(v - act[t]) <= 0.15 * q5.total_elapsed + 5.0
+        assert checked >= 3

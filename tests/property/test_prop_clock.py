@@ -1,0 +1,89 @@
+"""Property-based tests: virtual clock invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.clock import VirtualClock
+from repro.sim.load import CPU, IO, InterferenceWindow, LoadProfile
+
+costs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        st.sampled_from([IO, CPU]),
+    ),
+    max_size=30,
+)
+
+windows = st.lists(
+    st.builds(
+        InterferenceWindow,
+        start=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        end=st.floats(min_value=101.0, max_value=500.0, allow_nan=False),
+        io_factor=st.floats(min_value=0.25, max_value=8.0, allow_nan=False),
+        cpu_factor=st.floats(min_value=0.25, max_value=8.0, allow_nan=False),
+    ),
+    max_size=3,
+)
+
+
+class TestClockProperties:
+    @given(costs)
+    def test_time_is_monotone(self, charges):
+        clock = VirtualClock()
+        last = 0.0
+        for cost, resource in charges:
+            clock.advance(cost, resource)
+            assert clock.now >= last
+            last = clock.now
+
+    @given(costs)
+    def test_unloaded_time_equals_total_cost(self, charges):
+        clock = VirtualClock()
+        for cost, resource in charges:
+            clock.advance(cost, resource)
+        total = sum(c for c, _ in charges)
+        assert abs(clock.now - total) < 1e-6 * max(1.0, total)
+
+    @given(costs, windows)
+    def test_loaded_time_at_least_unloaded(self, charges, wins):
+        """Slowdowns can only stretch elapsed time (factors >= 1)."""
+        stretched = [
+            InterferenceWindow(
+                w.start, w.end, max(1.0, w.io_factor), max(1.0, w.cpu_factor)
+            )
+            for w in wins
+        ]
+        clock = VirtualClock(LoadProfile(stretched))
+        for cost, resource in charges:
+            clock.advance(cost, resource)
+        total = sum(c for c, _ in charges)
+        assert clock.now >= total - 1e-6
+
+    @given(costs, windows)
+    def test_split_advance_equivalent_to_single(self, charges, wins):
+        """advance(a); advance(b) must land where advance(a+b) lands."""
+        profile = LoadProfile(wins)
+        one = VirtualClock(profile)
+        two = VirtualClock(profile)
+        for cost, resource in charges:
+            one.advance(cost, resource)
+            two.advance(cost / 2.0, resource)
+            two.advance(cost / 2.0, resource)
+        assert abs(one.now - two.now) < 1e-6 * max(1.0, one.now)
+
+    @given(
+        st.floats(min_value=0.5, max_value=20.0, allow_nan=False),
+        st.floats(min_value=1.0, max_value=200.0, allow_nan=False),
+    )
+    @settings(max_examples=50)
+    def test_ticker_count_matches_elapsed(self, interval, total):
+        clock = VirtualClock()
+        fired = []
+        clock.add_ticker(interval, fired.append)
+        clock.advance(total, CPU)
+        expected = int(total / interval)
+        # Firing exactly at the final instant may round either way.
+        assert abs(len(fired) - expected) <= 1
+        # Fire times are exact multiples of the interval.
+        for i, t in enumerate(fired):
+            assert abs(t - (i + 1) * interval) < 1e-9

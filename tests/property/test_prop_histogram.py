@@ -1,0 +1,78 @@
+"""Property-based tests: histogram and selectivity invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog.statistics import ColumnStatistics, Histogram
+
+values = st.lists(
+    st.integers(min_value=-10_000, max_value=10_000), min_size=1, max_size=300
+)
+buckets = st.integers(min_value=1, max_value=40)
+probes = st.integers(min_value=-20_000, max_value=20_000)
+
+
+class TestHistogramProperties:
+    @given(values, buckets, probes)
+    def test_fraction_below_in_unit_interval(self, vals, nbuckets, probe):
+        h = Histogram.from_values(vals, nbuckets)
+        frac = h.fraction_below(probe)
+        assert 0.0 <= frac <= 1.0
+
+    @given(values, buckets)
+    def test_fraction_below_monotone_in_probe(self, vals, nbuckets):
+        h = Histogram.from_values(vals, nbuckets)
+        probes_sorted = sorted({min(vals) - 1, max(vals) + 1, *vals})
+        fracs = [h.fraction_below(p) for p in probes_sorted]
+        assert all(b >= a - 1e-12 for a, b in zip(fracs, fracs[1:]))
+
+    @given(values, buckets, probes)
+    def test_inclusive_at_least_exclusive(self, vals, nbuckets, probe):
+        h = Histogram.from_values(vals, nbuckets)
+        assert h.fraction_below(probe, inclusive=True) >= h.fraction_below(probe)
+
+    @given(values, buckets)
+    def test_bounds_are_sorted(self, vals, nbuckets):
+        h = Histogram.from_values(vals, nbuckets)
+        assert h.bounds == sorted(h.bounds)
+
+    @given(values, buckets)
+    def test_approximates_true_cdf(self, vals, nbuckets):
+        """Fraction-below stays within one bucket of the empirical CDF."""
+        h = Histogram.from_values(vals, nbuckets)
+        n = len(vals)
+        data = sorted(vals)
+        for probe in data[:: max(1, n // 10)]:
+            true_frac = sum(1 for v in data if v < probe) / n
+            estimate = h.fraction_below(probe)
+            assert abs(estimate - true_frac) <= 1.5 / h.num_buckets + 2.0 / n
+
+
+class TestSelectivityProperties:
+    @given(values, buckets, probes)
+    def test_range_selectivities_partition_unity(self, vals, nbuckets, probe):
+        stats = ColumnStatistics(
+            name="x",
+            num_distinct=len(set(vals)),
+            null_fraction=0.0,
+            min_value=min(vals),
+            max_value=max(vals),
+            histogram=Histogram.from_values(vals, nbuckets),
+        )
+        lt = stats.selectivity_cmp("<", probe)
+        ge = stats.selectivity_cmp(">=", probe)
+        assert abs((lt + ge) - 1.0) < 1e-9
+        assert 0.0 <= lt <= 1.0
+
+    @given(values, probes)
+    def test_eq_plus_ne_is_nonnull_fraction(self, vals, probe):
+        stats = ColumnStatistics(
+            name="x",
+            num_distinct=len(set(vals)),
+            null_fraction=0.0,
+            min_value=min(vals),
+            max_value=max(vals),
+        )
+        eq = stats.selectivity_eq(probe)
+        ne = stats.selectivity_cmp("<>", probe)
+        assert abs((eq + ne) - 1.0) < 1e-9

@@ -1,0 +1,135 @@
+"""Unit tests for name resolution (the binder)."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.expr.bound import ColumnExpr, ComparisonExpr, LogicalExpr
+from repro.sql.binder import Binder
+from repro.sql.parser import parse_select
+from repro.storage.types import BOOLEAN, FLOAT, INTEGER
+
+
+def bind(db, sql):
+    return Binder(db.catalog).bind(parse_select(sql))
+
+
+class TestTableResolution:
+    def test_unknown_table_rejected(self, small_db):
+        with pytest.raises(Exception):
+            bind(small_db, "select * from nope")
+
+    def test_duplicate_binding_names_rejected(self, small_db):
+        with pytest.raises(BindError):
+            bind(small_db, "select * from t1, t1")
+
+    def test_self_join_with_aliases_ok(self, small_db):
+        bound = bind(small_db, "select x.a, y.a from t1 x, t1 y where x.a = y.b")
+        assert [t.binding_name for t in bound.tables] == ["x", "y"]
+
+
+class TestColumnResolution:
+    def test_unqualified_unique_column(self, small_db):
+        bound = bind(small_db, "select b from t1")
+        expr, name = bound.output[0]
+        assert isinstance(expr, ColumnExpr)
+        assert expr.coordinate == (0, 1)
+        assert name == "b"
+
+    def test_qualified_column(self, small_db):
+        bound = bind(small_db, "select t2.v from t1, t2")
+        expr, _ = bound.output[0]
+        assert expr.coordinate == (1, 1)
+
+    def test_ambiguous_column_rejected(self, small_db):
+        with pytest.raises(BindError, match="ambiguous"):
+            bind(small_db, "select a from t1, t2")
+
+    def test_unknown_column_rejected(self, small_db):
+        with pytest.raises(BindError):
+            bind(small_db, "select zzz from t1")
+
+    def test_unknown_qualifier_rejected(self, small_db):
+        with pytest.raises(BindError):
+            bind(small_db, "select q.a from t1")
+
+    def test_column_types_carried(self, small_db):
+        bound = bind(small_db, "select t1.a, v from t1, t2 where t1.a = t2.a")
+        assert bound.output[0][0].type == INTEGER
+        assert bound.output[1][0].type == FLOAT
+
+
+class TestSelectList:
+    def test_star_expands_all_tables(self, small_db):
+        bound = bind(small_db, "select * from t1, t2")
+        assert len(bound.output) == 5
+
+    def test_qualified_star(self, small_db):
+        bound = bind(small_db, "select t2.* from t1, t2")
+        assert len(bound.output) == 2
+
+    def test_duplicate_output_names_disambiguated(self, small_db):
+        bound = bind(small_db, "select x.a, y.a from t1 x, t1 y")
+        names = [n for _, n in bound.output]
+        assert names == ["a", "a_2"]
+
+    def test_alias_respected(self, small_db):
+        bound = bind(small_db, "select a as alpha from t1")
+        assert bound.output[0][1] == "alpha"
+
+    def test_expression_gets_generated_name(self, small_db):
+        bound = bind(small_db, "select a + 1 from t1")
+        assert bound.output[0][1] == "col1"
+
+
+class TestWhereBinding:
+    def test_conjuncts_flattened(self, small_db):
+        bound = bind(
+            small_db, "select a from t1 where a = 1 and b = 2 and a < b"
+        )
+        assert len(bound.conjuncts) == 3
+        assert all(isinstance(c, ComparisonExpr) for c in bound.conjuncts)
+
+    def test_or_stays_single_conjunct(self, small_db):
+        bound = bind(small_db, "select a from t1 where a = 1 or b = 2")
+        assert len(bound.conjuncts) == 1
+        assert isinstance(bound.conjuncts[0], LogicalExpr)
+
+    def test_where_must_be_boolean(self, small_db):
+        with pytest.raises(BindError):
+            bind(small_db, "select a from t1 where a + 1")
+
+    def test_comparison_type_mismatch_rejected(self, small_db):
+        with pytest.raises(BindError):
+            bind(small_db, "select a from t1 where s > 5")
+
+    def test_function_arity_checked(self, small_db):
+        with pytest.raises(BindError):
+            bind(small_db, "select absolute(a, b) from t1")
+
+    def test_unknown_function_rejected(self, small_db):
+        with pytest.raises(BindError):
+            bind(small_db, "select frobnicate(a) from t1")
+
+    def test_not_requires_boolean(self, small_db):
+        with pytest.raises(BindError):
+            bind(small_db, "select a from t1 where not a")
+
+    def test_arith_requires_numeric(self, small_db):
+        with pytest.raises(BindError):
+            bind(small_db, "select s + 1 from t1")
+
+    def test_comparison_result_is_boolean(self, small_db):
+        bound = bind(small_db, "select a from t1 where a = 1")
+        assert bound.conjuncts[0].type == BOOLEAN
+
+
+class TestOrderLimitBinding:
+    def test_order_by_bound(self, small_db):
+        bound = bind(small_db, "select a from t1 order by b desc")
+        expr, ascending = bound.order_by[0]
+        assert expr.coordinate == (0, 1)
+        assert ascending is False
+
+    def test_limit_carried(self, small_db):
+        bound = bind(small_db, "select a from t1 limit 7")
+        assert bound.limit == 7

@@ -1,0 +1,99 @@
+"""Unit tests for the concurrent workload's clock gate in isolation."""
+
+import threading
+
+import pytest
+
+from repro.core.concurrent import _ClockGate
+from repro.errors import ProgressError
+from repro.sim.clock import VirtualClock
+from repro.sim.load import CPU
+
+
+def run_worker(clock, gate, charges, done_event, go_event):
+    """A worker thread that charges the clock in small steps.
+
+    Like ConcurrentWorkload, workers wait on ``go_event`` so the driver can
+    register their thread ids with the gate before any charge happens.
+    """
+
+    def work():
+        go_event.wait()
+        for _ in range(charges):
+            clock.advance(0.1, CPU)
+        gate.finish(threading.get_ident())
+        done_event.set()
+
+    thread = threading.Thread(target=work, daemon=True)
+    return thread
+
+
+class TestClockGate:
+    def test_single_worker_progresses(self):
+        clock = VirtualClock()
+        gate = _ClockGate(clock, quantum=0.5)
+        clock.gate = gate
+        done, go = threading.Event(), threading.Event()
+        thread = run_worker(clock, gate, charges=20, done_event=done, go_event=go)
+        thread.start()
+        gate.register(thread.ident, "w")
+        go.set()
+        gate.run_until(100.0, lambda: not done.is_set())
+        thread.join(timeout=5.0)
+        assert done.is_set()
+        assert clock.now == pytest.approx(2.0)
+
+    def test_two_workers_share_time_fairly(self):
+        clock = VirtualClock()
+        gate = _ClockGate(clock, quantum=0.2)
+        clock.gate = gate
+        done1, done2, go = threading.Event(), threading.Event(), threading.Event()
+        t1 = run_worker(clock, gate, charges=30, done_event=done1, go_event=go)
+        t2 = run_worker(clock, gate, charges=30, done_event=done2, go_event=go)
+        t1.start()
+        t2.start()
+        gate.register(t1.ident, "a")
+        gate.register(t2.ident, "b")
+        go.set()
+        pending = lambda: not (done1.is_set() and done2.is_set())  # noqa: E731
+        while pending():
+            gate.run_until(clock.now + 1.0, pending)
+        t1.join(timeout=5.0)
+        t2.join(timeout=5.0)
+        assert clock.now == pytest.approx(6.0)
+
+    def test_window_limit_pauses_workers(self):
+        clock = VirtualClock()
+        gate = _ClockGate(clock, quantum=0.5)
+        clock.gate = gate
+        done, go = threading.Event(), threading.Event()
+        thread = run_worker(clock, gate, charges=100, done_event=done, go_event=go)
+        thread.start()
+        gate.register(thread.ident, "w")
+        go.set()
+        gate.run_until(1.0, lambda: not done.is_set())
+        # The worker wanted 10.0 seconds of work but the window closed at
+        # ~1.0 (one in-flight charge may overshoot slightly).
+        assert clock.now == pytest.approx(1.0, abs=0.2)
+        assert not done.is_set()
+        gate.run_until(100.0, lambda: not done.is_set())
+        thread.join(timeout=5.0)
+        assert done.is_set()
+
+    def test_suspend_last_runnable_rejected(self):
+        clock = VirtualClock()
+        gate = _ClockGate(clock, quantum=0.5)
+        gate.register(12345, "only")
+        with pytest.raises(ProgressError):
+            gate.suspend(12345)
+
+    def test_invalid_quantum_rejected(self):
+        with pytest.raises(ProgressError):
+            _ClockGate(VirtualClock(), quantum=0.0)
+
+    def test_unregistered_thread_passes_through(self):
+        clock = VirtualClock()
+        gate = _ClockGate(clock, quantum=0.5)
+        clock.gate = gate
+        clock.advance(3.0, CPU)  # the driving thread is not gated
+        assert clock.now == pytest.approx(3.0)

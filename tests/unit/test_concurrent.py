@@ -1,0 +1,134 @@
+"""Unit tests for concurrent workloads on a shared virtual clock."""
+
+import pytest
+
+from repro.core.concurrent import ConcurrentWorkload
+from repro.errors import ProgressError
+from repro.workloads import queries, tpcr
+
+
+def make_db():
+    return tpcr.build_database(scale=0.002, subset_rows=40)
+
+
+class TestInterleaving:
+    def test_queries_complete_with_correct_counts(self):
+        db = make_db()
+        workload = ConcurrentWorkload(db)
+        workload.add("scan", "select * from lineitem")
+        workload.add("join", queries.Q2)
+        runs = workload.run()
+        lineitem = db.catalog.get_table("lineitem").num_tuples
+        assert runs["scan"].row_count == lineitem
+        assert runs["join"].row_count == lineitem  # key/FK join
+
+    def test_results_match_solo_execution(self):
+        solo = make_db().execute(queries.Q2, keep_rows=False)
+        workload = ConcurrentWorkload(make_db())
+        workload.add("q2", queries.Q2)
+        runs = workload.run()
+        assert runs["q2"].row_count == solo.row_count
+
+    def test_contention_stretches_elapsed_time(self):
+        solo = make_db().execute_with_progress("select * from lineitem")
+        workload = ConcurrentWorkload(make_db())
+        workload.add("scan", "select * from lineitem")
+        workload.add("join", queries.Q2)
+        runs = workload.run()
+        assert runs["scan"].elapsed > 1.3 * solo.result.elapsed
+
+    def test_each_query_gets_its_own_log(self):
+        workload = ConcurrentWorkload(make_db())
+        workload.add("a", "select * from orders")
+        workload.add("b", "select * from customer")
+        runs = workload.run()
+        assert runs["a"].log is not None
+        assert runs["b"].log is not None
+        assert runs["a"].log.final().percent_done == pytest.approx(100.0)
+
+    def test_indicator_sees_contention_as_low_speed(self):
+        # The scan's observed speed with a competitor must be lower than
+        # alone — the contention signal the paper's interference tests
+        # produce with an external job.
+        solo = make_db().execute_with_progress("select * from lineitem")
+        solo_speeds = [
+            v for _, v in solo.log.speed_series() if v is not None
+        ]
+        workload = ConcurrentWorkload(make_db())
+        workload.add("scan", "select * from lineitem")
+        workload.add("join", queries.Q2)
+        runs = workload.run()
+        loaded_speeds = [
+            v for _, v in runs["scan"].log.speed_series() if v is not None
+        ]
+        assert loaded_speeds
+        assert max(loaded_speeds) < max(solo_speeds)
+
+
+class TestSuspendResume:
+    def test_suspended_query_makes_no_progress(self):
+        workload = ConcurrentWorkload(make_db())
+        workload.add("victim", "select * from lineitem")
+        workload.add("other", "select * from orders")
+        workload.suspend("victim")
+        workload.step()
+        assert workload.queries["victim"].row_count == 0
+        assert workload.queries["other"].row_count > 0
+
+    def test_resume_lets_query_finish(self):
+        workload = ConcurrentWorkload(make_db())
+        workload.add("victim", "select * from customer")
+        workload.suspend("victim")
+        workload.add("other", "select * from orders")
+        while workload.queries["other"].finished_at is None:
+            workload.step()
+        workload.resume("victim")
+        workload.run()
+        assert workload.queries["victim"].done
+
+    def test_all_suspended_raises(self):
+        workload = ConcurrentWorkload(make_db())
+        workload.add("only", "select * from customer")
+        workload.suspend("only")
+        with pytest.raises(ProgressError, match="deadlock"):
+            workload.step()
+
+    def test_unknown_query_rejected(self):
+        workload = ConcurrentWorkload(make_db())
+        with pytest.raises(ProgressError):
+            workload.suspend("ghost")
+
+
+class TestApiGuards:
+    def test_duplicate_name_rejected(self):
+        workload = ConcurrentWorkload(make_db())
+        workload.add("q", "select * from customer")
+        with pytest.raises(ProgressError):
+            workload.add("q", "select * from orders")
+
+    def test_add_after_start_rejected(self):
+        workload = ConcurrentWorkload(make_db())
+        workload.add("q", "select * from customer")
+        workload.step()
+        with pytest.raises(ProgressError):
+            workload.add("late", "select * from orders")
+
+    def test_invalid_quantum_rejected(self):
+        with pytest.raises(ProgressError):
+            ConcurrentWorkload(make_db(), quantum=0.0)
+
+    def test_invalid_advance_rejected(self):
+        workload = ConcurrentWorkload(make_db())
+        workload.add("q", "select * from customer")
+        with pytest.raises(ProgressError):
+            workload.advance(0.0)
+
+    def test_reports_cover_unfinished_queries(self):
+        workload = ConcurrentWorkload(make_db())
+        workload.add("a", "select * from lineitem")
+        workload.add("b", "select * from lineitem")
+        workload.step()
+        reports = workload.reports()
+        assert set(reports) == {"a", "b"}
+        workload.run()
+        assert workload.reports() == {}

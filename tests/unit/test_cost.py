@@ -1,0 +1,109 @@
+"""Unit tests for the optimizer's search-cost formulas."""
+
+import pytest
+
+from repro.planner.cost import (
+    Cost,
+    hash_join_batches,
+    hash_join_cost,
+    index_scan_cost,
+    merge_join_cost,
+    nestloop_cost,
+    pages_for_bytes,
+    seq_scan_cost,
+    sort_cost,
+)
+
+PAGE = 8192
+WORK_MEM = 32 * PAGE
+
+
+class TestCostArithmetic:
+    def test_add(self):
+        a = Cost(1.0, 0.5)
+        b = Cost(2.0, 1.5)
+        assert (a + b).total == 3.0
+        assert (a + b).io_pages == 2.0
+
+    def test_zero(self):
+        assert Cost.zero().total == 0.0
+
+    def test_pages_for_bytes(self):
+        assert pages_for_bytes(PAGE * 3, PAGE) == 3.0
+        assert pages_for_bytes(100.0, PAGE) == pytest.approx(100.0 / PAGE)
+
+
+class TestScanCosts:
+    def test_seq_scan_grows_with_pages(self):
+        small = seq_scan_cost(10, 1000, 0)
+        big = seq_scan_cost(100, 10000, 0)
+        assert big.total > small.total
+
+    def test_filters_add_cpu(self):
+        assert seq_scan_cost(10, 1000, 2).total > seq_scan_cost(10, 1000, 0).total
+
+    def test_index_scan_cheap_for_selective_probe(self):
+        # 1 matching tuple out of a million-row table.
+        idx = index_scan_cost(3, 1, 1, 1, 0)
+        seq = seq_scan_cost(10_000, 1_000_000, 1)
+        assert idx.total < seq.total
+
+    def test_index_scan_expensive_for_full_range(self):
+        idx = index_scan_cost(3, 2000, 1_000_000, 10_000, 0)
+        seq = seq_scan_cost(10_000, 1_000_000, 1)
+        assert idx.total > seq.total
+
+
+class TestHashJoin:
+    def test_batches_one_when_fits(self):
+        assert hash_join_batches(WORK_MEM - 1, WORK_MEM) == 1
+
+    def test_batches_grow_with_build_size(self):
+        assert hash_join_batches(WORK_MEM * 3.5, WORK_MEM) == 4
+
+    def test_smaller_build_side_cheaper(self):
+        # The asymmetry the paper's plans rely on: hash the small side.
+        small_build = hash_join_cost(100, 100 * 40, 10_000, 10_000 * 40, 5000, 1, PAGE)
+        big_build = hash_join_cost(10_000, 10_000 * 40, 100, 100 * 40, 5000, 1, PAGE)
+        assert small_build.total < big_build.total
+
+    def test_multi_batch_pays_io(self):
+        in_mem = hash_join_cost(1000, 1000 * 40, 1000, 1000 * 40, 100, 1, PAGE)
+        spilled = hash_join_cost(1000, 1000 * 40, 1000, 1000 * 40, 100, 3, PAGE)
+        assert spilled.io_pages > in_mem.io_pages
+        assert spilled.total > in_mem.total
+
+
+class TestSortAndMerge:
+    def test_in_memory_sort_has_no_io(self):
+        assert sort_cost(1000, 1000 * 50, WORK_MEM, PAGE).io_pages == 0.0
+
+    def test_external_sort_pays_write_and_read(self):
+        nbytes = WORK_MEM * 4
+        cost = sort_cost(100_000, nbytes, WORK_MEM, PAGE)
+        assert cost.io_pages == pytest.approx(2.0 * nbytes / PAGE)
+
+    def test_sort_trivial_input_free(self):
+        assert sort_cost(1, 50, WORK_MEM, PAGE).total == 0.0
+
+    def test_merge_join_linear(self):
+        small = merge_join_cost(100, 100, 100)
+        big = merge_join_cost(10_000, 10_000, 100)
+        assert big.total > small.total
+
+
+class TestNestLoop:
+    def test_quadratic_in_inputs(self):
+        small = nestloop_cost(100, 100, 100 * 40, WORK_MEM, 1, PAGE)
+        big = nestloop_cost(1000, 1000, 1000 * 40, WORK_MEM, 1, PAGE)
+        assert big.total > small.total * 50
+
+    def test_spilled_inner_pays_rescans(self):
+        fits = nestloop_cost(1000, 100, WORK_MEM - 1, WORK_MEM, 1, PAGE)
+        spills = nestloop_cost(1000, 100, WORK_MEM * 4, WORK_MEM, 1, PAGE)
+        assert spills.io_pages > fits.io_pages
+
+    def test_nestloop_loses_to_hash_join_on_large_equi(self):
+        nl = nestloop_cost(10_000, 10_000, 10_000 * 40, WORK_MEM, 1, PAGE)
+        hj = hash_join_cost(10_000, 10_000 * 40, 10_000, 10_000 * 40, 10_000, 2, PAGE)
+        assert hj.total < nl.total

@@ -1,0 +1,107 @@
+"""Unit tests for EXPLAIN rendering and configuration plumbing."""
+
+import pytest
+
+from repro.config import (
+    CostModelConfig,
+    PlannerConfig,
+    ProgressConfig,
+    SystemConfig,
+)
+from repro.core.refine import ProgressEstimator
+from repro.core.segments import build_segments
+from repro.executor.work import WorkTracker
+from repro.planner.explain import explain
+from repro.workloads import queries, tpcr
+
+
+class TestExplain:
+    def test_scan_line_includes_estimates(self, tiny_tpcr):
+        plan = tiny_tpcr.prepare("select custkey from customer")
+        text = explain(plan.root)
+        assert "SeqScan(customer)" in text
+        assert "rows=" in text and "width=" in text
+
+    def test_filters_rendered(self, tiny_tpcr):
+        plan = tiny_tpcr.prepare("select custkey from customer where nationkey < 5")
+        assert "filter: (c" in explain(plan.root) or "filter:" in explain(plan.root)
+
+    def test_join_keys_rendered(self, tiny_tpcr):
+        plan = tiny_tpcr.prepare(queries.Q2)
+        text = explain(plan.root)
+        assert "HashJoin" in text
+        assert "on" in text
+
+    def test_segments_shown_after_segmentation(self, tiny_tpcr):
+        plan = tiny_tpcr.prepare(queries.Q2)
+        build_segments(plan.root)
+        text = explain(plan.root)
+        assert "[segment 0]" in text
+
+    def test_indentation_reflects_tree_depth(self, tiny_tpcr):
+        plan = tiny_tpcr.prepare(queries.Q2)
+        lines = explain(plan.root).splitlines()
+        depths = [len(line) - len(line.lstrip()) for line in lines]
+        assert depths[0] == 0
+        assert max(depths) >= 4
+
+    def test_aggregate_and_distinct_labels(self, tiny_tpcr):
+        plan = tiny_tpcr.prepare(
+            "select distinct nationkey from customer"
+        )
+        assert "Distinct" in explain(plan.root)
+        plan = tiny_tpcr.prepare(
+            "select nationkey, count(*) from customer group by nationkey"
+        )
+        assert "HashAggregate" in explain(plan.root)
+
+
+class TestConfig:
+    def test_with_planner_replaces_only_planner(self):
+        config = SystemConfig()
+        updated = config.with_planner(enable_hashjoin=False)
+        assert updated.planner.enable_hashjoin is False
+        assert config.planner.enable_hashjoin is True
+        assert updated.cost is config.cost
+
+    def test_with_progress(self):
+        config = SystemConfig().with_progress(speed_window=42.0)
+        assert config.progress.speed_window == 42.0
+
+    def test_with_cost(self):
+        config = SystemConfig().with_cost(seq_page_read=1.0)
+        assert config.cost.seq_page_read == 1.0
+
+    def test_configs_frozen(self):
+        config = SystemConfig()
+        with pytest.raises(Exception):
+            config.page_size = 1
+
+    def test_default_selectivity_is_one_third(self):
+        # The constant the paper's Figures 9/13/17/18 hinge on.
+        assert PlannerConfig().default_selectivity == pytest.approx(1.0 / 3.0)
+
+    def test_progress_defaults_match_paper(self):
+        progress = ProgressConfig()
+        assert progress.update_interval == 10.0  # Section 5 pacing
+        assert progress.speed_window == 10.0  # Section 4.6's T
+
+    def test_cost_ratios_sane(self):
+        cost = CostModelConfig()
+        assert cost.random_page_read > cost.seq_page_read
+        assert cost.cpu_tuple < cost.seq_page_read
+
+    def test_refine_mode_validated(self):
+        config = SystemConfig().with_progress(refine_mode="bogus")
+        db = tpcr.build_database(scale=0.001, subset_rows=20, config=config)
+        with pytest.raises(ValueError):
+            db.execute_with_progress("select * from customer")
+
+
+class TestEstimatorConfig:
+    def test_estimator_rejects_bad_mode(self, tiny_tpcr):
+        plan = tiny_tpcr.prepare("select * from customer")
+        specs = build_segments(plan.root)
+        tracker = WorkTracker([len(s.inputs) for s in specs], specs[-1].id)
+        with pytest.raises(ValueError):
+            ProgressEstimator(specs, tracker, refine_mode="nope")

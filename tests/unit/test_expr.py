@@ -1,0 +1,209 @@
+"""Unit tests for bound expressions, the compiler, and SQL functions."""
+
+import pytest
+
+from repro.errors import BindError, ExecutionError
+from repro.expr.bound import (
+    ArithmeticExpr,
+    ColumnExpr,
+    ComparisonExpr,
+    FunctionExpr,
+    LiteralExpr,
+    LogicalExpr,
+    NegativeExpr,
+    NotExpr,
+    as_conjuncts,
+    equijoin_sides,
+    referenced_tables,
+)
+from repro.expr.compiler import compile_expr, compile_predicate
+from repro.expr.functions import lookup_function
+from repro.storage.types import FLOAT, INTEGER, string
+
+
+def col(t, c, name="c", type_=INTEGER):
+    return ColumnExpr(t, c, name, type_)
+
+
+LAYOUT = {(0, 0): 0, (0, 1): 1, (1, 0): 2}
+
+
+class TestCompiler:
+    def test_column_lookup(self):
+        fn = compile_expr(col(0, 1), LAYOUT)
+        assert fn((10, 20, 30)) == 20
+
+    def test_missing_coordinate_raises(self):
+        with pytest.raises(ExecutionError):
+            compile_expr(col(5, 5), LAYOUT)
+
+    def test_literal(self):
+        fn = compile_expr(LiteralExpr(42, INTEGER), LAYOUT)
+        assert fn(()) == 42
+
+    def test_comparison(self):
+        fn = compile_expr(ComparisonExpr("<", col(0, 0), col(0, 1)), LAYOUT)
+        assert fn((1, 2, 0)) is True
+        assert fn((2, 1, 0)) is False
+
+    def test_comparison_with_null_is_none(self):
+        fn = compile_expr(ComparisonExpr("=", col(0, 0), LiteralExpr(1, INTEGER)), LAYOUT)
+        assert fn((None, 0, 0)) is None
+
+    def test_predicate_null_is_false(self):
+        fn = compile_predicate(
+            ComparisonExpr("=", col(0, 0), LiteralExpr(1, INTEGER)), LAYOUT
+        )
+        assert fn((None, 0, 0)) is False
+        assert fn((1, 0, 0)) is True
+
+    def test_and_short_circuit(self):
+        expr = LogicalExpr(
+            "and",
+            [
+                ComparisonExpr(">", col(0, 0), LiteralExpr(0, INTEGER)),
+                ComparisonExpr(">", col(0, 1), LiteralExpr(0, INTEGER)),
+            ],
+        )
+        fn = compile_expr(expr, LAYOUT)
+        assert fn((1, 1, 0)) is True
+        assert fn((0, 1, 0)) is False
+
+    def test_and_with_null_sql_semantics(self):
+        expr = LogicalExpr(
+            "and",
+            [
+                ComparisonExpr(">", col(0, 0), LiteralExpr(0, INTEGER)),
+                ComparisonExpr(">", col(0, 1), LiteralExpr(0, INTEGER)),
+            ],
+        )
+        fn = compile_expr(expr, LAYOUT)
+        assert fn((1, None, 0)) is None  # TRUE AND NULL = NULL
+        assert fn((0, None, 0)) is False  # FALSE AND NULL = FALSE
+
+    def test_or_with_null_sql_semantics(self):
+        expr = LogicalExpr(
+            "or",
+            [
+                ComparisonExpr(">", col(0, 0), LiteralExpr(0, INTEGER)),
+                ComparisonExpr(">", col(0, 1), LiteralExpr(0, INTEGER)),
+            ],
+        )
+        fn = compile_expr(expr, LAYOUT)
+        assert fn((1, None, 0)) is True  # TRUE OR NULL = TRUE
+        assert fn((0, None, 0)) is None  # FALSE OR NULL = NULL
+
+    def test_arithmetic(self):
+        expr = ArithmeticExpr("*", col(0, 0), LiteralExpr(3, INTEGER))
+        assert compile_expr(expr, LAYOUT)((7, 0, 0)) == 21
+
+    def test_arithmetic_null_propagates(self):
+        expr = ArithmeticExpr("+", col(0, 0), LiteralExpr(3, INTEGER))
+        assert compile_expr(expr, LAYOUT)((None, 0, 0)) is None
+
+    def test_division_yields_float(self):
+        expr = ArithmeticExpr("/", LiteralExpr(7, INTEGER), LiteralExpr(2, INTEGER))
+        assert expr.type == FLOAT
+        assert compile_expr(expr, LAYOUT)(()) == pytest.approx(3.5)
+
+    def test_not(self):
+        inner = ComparisonExpr("=", col(0, 0), LiteralExpr(1, INTEGER))
+        fn = compile_expr(NotExpr(inner), LAYOUT)
+        assert fn((1, 0, 0)) is False
+        assert fn((2, 0, 0)) is True
+        assert fn((None, 0, 0)) is None
+
+    def test_negative(self):
+        fn = compile_expr(NegativeExpr(col(0, 0)), LAYOUT)
+        assert fn((5, 0, 0)) == -5
+
+    def test_function_call(self):
+        func = lookup_function("absolute", 1)
+        fn = compile_expr(FunctionExpr(func, [col(0, 0)]), LAYOUT)
+        assert fn((-9, 0, 0)) == 9
+
+    def test_function_null_safe(self):
+        func = lookup_function("absolute", 1)
+        fn = compile_expr(FunctionExpr(func, [col(0, 0)]), LAYOUT)
+        assert fn((None, 0, 0)) is None
+
+    def test_two_arg_function(self):
+        func = lookup_function("mod", 2)
+        fn = compile_expr(
+            FunctionExpr(func, [col(0, 0), LiteralExpr(3, INTEGER)]), LAYOUT
+        )
+        assert fn((10, 0, 0)) == 1
+
+
+class TestStructureHelpers:
+    def test_as_conjuncts_flattens_nested_ands(self):
+        a = ComparisonExpr("=", col(0, 0), LiteralExpr(1, INTEGER))
+        b = ComparisonExpr("=", col(0, 1), LiteralExpr(2, INTEGER))
+        c = ComparisonExpr("=", col(1, 0), LiteralExpr(3, INTEGER))
+        nested = LogicalExpr("and", [LogicalExpr("and", [a, b]), c])
+        assert as_conjuncts(nested) == [a, b, c]
+
+    def test_as_conjuncts_none(self):
+        assert as_conjuncts(None) == []
+
+    def test_as_conjuncts_keeps_or_whole(self):
+        a = ComparisonExpr("=", col(0, 0), LiteralExpr(1, INTEGER))
+        b = ComparisonExpr("=", col(0, 1), LiteralExpr(2, INTEGER))
+        disj = LogicalExpr("or", [a, b])
+        assert as_conjuncts(disj) == [disj]
+
+    def test_referenced_tables(self):
+        expr = ComparisonExpr("=", col(0, 0), col(1, 0))
+        assert referenced_tables(expr) == frozenset({0, 1})
+
+    def test_equijoin_sides_detected(self):
+        expr = ComparisonExpr("=", col(0, 0), col(1, 0))
+        sides = equijoin_sides(expr)
+        assert sides is not None
+        assert sides[0].table_index == 0
+        assert sides[1].table_index == 1
+
+    def test_equijoin_requires_two_tables(self):
+        expr = ComparisonExpr("=", col(0, 0), col(0, 1))
+        assert equijoin_sides(expr) is None
+
+    def test_equijoin_rejects_inequality(self):
+        expr = ComparisonExpr("<>", col(0, 0), col(1, 0))
+        assert equijoin_sides(expr) is None
+
+    def test_display_renders(self):
+        expr = ComparisonExpr(
+            "<=",
+            ArithmeticExpr("+", col(0, 0, "a"), LiteralExpr(1, INTEGER)),
+            LiteralExpr(10, INTEGER),
+        )
+        assert expr.display() == "((a + 1) <= 10)"
+
+
+class TestFunctions:
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(BindError):
+            lookup_function("nope", 1)
+
+    def test_lookup_wrong_arity_raises(self):
+        with pytest.raises(BindError):
+            lookup_function("absolute", 2)
+
+    def test_absolute_alias_abs(self):
+        assert lookup_function("abs", 1).evaluate(-2) == 2
+
+    def test_upper_lower(self):
+        assert lookup_function("upper", 1).evaluate("ab") == "AB"
+        assert lookup_function("lower", 1).evaluate("AB") == "ab"
+
+    def test_length(self):
+        assert lookup_function("length", 1).evaluate("abcd") == 4
+
+    def test_return_type_same_as_arg(self):
+        f = lookup_function("absolute", 1)
+        assert f.return_type([FLOAT]) == FLOAT
+        assert f.return_type([INTEGER]) == INTEGER
+
+    def test_functions_not_estimatable(self):
+        # The property the paper's Figures 9/18 depend on.
+        assert lookup_function("absolute", 1).estimatable is False

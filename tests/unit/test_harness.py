@@ -1,0 +1,59 @@
+"""Unit tests for the experiment harness itself."""
+
+import pytest
+
+from repro.bench.harness import run_experiment
+from repro.config import SystemConfig
+from repro.sim.load import LoadProfile
+from repro.workloads import queries, tpcr
+
+
+@pytest.fixture(scope="module")
+def result():
+    db = tpcr.build_database(scale=0.002, config=SystemConfig(work_mem_pages=8))
+    return run_experiment("q2", db, queries.Q2)
+
+
+class TestExperimentResult:
+    def test_series_share_time_points(self, result):
+        times = [t for t, _ in result.estimated_cost_series()]
+        assert [t for t, _ in result.speed_series()] == times
+        assert [t for t, _ in result.remaining_series()] == times
+        assert [t for t, _ in result.percent_series()] == times
+
+    def test_actual_remaining_ends_at_zero(self, result):
+        series = result.actual_remaining_series()
+        assert series[-1][1] == pytest.approx(0.0, abs=0.5)
+        values = [v for _, v in series]
+        assert values == sorted(values, reverse=True)
+
+    def test_optimizer_series_is_linear_ramp_down(self, result):
+        series = result.optimizer_remaining_series()
+        nonzero = [(t, v) for t, v in series if v > 0]
+        for (t0, v0), (t1, v1) in zip(nonzero, nonzero[1:]):
+            assert (v0 - v1) == pytest.approx(t1 - t0, rel=1e-6)
+
+    def test_exact_cost_is_final_estimate(self, result):
+        assert result.exact_cost_pages == result.log.final().est_cost_pages
+
+    def test_segment_boundaries_ordered_and_complete(self, result):
+        times = [t for _, t in result.segment_boundaries]
+        assert len(times) == result.num_segments
+        assert times == sorted(times)
+        assert times[-1] == pytest.approx(result.total_elapsed, abs=1.0)
+
+    def test_restart_gives_cold_pool(self):
+        db = tpcr.build_database(scale=0.002)
+        first = run_experiment("a", db, queries.Q1)
+        second = run_experiment("b", db, queries.Q1)
+        # Cold restarts make repeated experiments comparable.
+        assert second.total_elapsed == pytest.approx(first.total_elapsed, rel=0.05)
+
+    def test_load_profile_applied(self):
+        db = tpcr.build_database(scale=0.002)
+        loaded = run_experiment(
+            "slow", db, queries.Q1, load=LoadProfile.file_copy(0.0, 1e9, 4.0)
+        )
+        db2 = tpcr.build_database(scale=0.002)
+        unloaded = run_experiment("fast", db2, queries.Q1)
+        assert loaded.total_elapsed > 2.0 * unloaded.total_elapsed

@@ -1,0 +1,101 @@
+"""Unit tests for the B-tree-style index."""
+
+import pytest
+
+from repro.config import CostModelConfig
+from repro.errors import StorageError
+from repro.sim.clock import VirtualClock
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heap import HeapFile
+from repro.storage.index import BTreeIndex
+from repro.storage.schema import Column, Schema
+from repro.storage.types import INTEGER, string
+
+
+@pytest.fixture
+def heap():
+    disk = SimulatedDisk(VirtualClock(), CostModelConfig())
+    schema = Schema([Column("k", INTEGER), Column("s", string(20))])
+    h = HeapFile("t", schema, disk, page_size=256)
+    # Keys inserted out of order, with duplicates and one NULL.
+    rows = [(k, f"v{k}") for k in (5, 3, 9, 1, 7, 3, 8)] + [(None, "null")]
+    h.bulk_load(rows)
+    return h
+
+
+class TestBTreeIndex:
+    def test_build_skips_nulls(self, heap):
+        index = BTreeIndex("idx", heap, "k")
+        assert index.num_entries == 7  # NULL key not indexed
+
+    def test_search_eq_single(self, heap):
+        index = BTreeIndex("idx", heap, "k")
+        rids = index.search_eq(9)
+        assert len(rids) == 1
+        assert index.fetch(rids[0])[0] == 9
+
+    def test_search_eq_duplicates(self, heap):
+        index = BTreeIndex("idx", heap, "k")
+        assert len(index.search_eq(3)) == 2
+
+    def test_search_eq_missing(self, heap):
+        index = BTreeIndex("idx", heap, "k")
+        assert index.search_eq(42) == []
+
+    def test_range_inclusive(self, heap):
+        index = BTreeIndex("idx", heap, "k")
+        keys = [k for k, _ in index.search_range(3, 7)]
+        assert keys == [3, 3, 5, 7]
+
+    def test_range_exclusive(self, heap):
+        index = BTreeIndex("idx", heap, "k")
+        keys = [
+            k
+            for k, _ in index.search_range(3, 7, low_inclusive=False, high_inclusive=False)
+        ]
+        assert keys == [5]
+
+    def test_range_open_ended(self, heap):
+        index = BTreeIndex("idx", heap, "k")
+        assert [k for k, _ in index.search_range(low=8)] == [8, 9]
+        assert [k for k, _ in index.search_range(high=3)] == [1, 3, 3]
+
+    def test_full_range_sorted(self, heap):
+        index = BTreeIndex("idx", heap, "k")
+        keys = [k for k, _ in index.search_range()]
+        assert keys == sorted(keys)
+
+    def test_count_range(self, heap):
+        index = BTreeIndex("idx", heap, "k")
+        assert index.count_range(1, 5) == 4
+
+    def test_height_at_least_one(self, heap):
+        index = BTreeIndex("idx", heap, "k")
+        assert index.height >= 1
+
+    def test_height_grows_with_entries(self):
+        disk = SimulatedDisk(VirtualClock(), CostModelConfig())
+        schema = Schema([Column("k", INTEGER)])
+        h = HeapFile("big", schema, disk, page_size=8192)
+        h.bulk_load([(i,) for i in range(600_000)])
+        index = BTreeIndex("idx", h, "k", page_size=8192)
+        assert index.height >= 2
+
+    def test_leaf_pages_for(self, heap):
+        index = BTreeIndex("idx", heap, "k")
+        assert index.leaf_pages_for(0) == 0
+        assert index.leaf_pages_for(1) == 1
+        assert index.leaf_pages_for(index.fanout + 1) == 2
+
+    def test_fetch_dangling_rid_raises(self, heap):
+        index = BTreeIndex("idx", heap, "k")
+        with pytest.raises(StorageError):
+            index.fetch((99, 0))
+
+    def test_string_keys(self):
+        disk = SimulatedDisk(VirtualClock(), CostModelConfig())
+        schema = Schema([Column("name", string(10))])
+        h = HeapFile("s", schema, disk, page_size=256)
+        h.bulk_load([("bob",), ("alice",), ("carol",)])
+        index = BTreeIndex("idx", h, "name")
+        assert [k for k, _ in index.search_range()] == ["alice", "bob", "carol"]

@@ -1,0 +1,85 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import Token, tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT From WHERE") == [
+            ("keyword", "select"),
+            ("keyword", "from"),
+            ("keyword", "where"),
+        ]
+
+    def test_identifiers_lowercased(self):
+        assert kinds("LineItem c_Name") == [("ident", "lineitem"), ("ident", "c_name")]
+
+    def test_integer_literal(self):
+        assert kinds("42") == [("number", 42)]
+
+    def test_float_literal(self):
+        assert kinds("3.25") == [("number", 3.25)]
+
+    def test_qualified_column_not_a_float(self):
+        assert kinds("a.b") == [("ident", "a"), ("op", "."), ("ident", "b")]
+
+    def test_string_literal(self):
+        assert kinds("'hello'") == [("string", "hello")]
+
+    def test_string_escaped_quote(self):
+        assert kinds("'it''s'") == [("string", "it's")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_two_char_operators(self):
+        assert kinds("<> <= >=") == [("op", "<>"), ("op", "<="), ("op", ">=")]
+
+    def test_bang_equals_normalized(self):
+        assert kinds("a != b")[1] == ("op", "<>")
+
+    def test_single_char_operators(self):
+        assert kinds("( ) , * = < >") == [
+            ("op", "("),
+            ("op", ")"),
+            ("op", ","),
+            ("op", "*"),
+            ("op", "="),
+            ("op", "<"),
+            ("op", ">"),
+        ]
+
+    def test_line_comment_skipped(self):
+        assert kinds("select -- a comment\n x") == [
+            ("keyword", "select"),
+            ("ident", "x"),
+        ]
+
+    def test_minus_is_operator(self):
+        assert kinds("1 - 2") == [("number", 1), ("op", "-"), ("number", 2)]
+
+    def test_semicolon_ignored(self):
+        assert kinds("select x;") == [("keyword", "select"), ("ident", "x")]
+
+    def test_invalid_character_raises_with_position(self):
+        with pytest.raises(LexerError) as info:
+            tokenize("select @")
+        assert info.value.position == 7
+
+    def test_eof_token_terminates(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind == "eof"
+
+    def test_matches_helper(self):
+        token = Token("keyword", "select", 0)
+        assert token.matches("keyword")
+        assert token.matches("keyword", "select")
+        assert not token.matches("keyword", "from")

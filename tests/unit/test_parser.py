@@ -1,0 +1,150 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    FunctionCall,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.sql.parser import parse_select
+
+
+class TestSelectList:
+    def test_star(self):
+        stmt = parse_select("select * from t")
+        assert stmt.select_items[0].expr == Star()
+
+    def test_qualified_star(self):
+        stmt = parse_select("select t.* from t")
+        assert stmt.select_items[0].expr == Star(qualifier="t")
+
+    def test_columns_and_aliases(self):
+        stmt = parse_select("select a, b as bee, c cee from t")
+        items = stmt.select_items
+        assert items[0].alias is None
+        assert items[1].alias == "bee"
+        assert items[2].alias == "cee"
+
+    def test_expression_item(self):
+        stmt = parse_select("select a + 1 from t")
+        expr = stmt.select_items[0].expr
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == "+"
+
+    def test_function_call(self):
+        stmt = parse_select("select absolute(x) from t")
+        expr = stmt.select_items[0].expr
+        assert expr == FunctionCall("absolute", (ColumnRef("x"),))
+
+
+class TestFromClause:
+    def test_single_table(self):
+        stmt = parse_select("select * from lineitem")
+        assert stmt.from_tables[0].name == "lineitem"
+        assert stmt.from_tables[0].binding_name == "lineitem"
+
+    def test_aliases(self):
+        stmt = parse_select("select * from customer c, orders as o")
+        assert stmt.from_tables[0].alias == "c"
+        assert stmt.from_tables[1].alias == "o"
+
+    def test_self_join_distinct_aliases(self):
+        stmt = parse_select("select * from orders o1, orders o2")
+        assert [t.binding_name for t in stmt.from_tables] == ["o1", "o2"]
+
+
+class TestWhereClause:
+    def test_simple_comparison(self):
+        stmt = parse_select("select * from t where a = 5")
+        assert stmt.where == BinaryOp("=", ColumnRef("a"), Literal(5))
+
+    def test_qualified_columns(self):
+        stmt = parse_select("select * from t a, u b where a.x = b.y")
+        where = stmt.where
+        assert where.left == ColumnRef("x", qualifier="a")
+        assert where.right == ColumnRef("y", qualifier="b")
+
+    def test_and_precedence_over_or(self):
+        stmt = parse_select("select * from t where a = 1 or b = 2 and c = 3")
+        assert stmt.where.op == "or"
+        assert stmt.where.right.op == "and"
+
+    def test_parentheses_override(self):
+        stmt = parse_select("select * from t where (a = 1 or b = 2) and c = 3")
+        assert stmt.where.op == "and"
+        assert stmt.where.left.op == "or"
+
+    def test_not(self):
+        stmt = parse_select("select * from t where not a = 1")
+        assert isinstance(stmt.where, UnaryOp)
+        assert stmt.where.op == "not"
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_select("select * from t where a > 1 + 2 * 3")
+        right = stmt.where.right
+        assert right.op == "+"
+        assert right.right.op == "*"
+
+    def test_unary_minus(self):
+        stmt = parse_select("select * from t where a > -5")
+        right = stmt.where.right
+        assert isinstance(right, UnaryOp)
+        assert right.op == "-"
+
+    def test_not_equal(self):
+        stmt = parse_select("select * from t where a <> b")
+        assert stmt.where.op == "<>"
+
+    def test_null_true_false_literals(self):
+        stmt = parse_select("select * from t where a = null or b = true")
+        assert stmt.where.left.right == Literal(None)
+        assert stmt.where.right.right == Literal(True)
+
+
+class TestOrderLimit:
+    def test_order_by_defaults_asc(self):
+        stmt = parse_select("select * from t order by a")
+        assert stmt.order_by[0].ascending is True
+
+    def test_order_by_desc(self):
+        stmt = parse_select("select * from t order by a desc, b asc")
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+
+    def test_limit(self):
+        stmt = parse_select("select * from t limit 10")
+        assert stmt.limit == 10
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse_select("select * from t limit 1.5")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "select from t",
+            "select *",
+            "select * from",
+            "select * from t where",
+            "select * from t order a",
+            "select * from t limit 5 extra",
+            "select a, from t",
+            "select * where a = 1",
+        ],
+    )
+    def test_malformed_rejected(self, sql):
+        with pytest.raises(ParseError):
+            parse_select(sql)
+
+    def test_paper_queries_parse(self):
+        from repro.workloads.queries import PAPER_QUERIES
+
+        for sql in PAPER_QUERIES.values():
+            parse_select(sql)

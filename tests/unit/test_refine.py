@@ -1,0 +1,192 @@
+"""Unit tests for the Section 4.3/4.5 refinement logic."""
+
+import pytest
+
+from repro.core.refine import ProgressEstimator
+from repro.core.segments import SegmentInput, SegmentSpec
+from repro.executor.work import WorkTracker
+
+
+def make_spec(
+    seg_id=0,
+    inputs=None,
+    est_out=100.0,
+    out_width=50.0,
+    final=False,
+    card_factor=None,
+):
+    inputs = inputs or [
+        SegmentInput(0, "base", "t", est_rows=1000.0, est_width=40.0, dominant=True)
+    ]
+    if card_factor is None:
+        product = 1.0
+        for i in inputs:
+            product *= max(i.est_rows, 1e-9)
+        card_factor = est_out / product
+    return SegmentSpec(
+        id=seg_id,
+        label=f"seg{seg_id}",
+        inputs=inputs,
+        est_output_rows=est_out,
+        est_output_width=out_width,
+        final=final,
+        card_factor=card_factor,
+    )
+
+
+def setup(specs):
+    tracker = WorkTracker(
+        [len(s.inputs) for s in specs], final_segment=specs[-1].id
+    )
+    return ProgressEstimator(specs, tracker), tracker
+
+
+class TestBaseInputRefinement:
+    def test_pending_uses_optimizer_estimate(self):
+        estimator, _ = setup([make_spec(final=True)])
+        snap = estimator.snapshot()
+        assert snap.segments[0].inputs[0].est_rows == 1000.0
+
+    def test_case_a_keeps_ne_until_finish(self):
+        # Np <= Ne: keep Ne while scanning (Section 4.3 case a).
+        estimator, tracker = setup([make_spec(final=True)])
+        tracker.input_rows(0, 0, 500, 500 * 40.0)
+        snap = estimator.snapshot()
+        assert snap.segments[0].inputs[0].est_rows == 1000.0
+
+    def test_case_a_exact_after_finish(self):
+        estimator, tracker = setup([make_spec(final=True)])
+        tracker.input_rows(0, 0, 700, 700 * 40.0)
+        tracker.segment_finished(0)
+        snap = estimator.snapshot()
+        assert snap.segments[0].inputs[0].est_rows == 700.0
+
+    def test_case_b_overrun_uses_actual(self):
+        # Np > Ne: once reads exceed Ne, use the running count (case b).
+        estimator, tracker = setup([make_spec(final=True)])
+        tracker.input_rows(0, 0, 1500, 1500 * 40.0)
+        snap = estimator.snapshot()
+        assert snap.segments[0].inputs[0].est_rows == 1500.0
+
+    def test_observed_width_replaces_estimate(self):
+        estimator, tracker = setup([make_spec(final=True)])
+        tracker.input_rows(0, 0, 100, 100 * 60.0)
+        snap = estimator.snapshot()
+        assert snap.segments[0].inputs[0].est_width == pytest.approx(60.0)
+
+
+class TestOutputRefinement:
+    def test_pending_output_is_e1(self):
+        estimator, _ = setup([make_spec(final=True)])
+        assert estimator.snapshot().segments[0].est_output_rows == pytest.approx(100.0)
+
+    def test_e_formula_blends_e1_and_observed(self):
+        # E = y + (1-p) * E1 at p = x/z.
+        estimator, tracker = setup([make_spec(final=True)])
+        tracker.input_rows(0, 0, 400, 400 * 40.0)  # p = 0.4
+        tracker.output_rows(0, 80, 80 * 50.0)  # y = 80 (trending to 200)
+        seg = estimator.snapshot().segments[0]
+        assert seg.p == pytest.approx(0.4)
+        assert seg.est_output_rows == pytest.approx(80 + 0.6 * 100.0)
+
+    def test_e_converges_to_actual_at_completion(self):
+        estimator, tracker = setup([make_spec(final=True)])
+        tracker.input_rows(0, 0, 1000, 1000 * 40.0)
+        tracker.output_rows(0, 777, 777 * 50.0)
+        seg = estimator.snapshot().segments[0]
+        assert seg.p == pytest.approx(1.0)
+        assert seg.est_output_rows == pytest.approx(777.0)
+
+    def test_finished_segment_exact(self):
+        estimator, tracker = setup([make_spec(), make_spec(seg_id=1, final=True)])
+        tracker.input_rows(0, 0, 100, 4000.0)
+        tracker.output_rows(0, 42, 42 * 30.0)
+        tracker.segment_finished(0)
+        seg = estimator.snapshot().segments[0]
+        assert seg.status == "finished"
+        assert seg.est_output_rows == 42.0
+        assert seg.est_cost_bytes == pytest.approx(4000.0 + 42 * 30.0)
+
+    def test_two_dominant_inputs_use_max_progress(self):
+        # Sort-merge rule: p = max(qA, qB) (Section 4.5).
+        inputs = [
+            SegmentInput(0, "base", "a", est_rows=100.0, est_width=10.0, dominant=True),
+            SegmentInput(1, "base", "b", est_rows=100.0, est_width=10.0, dominant=True),
+        ]
+        estimator, tracker = setup([make_spec(inputs=inputs, final=True)])
+        tracker.input_rows(0, 0, 20, 200.0)
+        tracker.input_rows(0, 1, 60, 600.0)
+        assert estimator.snapshot().segments[0].p == pytest.approx(0.6)
+
+
+class TestPropagation:
+    def _two_segments(self):
+        producer = make_spec(seg_id=0, est_out=200.0, out_width=50.0)
+        consumer_inputs = [
+            SegmentInput(
+                0,
+                "child",
+                "runs",
+                est_rows=200.0,
+                est_width=50.0,
+                dominant=True,
+                child_segment=0,
+            )
+        ]
+        consumer = make_spec(
+            seg_id=1, inputs=consumer_inputs, est_out=200.0, final=True
+        )
+        return setup([producer, consumer])
+
+    def test_future_segment_sees_refined_child_estimate(self):
+        estimator, tracker = self._two_segments()
+        # Producer learns it outputs more than estimated: p=0.5, y=300.
+        tracker.input_rows(0, 0, 500, 500 * 40.0)
+        tracker.output_rows(0, 300, 300 * 50.0)
+        snap = estimator.snapshot()
+        producer_e = snap.segments[0].est_output_rows
+        assert producer_e == pytest.approx(300 + 0.5 * 200.0)
+        # The consumer's input estimate follows the producer's E.
+        assert snap.segments[1].inputs[0].est_rows == pytest.approx(producer_e)
+
+    def test_finished_child_gives_exact_input(self):
+        estimator, tracker = self._two_segments()
+        tracker.input_rows(0, 0, 1000, 1000 * 40.0)
+        tracker.output_rows(0, 321, 321 * 50.0)
+        tracker.segment_finished(0)
+        snap = estimator.snapshot()
+        assert snap.segments[1].inputs[0].est_rows == 321.0
+
+    def test_total_cost_grows_when_inputs_overrun(self):
+        estimator, tracker = self._two_segments()
+        before = estimator.snapshot().est_total_bytes
+        tracker.input_rows(0, 0, 5000, 5000 * 40.0)  # 5x the estimate
+        after = estimator.snapshot().est_total_bytes
+        assert after > before
+
+
+class TestSnapshotTotals:
+    def test_fraction_done_bounds(self):
+        estimator, tracker = setup([make_spec(final=True)])
+        assert estimator.snapshot().fraction_done == 0.0
+        tracker.input_rows(0, 0, 1000, 1000 * 40.0)
+        tracker.finish_all()
+        assert estimator.snapshot().fraction_done == pytest.approx(1.0)
+
+    def test_running_cost_never_below_done(self):
+        estimator, tracker = setup([make_spec(final=True)])
+        tracker.input_rows(0, 0, 5000, 5000 * 40.0)
+        seg = estimator.snapshot().segments[0]
+        assert seg.est_cost_bytes >= seg.done_bytes
+
+    def test_remaining_bytes_nonnegative(self):
+        estimator, tracker = setup([make_spec(final=True)])
+        tracker.input_rows(0, 0, 9999, 9999 * 40.0)
+        assert estimator.snapshot().remaining_bytes >= 0.0
+
+    def test_pages_conversion(self):
+        estimator, tracker = setup([make_spec(final=True)])
+        tracker.input_rows(0, 0, 1, 8192.0)
+        done, total, remaining = estimator.snapshot().pages(8192)
+        assert done == pytest.approx(1.0)
+        assert total == pytest.approx(remaining + done, rel=1e-6)

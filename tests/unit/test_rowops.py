@@ -1,0 +1,62 @@
+"""Unit tests for the executor's row utilities."""
+
+import pytest
+
+from repro.executor.rowops import combiner, concat_layout, layout_of, row_width_fn
+from repro.planner.physical import PlanColumn
+from repro.storage.schema import TUPLE_HEADER_BYTES
+from repro.storage.types import FLOAT, INTEGER, string
+
+
+def cols(*specs):
+    return [PlanColumn(coord, name, type_, 4.0) for coord, name, type_ in specs]
+
+
+LEFT = cols(((0, 0), "a", INTEGER), ((0, 1), "s", string(10)))
+RIGHT = cols(((1, 0), "b", FLOAT))
+
+
+class TestLayouts:
+    def test_layout_of(self):
+        assert layout_of(LEFT) == {(0, 0): 0, (0, 1): 1}
+
+    def test_concat_layout_offsets_right(self):
+        layout = concat_layout(LEFT, RIGHT)
+        assert layout[(1, 0)] == 2
+        assert layout[(0, 1)] == 1
+
+
+class TestWidthFn:
+    def test_fixed_only_is_constant(self):
+        width = row_width_fn(cols(((0, 0), "a", INTEGER), ((0, 1), "b", FLOAT)))
+        assert width((1, 2.0)) == TUPLE_HEADER_BYTES + 4 + 8
+        assert width((9, 9.0)) == width((1, 2.0))
+
+    def test_strings_vary(self):
+        width = row_width_fn(LEFT)
+        assert width((1, "abc")) == TUPLE_HEADER_BYTES + 4 + 4
+        assert width((1, None)) == TUPLE_HEADER_BYTES + 4 + 1
+
+    def test_matches_schema_row_width(self):
+        from repro.storage.schema import Column, Schema
+
+        schema = Schema([Column("a", INTEGER), Column("s", string(10))])
+        width = row_width_fn(LEFT)
+        for row in [(1, "x"), (2, ""), (3, None)]:
+            assert width(row) == schema.row_width(row)
+
+
+class TestCombiner:
+    def test_picks_from_correct_side(self):
+        out = cols(((1, 0), "b", FLOAT), ((0, 0), "a", INTEGER))
+        combine = combiner(LEFT, RIGHT, out)
+        assert combine((7, "s"), (3.5,)) == (3.5, 7)
+
+    def test_subset_projection(self):
+        out = cols(((0, 1), "s", string(10)))
+        combine = combiner(LEFT, RIGHT, out)
+        assert combine((7, "hello"), (3.5,)) == ("hello",)
+
+    def test_empty_output(self):
+        combine = combiner(LEFT, RIGHT, [])
+        assert combine((7, "s"), (3.5,)) == ()

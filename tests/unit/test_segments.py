@@ -1,0 +1,179 @@
+"""Unit tests for plan segmentation and dominant-input selection."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.segments import build_segments, initial_total_cost_bytes
+from repro.planner.physical import HashJoinNode
+from repro.workloads import queries, tpcr
+
+
+def segment_plan(db, sql):
+    plan = db.prepare(sql)
+    return plan, build_segments(plan.root)
+
+
+class TestScanQuery:
+    def test_single_segment(self, tiny_tpcr):
+        _, segs = segment_plan(tiny_tpcr, queries.Q1)
+        assert len(segs) == 1
+        assert segs[0].final
+
+    def test_single_base_input_dominant(self, tiny_tpcr):
+        _, segs = segment_plan(tiny_tpcr, queries.Q1)
+        (inp,) = segs[0].inputs
+        assert inp.kind == "base"
+        assert inp.dominant
+        assert inp.label == "lineitem"
+
+    def test_final_segment_cost_excludes_output(self, tiny_tpcr):
+        _, segs = segment_plan(tiny_tpcr, queries.Q1)
+        seg = segs[0]
+        assert seg.initial_cost_bytes() == pytest.approx(
+            seg.inputs[0].est_rows * seg.inputs[0].est_width
+        )
+
+    def test_scan_annotated_with_input_ref(self, tiny_tpcr):
+        plan, segs = segment_plan(tiny_tpcr, queries.Q1)
+        scan = plan.root.child
+        assert scan.pi_input_ref == (0, 0)
+
+
+class TestInMemoryHashJoin:
+    SQL = "select c.acctbal from customer c, orders o where c.custkey = o.custkey"
+
+    def test_two_segments(self, tiny_tpcr):
+        _, segs = segment_plan(tiny_tpcr, self.SQL)
+        assert len(segs) == 2
+        assert not segs[0].final
+        assert segs[1].final
+
+    def test_build_segment_first(self, tiny_tpcr):
+        _, segs = segment_plan(tiny_tpcr, self.SQL)
+        assert segs[0].inputs[0].label == "customer"
+
+    def test_probe_segment_dominant_is_probe_stream(self, tiny_tpcr):
+        # Rule 2b: the probe relation is the dominant input.
+        _, segs = segment_plan(tiny_tpcr, self.SQL)
+        probe_seg = segs[1]
+        dominants = [i for i in probe_seg.inputs if i.dominant]
+        assert len(dominants) == 1
+        assert dominants[0].label == "orders"
+
+    def test_hash_table_is_child_input(self, tiny_tpcr):
+        _, segs = segment_plan(tiny_tpcr, self.SQL)
+        child_inputs = [i for i in segs[1].inputs if i.kind == "child"]
+        assert len(child_inputs) == 1
+        assert child_inputs[0].child_segment == 0
+        assert not child_inputs[0].dominant
+
+    def test_nodes_tagged_with_segments(self, tiny_tpcr):
+        plan, _ = segment_plan(tiny_tpcr, self.SQL)
+        join = plan.root.child
+        assert isinstance(join, HashJoinNode)
+        assert join.build.segment_id == 0
+        assert join.segment_id == 1
+
+
+class TestMultiBatchHashJoin:
+    @pytest.fixture
+    def db(self):
+        return tpcr.build_database(scale=0.002, config=SystemConfig(work_mem_pages=2))
+
+    def test_q2_has_four_segments(self, db):
+        _, segs = segment_plan(db, queries.Q2)
+        assert len(segs) == 4
+
+    def test_partition_segments_feed_join_segment(self, db):
+        _, segs = segment_plan(db, queries.Q2)
+        join_seg = segs[3]
+        kinds = [i.kind for i in join_seg.inputs]
+        assert kinds == ["child", "child"]
+        assert {i.child_segment for i in join_seg.inputs} == {1, 2}
+
+    def test_probe_partitions_dominant(self, db):
+        # Figure 3: segment S3's dominant input is PB.
+        _, segs = segment_plan(db, queries.Q2)
+        join_seg = segs[3]
+        dominants = [i for i in join_seg.inputs if i.dominant]
+        assert len(dominants) == 1
+        assert "PB" in dominants[0].label
+
+    def test_lineitem_feeds_probe_partition_segment(self, db):
+        _, segs = segment_plan(db, queries.Q2)
+        assert segs[2].inputs[0].label == "lineitem"
+
+
+class TestNestLoopSegment:
+    def test_q5_single_segment(self, tiny_tpcr):
+        _, segs = segment_plan(tiny_tpcr, queries.Q5)
+        assert len(segs) == 1
+
+    def test_outer_dominant_inner_not(self, tiny_tpcr):
+        # Rule 2a: the outer relation is the dominant input.
+        _, segs = segment_plan(tiny_tpcr, queries.Q5)
+        dominants = [i for i in segs[0].inputs if i.dominant]
+        others = [i for i in segs[0].inputs if not i.dominant]
+        assert len(dominants) == 1
+        assert len(others) == 1
+
+
+class TestSortMergeSegments:
+    @pytest.fixture
+    def db(self):
+        db = tpcr.build_database(scale=0.002)
+        db.config = db.config.with_planner(
+            enable_hashjoin=False, enable_nestloop=False
+        )
+        return db
+
+    SQL = "select c.acctbal from customer c, orders o where c.custkey = o.custkey"
+
+    def test_three_segments(self, db):
+        _, segs = segment_plan(db, self.SQL)
+        assert len(segs) == 3
+
+    def test_both_run_inputs_dominant(self, db):
+        # Rule 2c: a sort-merge segment has two dominant inputs.
+        _, segs = segment_plan(db, self.SQL)
+        merge_seg = segs[2]
+        assert len(merge_seg.inputs) == 2
+        assert all(i.dominant for i in merge_seg.inputs)
+
+    def test_sort_segments_pass_cardinality_through(self, db):
+        _, segs = segment_plan(db, self.SQL)
+        for seg in segs[:2]:
+            assert seg.est_output_rows == pytest.approx(
+                seg.card_factor * max(seg.inputs[0].est_rows, 1e-9), rel=1e-6
+            )
+
+
+class TestInitialCost:
+    def test_total_cost_sums_segments(self, tiny_tpcr):
+        _, segs = segment_plan(tiny_tpcr, queries.Q2)
+        assert initial_total_cost_bytes(segs) == pytest.approx(
+            sum(s.initial_cost_bytes() for s in segs)
+        )
+
+    def test_intermediate_bytes_double_counted(self, tiny_tpcr):
+        # A byte produced by a segment is counted at its output AND as the
+        # consumer's input (Section 4.5).
+        _, segs = segment_plan(
+            tiny_tpcr,
+            "select c.acctbal from customer c, orders o where c.custkey = o.custkey",
+        )
+        build, probe = segs
+        hash_input = [i for i in probe.inputs if i.kind == "child"][0]
+        assert hash_input.est_rows * hash_input.est_width == pytest.approx(
+            build.est_output_rows * build.est_output_width
+        )
+
+    def test_card_factor_reproduces_estimate(self, tiny_tpcr):
+        _, segs = segment_plan(tiny_tpcr, queries.Q2)
+        for seg in segs:
+            product = 1.0
+            for i in seg.inputs:
+                product *= max(i.est_rows, 1e-9)
+            assert seg.card_factor * product == pytest.approx(
+                seg.est_output_rows, rel=1e-6
+            )

@@ -1,0 +1,126 @@
+"""Unit tests for selectivity estimation."""
+
+import pytest
+
+from repro.config import DEFAULT_UNKNOWN_SELECTIVITY
+from repro.expr.bound import as_conjuncts
+from repro.planner.selectivity import (
+    constant_value,
+    filter_selectivity,
+    is_constant,
+    join_predicate_selectivity,
+)
+from repro.sql.binder import Binder
+from repro.sql.parser import parse_select
+
+
+def conjuncts_for(db, sql):
+    bound = Binder(db.catalog).bind(parse_select(sql))
+
+    def lookup(coordinate):
+        table_index, column_index = coordinate
+        table = bound.tables[table_index].table
+        if table.statistics is None:
+            return None
+        name = table.schema.columns[column_index].name
+        return table.statistics.column(name)
+
+    return bound.conjuncts, lookup
+
+
+DEFAULT = DEFAULT_UNKNOWN_SELECTIVITY
+
+
+class TestFilterSelectivity:
+    def test_eq_uses_distinct_count(self, small_db):
+        # t1.b has 10 distinct values.
+        conjs, lookup = conjuncts_for(small_db, "select a from t1 where b = 3")
+        assert filter_selectivity(conjs[0], lookup, DEFAULT) == pytest.approx(0.1)
+
+    def test_range_uses_histogram(self, small_db):
+        # t1.a is uniform over [0, 100).
+        conjs, lookup = conjuncts_for(small_db, "select a from t1 where a < 50")
+        sel = filter_selectivity(conjs[0], lookup, DEFAULT)
+        assert sel == pytest.approx(0.5, abs=0.1)
+
+    def test_reversed_comparison_normalized(self, small_db):
+        conjs, lookup = conjuncts_for(small_db, "select a from t1 where 50 > a")
+        sel = filter_selectivity(conjs[0], lookup, DEFAULT)
+        assert sel == pytest.approx(0.5, abs=0.1)
+
+    def test_function_predicate_gets_default(self, small_db):
+        # The paper's key mechanism: absolute(x) > 0 is unestimatable.
+        conjs, lookup = conjuncts_for(
+            small_db, "select a from t1 where absolute(a) > 0"
+        )
+        assert filter_selectivity(conjs[0], lookup, DEFAULT) == DEFAULT
+
+    def test_and_multiplies(self, small_db):
+        conjs, lookup = conjuncts_for(
+            small_db, "select a from t1 where b = 3 and a < 50"
+        )
+        combined = 1.0
+        for c in conjs:
+            combined *= filter_selectivity(c, lookup, DEFAULT)
+        assert combined == pytest.approx(0.05, abs=0.02)
+
+    def test_or_inclusion_exclusion(self, small_db):
+        conjs, lookup = conjuncts_for(
+            small_db, "select a from t1 where b = 3 or b = 4"
+        )
+        sel = filter_selectivity(conjs[0], lookup, DEFAULT)
+        assert sel == pytest.approx(0.1 + 0.1 - 0.01)
+
+    def test_not_complements(self, small_db):
+        conjs, lookup = conjuncts_for(small_db, "select a from t1 where not b = 3")
+        assert filter_selectivity(conjs[0], lookup, DEFAULT) == pytest.approx(0.9)
+
+    def test_no_stats_falls_back_to_default(self, small_db):
+        conjs, _ = conjuncts_for(small_db, "select a from t1 where b = 3")
+        assert filter_selectivity(conjs[0], lambda c: None, DEFAULT) == DEFAULT
+
+    def test_constant_arithmetic_folded(self, small_db):
+        conjs, lookup = conjuncts_for(
+            small_db, "select a from t1 where a < 25 + 25"
+        )
+        sel = filter_selectivity(conjs[0], lookup, DEFAULT)
+        assert sel == pytest.approx(0.5, abs=0.1)
+
+
+class TestJoinSelectivity:
+    def test_equijoin_one_over_max_distinct(self, small_db):
+        # t1.a has 100 distinct values, t2.a has 50.
+        conjs, lookup = conjuncts_for(
+            small_db, "select t1.a from t1, t2 where t1.a = t2.a"
+        )
+        sel = join_predicate_selectivity(conjs[0], lookup, DEFAULT)
+        assert sel == pytest.approx(0.01)
+
+    def test_inequality_join_complements(self, small_db):
+        conjs, lookup = conjuncts_for(
+            small_db, "select t1.a from t1, t2 where t1.a <> t2.a"
+        )
+        sel = join_predicate_selectivity(conjs[0], lookup, DEFAULT)
+        assert sel == pytest.approx(0.99)
+
+    def test_range_join_gets_default(self, small_db):
+        conjs, lookup = conjuncts_for(
+            small_db, "select t1.a from t1, t2 where t1.a < t2.a"
+        )
+        assert join_predicate_selectivity(conjs[0], lookup, DEFAULT) == DEFAULT
+
+
+class TestConstantFolding:
+    def test_is_constant(self, small_db):
+        conjs, _ = conjuncts_for(small_db, "select a from t1 where a < 5 + 5")
+        assert not is_constant(conjs[0].left)
+        assert is_constant(conjs[0].right)
+
+    def test_constant_value(self, small_db):
+        conjs, _ = conjuncts_for(small_db, "select a from t1 where a < 5 + 5")
+        assert constant_value(conjs[0].right) == 10
+
+    def test_constant_value_rejects_columns(self, small_db):
+        conjs, _ = conjuncts_for(small_db, "select a from t1 where a < 5")
+        with pytest.raises(ValueError):
+            constant_value(conjs[0].left)

@@ -1,0 +1,104 @@
+"""Unit tests for the speed estimators (Section 4.6)."""
+
+import pytest
+
+from repro.core.speed import (
+    DecayingSpeedEstimator,
+    GlobalSpeedEstimator,
+    WindowSpeedEstimator,
+    make_speed_estimator,
+)
+from repro.errors import ProgressError
+
+
+class TestWindowSpeed:
+    def test_none_before_two_samples(self):
+        est = WindowSpeedEstimator(10.0)
+        assert est.speed() is None
+        est.record(0.0, 0.0)
+        assert est.speed() is None
+
+    def test_constant_rate(self):
+        est = WindowSpeedEstimator(10.0)
+        for t in range(11):
+            est.record(float(t), 5.0 * t)
+        assert est.speed() == pytest.approx(5.0)
+
+    def test_window_forgets_old_rate(self):
+        est = WindowSpeedEstimator(10.0)
+        # 10 seconds at 100 U/s, then 20 seconds at 1 U/s.
+        work = 0.0
+        for t in range(31):
+            est.record(float(t), work)
+            work += 100.0 if t < 10 else 1.0
+        assert est.speed() == pytest.approx(1.0, rel=0.2)
+
+    def test_reacts_to_speedup(self):
+        est = WindowSpeedEstimator(5.0)
+        work = 0.0
+        for t in range(20):
+            est.record(float(t), work)
+            work += 1.0 if t < 10 else 50.0
+        assert est.speed() == pytest.approx(50.0, rel=0.2)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ProgressError):
+            WindowSpeedEstimator(0.0)
+
+    def test_zero_elapsed_returns_none(self):
+        est = WindowSpeedEstimator(10.0)
+        est.record(1.0, 5.0)
+        est.record(1.0, 6.0)
+        assert est.speed() is None
+
+
+class TestDecayingSpeed:
+    def test_converges_to_steady_rate(self):
+        est = DecayingSpeedEstimator(alpha=0.5)
+        for t in range(20):
+            est.record(float(t), 3.0 * t)
+        assert est.speed() == pytest.approx(3.0)
+
+    def test_recent_rate_has_major_impact(self):
+        est = DecayingSpeedEstimator(alpha=0.5)
+        work = 0.0
+        for t in range(20):
+            est.record(float(t), work)
+            work += 10.0 if t < 10 else 1.0
+        speed = est.speed()
+        assert 1.0 <= speed < 5.0  # pulled toward recent 1.0, remembers past
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ProgressError):
+            DecayingSpeedEstimator(alpha=0.0)
+        with pytest.raises(ProgressError):
+            DecayingSpeedEstimator(alpha=1.5)
+
+
+class TestGlobalSpeed:
+    def test_whole_history_mean(self):
+        est = GlobalSpeedEstimator()
+        est.record(0.0, 0.0)
+        est.record(10.0, 100.0)
+        est.record(20.0, 110.0)
+        assert est.speed() == pytest.approx(5.5)
+
+    def test_none_without_samples(self):
+        assert GlobalSpeedEstimator().speed() is None
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [
+            ("window", WindowSpeedEstimator),
+            ("decay", DecayingSpeedEstimator),
+            ("global", GlobalSpeedEstimator),
+        ],
+    )
+    def test_factory_kinds(self, kind, cls):
+        assert isinstance(make_speed_estimator(kind, 10.0, 0.3), cls)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProgressError):
+            make_speed_estimator("magic", 10.0, 0.3)

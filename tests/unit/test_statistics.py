@@ -1,0 +1,159 @@
+"""Unit tests for histograms, column statistics and ANALYZE."""
+
+import pytest
+
+from repro.catalog.analyze import analyze_table
+from repro.catalog.catalog import Catalog
+from repro.catalog.statistics import ColumnStatistics, Histogram
+from repro.config import CostModelConfig
+from repro.sim.clock import VirtualClock
+from repro.storage.disk import SimulatedDisk
+from repro.storage.schema import Column, Schema
+from repro.storage.types import FLOAT, INTEGER, string
+
+
+class TestHistogram:
+    def test_from_values_uniform(self):
+        h = Histogram.from_values(list(range(100)), 10)
+        assert h is not None
+        assert h.num_buckets == 10
+        assert h.bounds[0] == 0
+        assert h.bounds[-1] == 99
+
+    def test_from_values_empty_returns_none(self):
+        assert Histogram.from_values([], 10) is None
+        assert Histogram.from_values([None, None], 10) is None
+
+    def test_fraction_below_extremes(self):
+        h = Histogram.from_values(list(range(100)), 10)
+        assert h.fraction_below(-5) == 0.0
+        assert h.fraction_below(1000) == 1.0
+
+    def test_fraction_below_midpoint(self):
+        h = Histogram.from_values(list(range(100)), 10)
+        assert h.fraction_below(50) == pytest.approx(0.5, abs=0.05)
+
+    def test_fraction_below_monotone(self):
+        h = Histogram.from_values([1, 2, 2, 3, 5, 8, 13, 21, 34], 4)
+        fractions = [h.fraction_below(v) for v in range(0, 40)]
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+
+    def test_inclusive_at_least_exclusive(self):
+        h = Histogram.from_values(list(range(50)), 5)
+        for v in (0, 10, 25, 49):
+            assert h.fraction_below(v, inclusive=True) >= h.fraction_below(v)
+
+    def test_string_values_bucket_granular(self):
+        h = Histogram.from_values([chr(ord("a") + i) for i in range(26)], 13)
+        frac = h.fraction_below("n")
+        assert 0.3 < frac < 0.7
+
+    def test_too_few_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram([1])
+
+    def test_skewed_distribution(self):
+        values = [1] * 90 + list(range(2, 12))
+        h = Histogram.from_values(values, 10)
+        # 90% of values are 1, so fraction below 2 must be large.
+        assert h.fraction_below(2) >= 0.8
+
+
+class TestColumnStatistics:
+    def _stats(self):
+        return ColumnStatistics(
+            name="x",
+            num_distinct=100,
+            null_fraction=0.0,
+            min_value=0,
+            max_value=99,
+            histogram=Histogram.from_values(list(range(100)), 10),
+        )
+
+    def test_selectivity_eq_uniform(self):
+        assert self._stats().selectivity_eq(5) == pytest.approx(0.01)
+
+    def test_selectivity_eq_out_of_range(self):
+        assert self._stats().selectivity_eq(500) == 0.0
+
+    def test_selectivity_eq_null_uses_null_fraction(self):
+        s = self._stats()
+        s.null_fraction = 0.25
+        assert s.selectivity_eq(None) == 0.25
+
+    def test_selectivity_lt(self):
+        assert self._stats().selectivity_cmp("<", 25) == pytest.approx(0.25, abs=0.06)
+
+    def test_selectivity_ge_complements_lt(self):
+        s = self._stats()
+        lt = s.selectivity_cmp("<", 40)
+        ge = s.selectivity_cmp(">=", 40)
+        assert lt + ge == pytest.approx(1.0)
+
+    def test_selectivity_ne(self):
+        assert self._stats().selectivity_cmp("<>", 5) == pytest.approx(0.99)
+
+    def test_selectivity_without_histogram_falls_back(self):
+        s = ColumnStatistics(name="x", num_distinct=10, null_fraction=0.0)
+        assert s.selectivity_cmp("<", 5) == pytest.approx(1.0 / 3.0)
+
+    def test_selectivity_bad_operator_rejected(self):
+        with pytest.raises(ValueError):
+            self._stats().selectivity_cmp("~", 5)
+
+    def test_zero_distinct(self):
+        s = ColumnStatistics(name="x", num_distinct=0, null_fraction=1.0)
+        assert s.selectivity_eq(5) == 0.0
+
+
+class TestAnalyze:
+    def _table(self, rows):
+        disk = SimulatedDisk(VirtualClock(), CostModelConfig())
+        catalog = Catalog(disk, 8192)
+        schema = Schema(
+            [Column("k", INTEGER), Column("s", string(20)), Column("v", FLOAT)]
+        )
+        table = catalog.create_table("t", schema)
+        table.heap.bulk_load(rows)
+        return table
+
+    def test_row_count_and_width(self):
+        table = self._table([(i, "ab", 1.0) for i in range(50)])
+        stats = analyze_table(table)
+        assert stats.row_count == 50
+        assert stats.avg_width == pytest.approx(table.heap.avg_tuple_width())
+
+    def test_num_distinct_exact(self):
+        table = self._table([(i % 7, "x", 0.0) for i in range(70)])
+        stats = analyze_table(table)
+        assert stats.columns["k"].num_distinct == 7
+
+    def test_null_fraction(self):
+        rows = [(i, None if i % 4 == 0 else "s", 1.0) for i in range(100)]
+        stats = analyze_table(self._table(rows))
+        assert stats.columns["s"].null_fraction == pytest.approx(0.25)
+
+    def test_min_max(self):
+        stats = analyze_table(self._table([(i, "x", float(i)) for i in range(10)]))
+        assert stats.columns["k"].min_value == 0
+        assert stats.columns["k"].max_value == 9
+
+    def test_column_avg_width_strings(self):
+        stats = analyze_table(self._table([(1, "abcd", 0.0)]))
+        assert stats.columns["s"].avg_width == pytest.approx(5.0)  # len + 1
+
+    def test_empty_table(self):
+        stats = analyze_table(self._table([]))
+        assert stats.row_count == 0
+        assert stats.columns["k"].num_distinct == 0
+
+    def test_total_bytes(self):
+        table = self._table([(i, "ab", 1.0) for i in range(10)])
+        stats = analyze_table(table)
+        assert stats.total_bytes() == pytest.approx(table.heap.total_bytes)
+
+    def test_attaches_to_table(self):
+        table = self._table([(1, "a", 1.0)])
+        assert table.statistics is None
+        analyze_table(table)
+        assert table.statistics is not None

@@ -1,0 +1,213 @@
+"""Unit tests for pages, heap files, the simulated disk and buffer pool."""
+
+import pytest
+
+from repro.config import CostModelConfig
+from repro.errors import StorageError
+from repro.sim.clock import VirtualClock
+from repro.sim.load import IO
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heap import HeapFile
+from repro.storage.page import Page
+from repro.storage.schema import Column, Schema
+from repro.storage.types import INTEGER, string
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk(VirtualClock(), CostModelConfig())
+
+
+@pytest.fixture
+def schema():
+    return Schema([Column("k", INTEGER), Column("s", string(50))])
+
+
+class TestPage:
+    def test_empty_page_accepts_oversized_row(self):
+        page = Page(100)
+        assert page.fits(500)  # a page never stays empty
+
+    def test_append_and_len(self):
+        page = Page(1000)
+        page.append((1, "a"), 30)
+        page.append((2, "b"), 30)
+        assert len(page) == 2
+        assert page.bytes_used == 60
+
+    def test_fits_respects_budget(self):
+        page = Page(100)
+        page.append((1,), 60)
+        assert page.fits(40)
+        assert not page.fits(41)
+
+    def test_append_overflow_raises(self):
+        page = Page(100)
+        page.append((1,), 80)
+        with pytest.raises(StorageError):
+            page.append((2,), 30)
+
+    def test_rows_stored_as_tuples(self):
+        page = Page(100)
+        page.append([1, "x"], 10)
+        assert page.rows[0] == (1, "x")
+        assert isinstance(page.rows[0], tuple)
+
+
+class TestHeapFile:
+    def test_bulk_load_counts(self, disk, schema):
+        heap = HeapFile("t", schema, disk, page_size=512)
+        heap.bulk_load([(i, f"val{i}") for i in range(100)])
+        assert heap.num_tuples == 100
+        assert heap.num_pages > 1
+        assert heap.total_bytes > 0
+
+    def test_bulk_load_charges_no_io(self, disk, schema):
+        heap = HeapFile("t", schema, disk, page_size=512)
+        heap.bulk_load([(i, "x") for i in range(100)])
+        assert disk.clock.now == 0.0
+        assert disk.writes == 0
+
+    def test_temp_append_charges_io(self, disk, schema):
+        heap = HeapFile("t", schema, disk, page_size=256, temp=True)
+        for i in range(50):
+            heap.append((i, "payload"))
+        heap.flush()
+        assert disk.writes == heap.num_pages
+        assert disk.clock.now > 0.0
+
+    def test_iter_rows_roundtrip(self, disk, schema):
+        rows = [(i, f"s{i}") for i in range(37)]
+        heap = HeapFile("t", schema, disk, page_size=256)
+        heap.bulk_load(rows)
+        assert list(heap.iter_rows()) == rows
+
+    def test_avg_tuple_width(self, disk, schema):
+        heap = HeapFile("t", schema, disk, page_size=512)
+        heap.bulk_load([(1, "ab")])
+        assert heap.avg_tuple_width() == schema.row_width((1, "ab"))
+
+    def test_avg_tuple_width_empty(self, disk, schema):
+        heap = HeapFile("t", schema, disk, page_size=512)
+        assert heap.avg_tuple_width() == 0.0
+
+    def test_flush_idempotent_on_empty(self, disk, schema):
+        heap = HeapFile("t", schema, disk, page_size=512)
+        heap.flush()
+        assert heap.num_pages == 0
+
+    def test_drop_releases_file(self, disk, schema):
+        heap = HeapFile("t", schema, disk, page_size=512)
+        heap.bulk_load([(1, "a")])
+        fid = heap.handle.file_id
+        heap.drop()
+        with pytest.raises(StorageError):
+            disk.file(fid)
+
+
+class TestSimulatedDisk:
+    def test_sequential_read_cheaper_than_random(self, disk, schema):
+        heap = HeapFile("t", schema, disk, page_size=256)
+        heap.bulk_load([(i, "x" * 20) for i in range(200)])
+        t0 = disk.clock.now
+        disk.read_page(heap.handle, 0, sequential=True)
+        seq_time = disk.clock.now - t0
+        t0 = disk.clock.now
+        disk.read_page(heap.handle, 1, sequential=False)
+        random_time = disk.clock.now - t0
+        assert random_time > seq_time
+
+    def test_read_out_of_range_raises(self, disk, schema):
+        heap = HeapFile("t", schema, disk, page_size=256)
+        heap.bulk_load([(1, "a")])
+        with pytest.raises(StorageError):
+            disk.read_page(heap.handle, 99)
+
+    def test_io_counters(self, disk, schema):
+        heap = HeapFile("t", schema, disk, page_size=256)
+        heap.bulk_load([(i, "x") for i in range(100)])
+        disk.read_page(heap.handle, 0, sequential=True)
+        disk.read_page(heap.handle, 1, sequential=False)
+        counters = disk.io_counters()
+        assert counters["seq_reads"] == 1
+        assert counters["random_reads"] == 1
+
+    def test_charge_io_false_is_free(self, disk, schema):
+        heap = HeapFile("t", schema, disk, page_size=256)
+        heap.bulk_load([(1, "a")])
+        disk.read_page(heap.handle, 0, charge_io=False)
+        assert disk.clock.now == 0.0
+
+
+class TestBufferPool:
+    def _loaded(self, disk, schema, pages=10):
+        heap = HeapFile("t", schema, disk, page_size=256)
+        heap.bulk_load([(i, "x" * 30) for i in range(pages * 5)])
+        return heap
+
+    def test_miss_then_hit(self, disk, schema):
+        heap = self._loaded(disk, schema)
+        pool = BufferPool(disk, 4, CostModelConfig())
+        pool.get_page(heap.handle, 0)
+        assert pool.misses == 1
+        pool.get_page(heap.handle, 0)
+        assert pool.hits == 1
+
+    def test_hit_is_cheaper_than_miss(self, disk, schema):
+        heap = self._loaded(disk, schema)
+        pool = BufferPool(disk, 4, CostModelConfig())
+        t0 = disk.clock.now
+        pool.get_page(heap.handle, 0)
+        miss_time = disk.clock.now - t0
+        t0 = disk.clock.now
+        pool.get_page(heap.handle, 0)
+        hit_time = disk.clock.now - t0
+        assert hit_time < miss_time
+
+    def test_lru_eviction(self, disk, schema):
+        heap = self._loaded(disk, schema)
+        pool = BufferPool(disk, 2, CostModelConfig())
+        pool.get_page(heap.handle, 0)
+        pool.get_page(heap.handle, 1)
+        pool.get_page(heap.handle, 2)  # evicts page 0
+        assert pool.num_cached == 2
+        pool.get_page(heap.handle, 0)
+        assert pool.misses == 4
+
+    def test_lru_touch_reorders(self, disk, schema):
+        heap = self._loaded(disk, schema)
+        pool = BufferPool(disk, 2, CostModelConfig())
+        pool.get_page(heap.handle, 0)
+        pool.get_page(heap.handle, 1)
+        pool.get_page(heap.handle, 0)  # page 0 is now most recent
+        pool.get_page(heap.handle, 2)  # evicts page 1
+        pool.get_page(heap.handle, 0)
+        assert pool.hits == 2
+
+    def test_clear_cold_starts(self, disk, schema):
+        heap = self._loaded(disk, schema)
+        pool = BufferPool(disk, 4, CostModelConfig())
+        pool.get_page(heap.handle, 0)
+        pool.clear()
+        pool.get_page(heap.handle, 0)
+        assert pool.misses == 2
+
+    def test_invalidate_file(self, disk, schema):
+        heap = self._loaded(disk, schema)
+        pool = BufferPool(disk, 4, CostModelConfig())
+        pool.get_page(heap.handle, 0)
+        pool.invalidate_file(heap.handle)
+        assert pool.num_cached == 0
+
+    def test_hit_rate(self, disk, schema):
+        heap = self._loaded(disk, schema)
+        pool = BufferPool(disk, 4, CostModelConfig())
+        assert pool.hit_rate() == 0.0
+        pool.get_page(heap.handle, 0)
+        pool.get_page(heap.handle, 0)
+        assert pool.hit_rate() == pytest.approx(0.5)
+
+    def test_zero_capacity_rejected(self, disk):
+        with pytest.raises(ValueError):
+            BufferPool(disk, 0, CostModelConfig())

@@ -1,0 +1,133 @@
+"""Unit tests for column types and schemas."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.schema import Column, Schema, TUPLE_HEADER_BYTES
+from repro.storage.types import (
+    BOOLEAN,
+    DATE,
+    FLOAT,
+    INTEGER,
+    StringType,
+    string,
+)
+
+
+class TestTypes:
+    def test_integer_width_fixed(self):
+        assert INTEGER.width(0) == 4
+        assert INTEGER.width(10**6) == 4
+
+    def test_float_width_fixed(self):
+        assert FLOAT.width(1.5) == 8
+
+    def test_date_width_fixed(self):
+        assert DATE.width(12345) == 4
+
+    def test_string_width_varies(self):
+        t = string(20)
+        assert t.width("") == 1
+        assert t.width("abc") == 4
+        assert t.width(None) == 1
+
+    def test_integer_validate(self):
+        assert INTEGER.validate(5)
+        assert INTEGER.validate(None)
+        assert not INTEGER.validate("x")
+
+    def test_float_validate_accepts_int(self):
+        assert FLOAT.validate(3)
+        assert FLOAT.validate(3.5)
+        assert not FLOAT.validate("3.5")
+
+    def test_string_validate_length(self):
+        t = string(3)
+        assert t.validate("abc")
+        assert not t.validate("abcd")
+
+    def test_boolean_validate(self):
+        assert BOOLEAN.validate(True)
+        assert not BOOLEAN.validate(1)
+
+    def test_string_equality_by_length(self):
+        assert string(5) == string(5)
+        assert string(5) != string(6)
+        assert string(5) != INTEGER
+
+    def test_fixed_type_singletons_equal(self):
+        from repro.storage.types import IntegerType
+
+        assert INTEGER == IntegerType()
+
+    def test_string_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            StringType(0)
+
+
+class TestSchema:
+    def _schema(self):
+        return Schema(
+            [Column("a", INTEGER), Column("s", string(10)), Column("v", FLOAT)]
+        )
+
+    def test_len_and_names(self):
+        s = self._schema()
+        assert len(s) == 3
+        assert s.names() == ["a", "s", "v"]
+
+    def test_index_of(self):
+        s = self._schema()
+        assert s.index_of("v") == 2
+
+    def test_index_of_missing_raises(self):
+        with pytest.raises(StorageError):
+            self._schema().index_of("nope")
+
+    def test_has_column(self):
+        s = self._schema()
+        assert s.has_column("a")
+        assert not s.has_column("z")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(StorageError):
+            Schema([Column("a", INTEGER), Column("a", FLOAT)])
+
+    def test_row_width_counts_header_and_fields(self):
+        s = self._schema()
+        row = (1, "abc", 2.0)
+        assert s.row_width(row) == TUPLE_HEADER_BYTES + 4 + 4 + 8
+
+    def test_row_width_null_string(self):
+        s = self._schema()
+        assert s.row_width((1, None, 2.0)) == TUPLE_HEADER_BYTES + 4 + 1 + 8
+
+    def test_min_width(self):
+        s = self._schema()
+        assert s.min_width() == TUPLE_HEADER_BYTES + 4 + 1 + 8
+
+    def test_concat(self):
+        s1 = Schema([Column("a", INTEGER)])
+        s2 = Schema([Column("b", FLOAT)])
+        joined = s1.concat(s2)
+        assert joined.names() == ["a", "b"]
+
+    def test_project(self):
+        s = self._schema()
+        p = s.project([2, 0])
+        assert p.names() == ["v", "a"]
+
+    def test_validate_row_ok(self):
+        self._schema().validate_row((1, "hi", 3.0))
+
+    def test_validate_row_arity(self):
+        with pytest.raises(StorageError):
+            self._schema().validate_row((1, "hi"))
+
+    def test_validate_row_type(self):
+        with pytest.raises(StorageError):
+            self._schema().validate_row(("x", "hi", 3.0))
+
+    def test_equality(self):
+        assert self._schema() == self._schema()
+        assert self._schema() != Schema([Column("a", INTEGER)])

@@ -1,0 +1,121 @@
+"""Unit tests for the TPC-R workload generators."""
+
+import pytest
+
+from repro.workloads import correlated, queries, tpcr
+
+
+class TestGenerator:
+    def test_row_counts_scale(self):
+        tables = tpcr.generate_tables(scale=0.002, subset_rows=60)
+        counts = tables.row_counts()
+        assert counts["customer"] == 300
+        assert counts["orders"] == 3000
+        assert counts["lineitem"] == 12000
+        assert counts["customer_subset1"] == 60
+        assert counts["customer_subset2"] == 60
+
+    def test_paper_ratios(self):
+        # 10 orders per customer, 4 lineitems per order (Section 5.1).
+        tables = tpcr.generate_tables(scale=0.002)
+        assert len(tables.orders) == 10 * len(tables.customer)
+        assert len(tables.lineitem) == 4 * len(tables.orders)
+
+    def test_custkeys_unique(self):
+        tables = tpcr.generate_tables(scale=0.002)
+        keys = [c[0] for c in tables.customer]
+        assert len(set(keys)) == len(keys)
+
+    def test_orderkeys_unique(self):
+        tables = tpcr.generate_tables(scale=0.002)
+        keys = [o[0] for o in tables.orders]
+        assert len(set(keys)) == len(keys)
+
+    def test_foreign_keys_valid(self):
+        tables = tpcr.generate_tables(scale=0.002)
+        custkeys = {c[0] for c in tables.customer}
+        assert all(o[1] in custkeys for o in tables.orders)
+        orderkeys = {o[0] for o in tables.orders}
+        assert all(l[0] in orderkeys for l in tables.lineitem)
+
+    def test_deterministic_by_seed(self):
+        a = tpcr.generate_tables(scale=0.002, seed=7)
+        b = tpcr.generate_tables(scale=0.002, seed=7)
+        assert a.customer == b.customer
+        assert a.orders == b.orders
+
+    def test_different_seed_differs(self):
+        a = tpcr.generate_tables(scale=0.002, seed=7)
+        b = tpcr.generate_tables(scale=0.002, seed=8)
+        assert a.customer != b.customer
+
+    def test_subsets_have_distinct_keys(self):
+        tables = tpcr.generate_tables(scale=0.002, subset_rows=50)
+        k1 = {c[0] for c in tables.customer_subset1}
+        k2 = {c[0] for c in tables.customer_subset2}
+        assert not (k1 & k2)
+
+    def test_nationkeys_in_range(self):
+        tables = tpcr.generate_tables(scale=0.002)
+        assert all(0 <= c[3] < 25 for c in tables.customer)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            tpcr.generate_tables(scale=0.0)
+
+
+class TestBuildDatabase:
+    def test_five_tables_created(self, tiny_tpcr):
+        names = {t.name for t in tiny_tpcr.catalog.tables()}
+        assert names == {
+            "customer",
+            "orders",
+            "lineitem",
+            "customer_subset1",
+            "customer_subset2",
+        }
+
+    def test_statistics_collected(self, tiny_tpcr):
+        for table in tiny_tpcr.catalog.tables():
+            assert table.statistics is not None
+            assert table.statistics.row_count == table.num_tuples
+
+    def test_indexes_optional(self):
+        db = tpcr.build_database(scale=0.001, with_indexes=True, subset_rows=20)
+        assert db.catalog.get_table("orders").index_on("orderkey") is not None
+
+
+class TestCorrelatedData:
+    def test_fanout_by_nationkey_band(self):
+        rng_tables = tpcr.generate_tables(
+            scale=0.002,
+            orders_per_customer_fn=correlated.correlated_orders_per_customer,
+        )
+        per_customer = {}
+        for o in rng_tables.orders:
+            per_customer[o[1]] = per_customer.get(o[1], 0) + 1
+        for c in rng_tables.customer:
+            expected = correlated.correlated_orders_per_customer(c)
+            assert per_customer.get(c[0], 0) == expected
+
+    def test_average_fanout_stays_ten(self):
+        tables = tpcr.generate_tables(
+            scale=0.01,
+            orders_per_customer_fn=correlated.correlated_orders_per_customer,
+        )
+        avg = len(tables.orders) / len(tables.customer)
+        assert avg == pytest.approx(10.0, rel=0.15)
+
+    def test_build_database_wrapper(self):
+        db = correlated.build_database(scale=0.001, subset_rows=20)
+        assert db.catalog.get_table("orders").num_tuples > 0
+
+
+class TestQueries:
+    def test_all_queries_parse_and_plan(self, tiny_tpcr, tpcr_queries):
+        for sql in tpcr_queries.values():
+            planned = tiny_tpcr.prepare(sql)
+            assert planned.root is not None
+
+    def test_query_dict_complete(self):
+        assert set(queries.PAPER_QUERIES) == {"Q1", "Q2", "Q3", "Q4", "Q5"}
