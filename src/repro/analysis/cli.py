@@ -1,0 +1,134 @@
+"""``python -m repro.analysis`` / ``repro-analyze`` — the analysis CLI.
+
+Subcommands:
+
+* ``verify`` — plan the paper's built-in workload queries (Q1-Q5 by
+  default, or any SQL via ``--sql``), run the segment builder, and check
+  every plan/segment invariant.  Exit code 0 when all plans are clean,
+  1 otherwise.
+* ``lint`` — run the repo-specific AST lint pass over files/directories
+  (default ``src``).  Exit code 0 when no findings, 1 otherwise.
+
+Examples::
+
+    python -m repro.analysis verify
+    python -m repro.analysis verify --query Q2 --scale 0.01
+    python -m repro.analysis lint src tests
+    repro-analyze lint --rule REPRO004 src
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.analysis.invariants import Violation, verify_plan
+from repro.analysis.lint import lint_paths
+from repro.analysis.report import render_findings, render_violations
+from repro.analysis.rules import LINT_RULES
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - keeps CLI import light
+    from repro.database import Database
+
+
+def _build_database(query: str, scale: float, work_mem: int) -> "Database":
+    """The workload database a paper query runs against (Q3 needs the
+    correlated generator; everything else uses plain TPC-R)."""
+    from repro.config import SystemConfig
+    from repro.workloads import correlated, tpcr
+
+    config = SystemConfig(work_mem_pages=work_mem)
+    builder = correlated if query == "Q3" else tpcr
+    return builder.build_database(scale=scale, config=config)
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Verify the built-in workloads' plans (or ad-hoc SQL)."""
+    from repro.workloads import queries
+
+    if args.sql is not None:
+        targets = {"sql": args.sql}
+    elif args.query is not None:
+        name = args.query.upper()
+        if name not in queries.PAPER_QUERIES:
+            print(f"unknown query {args.query!r}; choose from Q1..Q5",
+                  file=sys.stderr)
+            return 2
+        targets = {name: queries.PAPER_QUERIES[name]}
+    else:
+        targets = dict(queries.PAPER_QUERIES)
+
+    results: dict[str, list[Violation]] = {}
+    for name, sql in targets.items():
+        db = _build_database(name, args.scale, args.work_mem)
+        try:
+            planned = db.prepare(sql)
+        except ReproError as exc:
+            print(f"{name}: cannot plan: {exc}", file=sys.stderr)
+            return 2
+        _specs, violations = verify_plan(planned.root)
+        results[name] = violations
+    print(render_violations(results))
+    total = sum(len(v) for v in results.values())
+    if total:
+        print(f"\n{total} violation(s) across {len(results)} plan(s)")
+        return 1
+    print(f"\nall {len(results)} plan(s) verified")
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Lint files/directories with the repo-specific rules."""
+    rules = set(args.rule) if args.rule else None
+    if rules is not None:
+        unknown = rules - set(LINT_RULES)
+        if unknown:
+            print(
+                f"unknown rule(s): {', '.join(sorted(unknown))}; "
+                f"available: {', '.join(sorted(LINT_RULES))}",
+                file=sys.stderr,
+            )
+            return 2
+    findings = lint_paths(args.paths, rules=rules)
+    print(render_findings(findings))
+    return 1 if findings else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Static analysis: plan invariant verifier + AST lint",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    verify = sub.add_parser("verify", help="verify plan/segment invariants")
+    verify.add_argument("--query", default=None,
+                        help="one paper query (Q1..Q5); default: all")
+    verify.add_argument("--sql", default=None,
+                        help="verify an ad-hoc SELECT against the TPC-R data")
+    verify.add_argument("--scale", type=float, default=0.005,
+                        help="TPC-R scale factor (default 0.005)")
+    verify.add_argument("--work-mem", type=int, default=24,
+                        help="work_mem in pages (default 24; small values "
+                        "force multi-batch joins and external sorts)")
+    verify.set_defaults(func=cmd_verify)
+
+    lint = sub.add_parser("lint", help="run the repo-specific AST lint pass")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories (default: src)")
+    lint.add_argument("--rule", action="append", default=None,
+                      metavar="REPROxxx",
+                      help="restrict to one rule id (repeatable)")
+    lint.set_defaults(func=cmd_lint)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,96 @@
+"""Pre-execution verification gate.
+
+Execution paths call :func:`gate_segments` right after the segment
+builder runs and before the first tuple flows.  Behaviour is governed by
+a mode resolved from (highest priority first) the ``REPRO_VERIFY``
+environment variable, then :attr:`repro.config.ProgressConfig.verify_mode`:
+
+* ``"off"``    — skip verification entirely;
+* ``"warn"``   — verify and emit a :class:`PlanVerificationWarning`
+  listing the violations (the production default: a suspect estimate is
+  better than a refused query);
+* ``"strict"`` — verify and raise :class:`PlanVerificationError`
+  (the test-suite and CI default, set in ``tests/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import TYPE_CHECKING, Optional
+
+from repro.analysis.invariants import Violation, verify_segments
+from repro.config import SystemConfig
+from repro.errors import ProgressError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> analysis)
+    from repro.core.segments import SegmentSpec
+    from repro.planner.physical import PhysicalNode
+
+VERIFY_MODES = ("off", "warn", "strict")
+
+#: Environment override consulted before the config knob.
+ENV_VAR = "REPRO_VERIFY"
+
+
+class PlanVerificationError(ProgressError):
+    """A plan failed invariant verification in strict mode."""
+
+    def __init__(self, label: str, violations: list[Violation]) -> None:
+        detail = "; ".join(v.format() for v in violations)
+        super().__init__(
+            f"plan verification failed for {label}: {len(violations)} "
+            f"violation(s): {detail}"
+        )
+        self.label = label
+        self.violations = violations
+
+
+class PlanVerificationWarning(UserWarning):
+    """A plan failed invariant verification in warn mode."""
+
+
+def resolve_verify_mode(config: Optional[SystemConfig] = None) -> str:
+    """The effective gate mode for ``config`` (env var wins)."""
+    mode = os.environ.get(ENV_VAR, "").strip().lower()
+    if not mode and config is not None:
+        mode = getattr(config.progress, "verify_mode", "warn")
+    mode = mode or "warn"
+    if mode not in VERIFY_MODES:
+        raise ProgressError(
+            f"unknown verify mode {mode!r}; expected one of {VERIFY_MODES}"
+        )
+    return mode
+
+
+def gate_segments(
+    root: "PhysicalNode",
+    specs: list["SegmentSpec"],
+    config: Optional[SystemConfig] = None,
+    mode: Optional[str] = None,
+    label: str = "query",
+) -> list[Violation]:
+    """Verify a segmented plan; enforce per the resolved mode.
+
+    Returns the violations found (empty when the plan is clean or the
+    gate is off) so callers can log them even in warn mode.
+    """
+    if mode is None:
+        mode = resolve_verify_mode(config)
+    if mode == "off":
+        return []
+    violations = verify_segments(root, specs)
+    if not violations:
+        return violations
+    if mode == "strict":
+        raise PlanVerificationError(label, violations)
+    summary = "; ".join(v.format() for v in violations[:5])
+    if len(violations) > 5:
+        summary += f"; ... {len(violations) - 5} more"
+    warnings.warn(
+        f"plan verification found {len(violations)} violation(s) in "
+        f"{label}: {summary}",
+        PlanVerificationWarning,
+        stacklevel=3,
+    )
+    return violations

@@ -1,0 +1,586 @@
+"""Plan/segment invariant verifier.
+
+The refinement machinery of :mod:`repro.core.refine` is only correct when
+the segment decomposition produced by :mod:`repro.core.segments` obeys a
+set of structural invariants that nothing at run time re-checks: ids must
+be dense and topologically ordered, every blocking operator must close a
+segment, dominant inputs must follow the Section 4.5 rules, and the
+GCost byte accounting must count every intermediate byte exactly twice
+(once as a producer output, once as a consumer input).  This module
+checks those properties *statically*, before a single tuple flows.
+
+Each invariant is a small function registered in :data:`INVARIANT_RULES`;
+:func:`verify_segments` runs them all and returns the violations found.
+The rule ids are stable strings used by tests, the CLI report, and
+``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.planner.physical import (
+    HashAggregateNode,
+    HashJoinNode,
+    MergeJoinNode,
+    PhysicalNode,
+    SortNode,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> analysis)
+    from repro.core.segments import SegmentSpec
+
+#: Relative tolerance for the card-factor reconstruction check.
+_CARD_FACTOR_RTOL = 1e-6
+#: The floor the segment builder substitutes for zero input cardinalities.
+_CARD_FACTOR_FLOOR = 1e-9
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant, attributed to a rule and (usually) a segment."""
+
+    rule: str
+    message: str
+    segment: Optional[int] = None
+
+    def format(self) -> str:
+        where = f"segment {self.segment}" if self.segment is not None else "plan"
+        return f"[{self.rule}] {where}: {self.message}"
+
+
+def collect_nodes(root: PhysicalNode) -> list[PhysicalNode]:
+    """All plan nodes reachable from ``root``, pre-order."""
+    nodes: list[PhysicalNode] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        stack.extend(reversed(node.children))
+    return nodes
+
+
+@dataclass
+class _Context:
+    """Everything a rule needs: the plan, the specs, derived indexes."""
+
+    root: PhysicalNode
+    specs: list["SegmentSpec"]
+    nodes: list[PhysicalNode]
+    #: segment id -> plan nodes assigned to it by the builder.
+    members: dict[Optional[int], list[PhysicalNode]]
+
+    @classmethod
+    def build(cls, root: PhysicalNode, specs: list["SegmentSpec"]) -> "_Context":
+        nodes = collect_nodes(root)
+        members: dict[Optional[int], list[PhysicalNode]] = {}
+        for node in nodes:
+            members.setdefault(getattr(node, "segment_id", None), []).append(node)
+        return cls(root=root, specs=specs, nodes=nodes, members=members)
+
+    def valid_segment(self, seg_id: object) -> bool:
+        return isinstance(seg_id, int) and 0 <= seg_id < len(self.specs)
+
+    def valid_input_ref(self, ref: object) -> bool:
+        if not (isinstance(ref, tuple) and len(ref) == 2):
+            return False
+        seg, idx = ref
+        if not self.valid_segment(seg):
+            return False
+        return isinstance(idx, int) and 0 <= idx < len(self.specs[seg].inputs)
+
+
+RuleFn = Callable[[_Context], list[Violation]]
+
+#: rule id -> (paper anchor, check function); populated by ``@_rule``.
+INVARIANT_RULES: dict[str, tuple[str, RuleFn]] = {}
+
+
+def _rule(rule_id: str, anchor: str) -> Callable[[RuleFn], RuleFn]:
+    def register(fn: RuleFn) -> RuleFn:
+        INVARIANT_RULES[rule_id] = (anchor, fn)
+        return fn
+
+    return register
+
+
+# ----------------------------------------------------------------------
+# segment-list structure
+
+
+@_rule("dense-ids", "§4.2")
+def _check_dense_ids(ctx: _Context) -> list[Violation]:
+    """Segment ids are dense 0..n-1 in list order (the refiner indexes
+    tracker counters by them)."""
+    if not ctx.specs:
+        return [Violation("dense-ids", "plan produced no segments")]
+    out = []
+    for pos, spec in enumerate(ctx.specs):
+        if spec.id != pos:
+            out.append(
+                Violation(
+                    "dense-ids",
+                    f"segment at position {pos} has id {spec.id}",
+                    segment=spec.id,
+                )
+            )
+    return out
+
+
+@_rule("single-final", "§4.5")
+def _check_single_final(ctx: _Context) -> list[Violation]:
+    """Exactly one final segment, and it is the last one (its output goes
+    to the user and is excluded from GCost)."""
+    finals = [s for s in ctx.specs if s.final]
+    if len(finals) == 1 and ctx.specs and finals[0] is ctx.specs[-1]:
+        return []
+    if not finals:
+        return [Violation("single-final", "no segment is marked final")]
+    if len(finals) > 1:
+        ids = ", ".join(str(s.id) for s in finals)
+        return [Violation("single-final", f"multiple final segments: {ids}")]
+    return [
+        Violation(
+            "single-final",
+            f"final segment {finals[0].id} is not the last segment",
+            segment=finals[0].id,
+        )
+    ]
+
+
+@_rule("topological-order", "§4.2")
+def _check_topological_order(ctx: _Context) -> list[Violation]:
+    """Every child input references an earlier (lower-id) segment; base
+    inputs reference none.  Producers must close before consumers start."""
+    out = []
+    for spec in ctx.specs:
+        for inp in spec.inputs:
+            if inp.kind == "child":
+                if inp.child_segment is None or not ctx.valid_segment(
+                    inp.child_segment
+                ):
+                    out.append(
+                        Violation(
+                            "topological-order",
+                            f"input {inp.index} references unknown segment "
+                            f"{inp.child_segment!r}",
+                            segment=spec.id,
+                        )
+                    )
+                elif inp.child_segment >= spec.id:
+                    out.append(
+                        Violation(
+                            "topological-order",
+                            f"input {inp.index} references segment "
+                            f"{inp.child_segment} which does not precede it",
+                            segment=spec.id,
+                        )
+                    )
+            elif inp.child_segment is not None:
+                out.append(
+                    Violation(
+                        "topological-order",
+                        f"base input {inp.index} references segment "
+                        f"{inp.child_segment}",
+                        segment=spec.id,
+                    )
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# dominant-input rules (§4.5)
+
+
+@_rule("dominant-count", "§4.5")
+def _check_dominant_count(ctx: _Context) -> list[Violation]:
+    """Every segment has at least one input and exactly one dominant
+    input — except merge-join segments, which have exactly two."""
+    out = []
+    for spec in ctx.specs:
+        if not spec.inputs:
+            out.append(Violation("dominant-count", "segment has no inputs", spec.id))
+            continue
+        dominants = sum(1 for i in spec.inputs if i.dominant)
+        has_merge = any(
+            isinstance(n, MergeJoinNode) for n in ctx.members.get(spec.id, [])
+        )
+        expected = 2 if has_merge else 1
+        if dominants != expected:
+            kind = "merge-join segment" if has_merge else "segment"
+            out.append(
+                Violation(
+                    "dominant-count",
+                    f"{kind} has {dominants} dominant input(s), expected "
+                    f"{expected}",
+                    segment=spec.id,
+                )
+            )
+    return out
+
+
+@_rule("hash-probe-dominance", "§4.5")
+def _check_hash_probe_dominance(ctx: _Context) -> list[Violation]:
+    """In-memory hash joins: the hash-table input of the probe segment is
+    consumed up front and must not be dominant (rule 2b: the probe
+    relation drives progress)."""
+    out = []
+    for node in ctx.nodes:
+        if not isinstance(node, HashJoinNode) or node.num_batches != 1:
+            continue
+        ref = getattr(node, "pi_hash_input_ref", None)
+        if not ctx.valid_input_ref(ref):
+            continue  # annotations-present reports the missing ref
+        seg, idx = ref
+        inp = ctx.specs[seg].inputs[idx]
+        if inp.dominant:
+            out.append(
+                Violation(
+                    "hash-probe-dominance",
+                    f"hash-table input {idx} is marked dominant",
+                    segment=seg,
+                )
+            )
+        if inp.kind != "child" or inp.child_segment != getattr(
+            node, "pi_build_segment", None
+        ):
+            out.append(
+                Violation(
+                    "hash-probe-dominance",
+                    f"hash-table input {idx} does not consume the build "
+                    f"segment's output",
+                    segment=seg,
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# blocking boundaries (§4.2) and the Figure 3 shape
+
+
+@_rule("blocking-closes-segment", "§4.2")
+def _check_blocking_closes_segment(ctx: _Context) -> list[Violation]:
+    """Every blocking phase (hash build, partition pass, sort run
+    formation, aggregate accumulation) closes its own segment, distinct
+    from the segment that consumes its output."""
+    out = []
+
+    def check(node: PhysicalNode, attr: str, what: str) -> None:
+        blocking_seg = getattr(node, attr, None)
+        consumer_seg = getattr(node, "segment_id", None)
+        if not ctx.valid_segment(blocking_seg):
+            out.append(
+                Violation(
+                    "blocking-closes-segment",
+                    f"{type(node).__name__}: {what} did not close a segment "
+                    f"({attr}={blocking_seg!r})",
+                    segment=consumer_seg,
+                )
+            )
+        elif blocking_seg == consumer_seg:
+            out.append(
+                Violation(
+                    "blocking-closes-segment",
+                    f"{type(node).__name__}: {what} shares segment "
+                    f"{blocking_seg} with its consumer",
+                    segment=blocking_seg,
+                )
+            )
+
+    for node in ctx.nodes:
+        if isinstance(node, SortNode):
+            check(node, "pi_sort_segment", "run formation")
+        elif isinstance(node, HashAggregateNode):
+            check(node, "pi_agg_segment", "aggregate accumulation")
+        elif isinstance(node, HashJoinNode):
+            check(node, "pi_build_segment", "hash build")
+            if node.num_batches > 1:
+                check(node, "pi_probe_segment", "probe partition pass")
+    return out
+
+
+@_rule("figure3-shape", "§4.2 Fig. 3")
+def _check_figure3_shape(ctx: _Context) -> list[Violation]:
+    """Multi-batch hash joins follow the paper's Figure 3: two partition
+    segments (S1/S2) feed a join segment (S3) whose inputs are exactly
+    PA (non-dominant) and PB (dominant)."""
+    out = []
+    for node in ctx.nodes:
+        if not isinstance(node, HashJoinNode) or node.num_batches == 1:
+            continue
+        join_seg = getattr(node, "segment_id", None)
+        build_seg = getattr(node, "pi_build_segment", None)
+        probe_seg = getattr(node, "pi_probe_segment", None)
+        if not (
+            ctx.valid_segment(join_seg)
+            and ctx.valid_segment(build_seg)
+            and ctx.valid_segment(probe_seg)
+        ):
+            continue  # blocking-closes-segment reports these
+        if len({join_seg, build_seg, probe_seg}) != 3:
+            out.append(
+                Violation(
+                    "figure3-shape",
+                    f"build ({build_seg}), probe ({probe_seg}) and join "
+                    f"({join_seg}) segments are not distinct",
+                    segment=join_seg,
+                )
+            )
+            continue
+        pa_ref = getattr(node, "pi_pa_input_ref", None)
+        pb_ref = getattr(node, "pi_pb_input_ref", None)
+        if not (ctx.valid_input_ref(pa_ref) and ctx.valid_input_ref(pb_ref)):
+            continue  # annotations-present reports these
+        pa = ctx.specs[pa_ref[0]].inputs[pa_ref[1]]
+        pb = ctx.specs[pb_ref[0]].inputs[pb_ref[1]]
+        if pa_ref[0] != join_seg or pb_ref[0] != join_seg:
+            out.append(
+                Violation(
+                    "figure3-shape",
+                    "partition inputs are not inputs of the join segment",
+                    segment=join_seg,
+                )
+            )
+        if pa.child_segment != build_seg or pa.dominant:
+            out.append(
+                Violation(
+                    "figure3-shape",
+                    "PA must come from the build partition pass and be "
+                    "non-dominant",
+                    segment=join_seg,
+                )
+            )
+        if pb.child_segment != probe_seg or not pb.dominant:
+            out.append(
+                Violation(
+                    "figure3-shape",
+                    "PB must come from the probe partition pass and be "
+                    "dominant",
+                    segment=join_seg,
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# GCost accounting (§4.1 / §4.5)
+
+
+@_rule("byte-conservation", "§4.5")
+def _check_byte_conservation(ctx: _Context) -> list[Violation]:
+    """Intermediate bytes are double-counted exactly once: every non-final
+    segment's output is consumed by exactly one child input of a later
+    segment; the final segment's output is consumed by none."""
+    consumers: dict[int, list[int]] = {}
+    for spec in ctx.specs:
+        for inp in spec.inputs:
+            if inp.kind == "child" and inp.child_segment is not None:
+                consumers.setdefault(inp.child_segment, []).append(spec.id)
+    out = []
+    for spec in ctx.specs:
+        uses = consumers.get(spec.id, [])
+        if spec.final:
+            if uses:
+                out.append(
+                    Violation(
+                        "byte-conservation",
+                        f"final segment's output is consumed by segment(s) "
+                        f"{sorted(uses)}",
+                        segment=spec.id,
+                    )
+                )
+        elif len(uses) != 1:
+            detail = "never consumed" if not uses else f"consumed {len(uses)} times"
+            out.append(
+                Violation(
+                    "byte-conservation",
+                    f"intermediate output is {detail} (must be exactly once)",
+                    segment=spec.id,
+                )
+            )
+    return out
+
+
+@_rule("estimates-nonnegative", "§4.3")
+def _check_estimates_nonnegative(ctx: _Context) -> list[Violation]:
+    """All optimizer estimates seeding the indicator are finite and
+    non-negative (a negative or NaN Ne poisons every later refinement)."""
+    out = []
+
+    def bad(value: float) -> bool:
+        return not math.isfinite(value) or value < 0.0
+
+    for spec in ctx.specs:
+        fields = {
+            "est_output_rows": spec.est_output_rows,
+            "est_output_width": spec.est_output_width,
+            "est_extra_bytes": spec.est_extra_bytes,
+        }
+        for name, value in fields.items():
+            if bad(value):
+                out.append(
+                    Violation(
+                        "estimates-nonnegative",
+                        f"{name} is {value!r}",
+                        segment=spec.id,
+                    )
+                )
+        for inp in spec.inputs:
+            for name, value in (
+                ("est_rows", inp.est_rows),
+                ("est_width", inp.est_width),
+            ):
+                if bad(value):
+                    out.append(
+                        Violation(
+                            "estimates-nonnegative",
+                            f"input {inp.index} {name} is {value!r}",
+                            segment=spec.id,
+                        )
+                    )
+    return out
+
+
+@_rule("card-factor", "§4.5")
+def _check_card_factor(ctx: _Context) -> list[Violation]:
+    """``card_factor`` must reproduce the optimizer's output estimate from
+    the input estimates — it is how the refiner "re-invokes the
+    optimizer's cost estimation module" during upward propagation."""
+    out = []
+    for spec in ctx.specs:
+        product = 1.0
+        for inp in spec.inputs:
+            product *= max(inp.est_rows, _CARD_FACTOR_FLOOR)
+        reproduced = spec.card_factor * product
+        tolerance = max(_CARD_FACTOR_RTOL, _CARD_FACTOR_RTOL * spec.est_output_rows)
+        if not math.isfinite(reproduced) or abs(
+            reproduced - spec.est_output_rows
+        ) > tolerance:
+            out.append(
+                Violation(
+                    "card-factor",
+                    f"card_factor * prod(inputs) = {reproduced!r} but "
+                    f"est_output_rows = {spec.est_output_rows!r}",
+                    segment=spec.id,
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# executor annotations
+
+
+@_rule("annotations-present", "§4.2")
+def _check_annotations_present(ctx: _Context) -> list[Violation]:
+    """Every plan node carries the ``pi_*`` annotations its operator
+    reports progress through, and each reference points at a real
+    (segment, input) slot of the right kind.  A missing annotation makes
+    the operator silently skip reporting — progress freezes."""
+    out = []
+
+    def check_seg(node: PhysicalNode, attr: str) -> None:
+        value = getattr(node, attr, None)
+        if not ctx.valid_segment(value):
+            out.append(
+                Violation(
+                    "annotations-present",
+                    f"{type(node).__name__}.{attr} is {value!r}",
+                    segment=getattr(node, "segment_id", None),
+                )
+            )
+
+    def check_ref(node: PhysicalNode, attr: str, kind: str) -> None:
+        ref = getattr(node, attr, None)
+        if not ctx.valid_input_ref(ref):
+            out.append(
+                Violation(
+                    "annotations-present",
+                    f"{type(node).__name__}.{attr} is {ref!r}",
+                    segment=getattr(node, "segment_id", None),
+                )
+            )
+            return
+        seg, idx = ref
+        inp = ctx.specs[seg].inputs[idx]
+        if inp.kind != kind:
+            out.append(
+                Violation(
+                    "annotations-present",
+                    f"{type(node).__name__}.{attr} points at a "
+                    f"{inp.kind!r} input, expected {kind!r}",
+                    segment=seg,
+                )
+            )
+
+    for node in ctx.nodes:
+        if not ctx.valid_segment(getattr(node, "segment_id", None)):
+            out.append(
+                Violation(
+                    "annotations-present",
+                    f"{type(node).__name__}.segment_id is "
+                    f"{getattr(node, 'segment_id', None)!r}",
+                )
+            )
+        if hasattr(node, "est_base_rows"):  # scan nodes
+            check_ref(node, "pi_input_ref", "base")
+        if isinstance(node, SortNode):
+            check_seg(node, "pi_sort_segment")
+            check_ref(node, "pi_merge_input_ref", "child")
+        if isinstance(node, HashAggregateNode):
+            check_seg(node, "pi_agg_segment")
+            check_ref(node, "pi_groups_input_ref", "child")
+        if isinstance(node, HashJoinNode):
+            check_seg(node, "pi_build_segment")
+            if node.num_batches == 1:
+                check_ref(node, "pi_hash_input_ref", "child")
+            else:
+                check_seg(node, "pi_probe_segment")
+                check_ref(node, "pi_pa_input_ref", "child")
+                check_ref(node, "pi_pb_input_ref", "child")
+    return out
+
+
+@_rule("cost-consistency", "§4.1")
+def _check_cost_consistency(ctx: _Context) -> list[Violation]:
+    """Each segment's initial byte cost — the quantity seeding the
+    indicator's U estimate — is finite and non-negative.  (Zero totals are
+    legal: a query over an empty table costs nothing.)"""
+    out = []
+    for spec in ctx.specs:
+        cost = spec.initial_cost_bytes()
+        if not math.isfinite(cost) or cost < 0.0:
+            out.append(
+                Violation(
+                    "cost-consistency",
+                    f"initial_cost_bytes() is {cost!r}",
+                    segment=spec.id,
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# entry points
+
+
+def verify_segments(
+    root: PhysicalNode, specs: list["SegmentSpec"]
+) -> list[Violation]:
+    """Run every registered invariant; return all violations found."""
+    ctx = _Context.build(root, specs)
+    violations: list[Violation] = []
+    for _anchor, fn in INVARIANT_RULES.values():
+        violations.extend(fn(ctx))
+    return violations
+
+
+def verify_plan(root: PhysicalNode) -> tuple[list["SegmentSpec"], list[Violation]]:
+    """Segment ``root`` and verify the result in one step."""
+    from repro.core.segments import build_segments
+
+    specs = build_segments(root)
+    return specs, verify_segments(root, specs)

@@ -1,0 +1,43 @@
+"""Text rendering for verifier and lint results (CLI output)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.invariants import INVARIANT_RULES, Violation
+from repro.analysis.rules import LINT_RULES, LintFinding
+
+
+def render_violations(by_plan: Mapping[str, Sequence[Violation]]) -> str:
+    """One block per verified plan: OK line or an indented violation list."""
+    lines = []
+    for label, violations in by_plan.items():
+        if not violations:
+            lines.append(f"{label}: OK")
+            continue
+        lines.append(f"{label}: {len(violations)} violation(s)")
+        for v in violations:
+            anchor = INVARIANT_RULES.get(v.rule, ("", None))[0]
+            suffix = f" ({anchor})" if anchor else ""
+            lines.append(f"  {v.format()}{suffix}")
+    return "\n".join(lines)
+
+
+def render_findings(findings: Iterable[LintFinding]) -> str:
+    """ruff-style ``path:line:col: RULE message`` lines plus a summary."""
+    findings = list(findings)
+    lines = [f.format() for f in findings]
+    if findings:
+        per_rule: dict[str, int] = {}
+        for f in findings:
+            per_rule[f.rule] = per_rule.get(f.rule, 0) + 1
+        breakdown = ", ".join(
+            f"{count} x {rule} ({LINT_RULES[rule][0]})"
+            if rule in LINT_RULES
+            else f"{count} x {rule}"
+            for rule, count in sorted(per_rule.items())
+        )
+        lines.append(f"found {len(findings)} problem(s): {breakdown}")
+    else:
+        lines.append("no problems found")
+    return "\n".join(lines)

@@ -1,0 +1,328 @@
+"""Repo-specific lint rules (stdlib :mod:`ast` only).
+
+Each rule is a function ``(tree, ctx) -> list[LintFinding]`` registered in
+:data:`LINT_RULES`.  Rules are deliberately narrow: they encode *this*
+codebase's correctness conventions, not general style — style belongs to
+ruff (configured in ``pyproject.toml``).
+
+Rules
+-----
+
+``REPRO001`` **no-wall-clock** — modules under ``core/`` or ``executor/``
+must never read the host's wall clock (``time.time()``,
+``time.monotonic()``, ``datetime.now()``, ...).  All timing flows through
+the virtual clock (:mod:`repro.sim.clock`); a single wall-clock read makes
+experiments non-deterministic and progress speeds meaningless.
+
+``REPRO002`` **no-float-progress-eq** — no ``==`` / ``!=`` against float
+literals, or on names that look like progress fractions
+(``*fraction*``, ``*progress*``, ``*percent*``, ``*_pct``).  Progress
+fractions accumulate float error; exact comparison is a latent bug.
+Compare with tolerances or ``math.isclose``.
+
+``REPRO003`` **no-mutable-default** — no mutable default arguments
+(list/dict/set displays, comprehensions, or ``list()``/``dict()``/
+``set()`` calls).  The default is evaluated once and shared across calls.
+
+``REPRO004`` **import-layering** — the package layering is one-way:
+``storage`` → ``executor`` → ``core`` → ``bench`` (low to high).  A module
+may import same-layer or lower-layer packages only; back-edges (storage
+importing executor, executor importing core, ...) are structural debt the
+segment verifier cannot untangle later.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+#: Wall-clock attributes of the ``time`` module that REPRO001 flags.
+_WALL_CLOCK_TIME_ATTRS = frozenset(
+    {"time", "monotonic", "perf_counter", "process_time", "time_ns",
+     "monotonic_ns", "perf_counter_ns"}
+)
+#: Wall-clock constructors of the ``datetime`` module.
+_WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+#: Packages REPRO001 applies to (the simulated-time core of the engine).
+_CLOCKED_PACKAGES = frozenset({"core", "executor"})
+
+#: Name fragments that mark a value as a progress fraction for REPRO002.
+_FRACTION_NAME_HINTS = ("fraction", "progress", "percent")
+_FRACTION_NAME_SUFFIXES = ("_pct",)
+
+#: One-way package layering for REPRO004, low to high.
+LAYER_ORDER = ("storage", "executor", "core", "bench")
+_LAYER_RANK = {name: rank for rank, name in enumerate(LAYER_ORDER)}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Per-file facts the rules dispatch on."""
+
+    path: str
+    #: The repo package directories this file sits under (e.g. ("core",)).
+    packages: tuple[str, ...]
+
+    def layer(self) -> Optional[int]:
+        """The file's layering rank, or None if it is outside the layers."""
+        for part in self.packages:
+            if part in _LAYER_RANK:
+                return _LAYER_RANK[part]
+        return None
+
+
+RuleFn = Callable[[ast.AST, LintContext], list[LintFinding]]
+
+#: rule id -> (short name, check function); populated by ``@_rule``.
+LINT_RULES: dict[str, tuple[str, RuleFn]] = {}
+
+
+def _rule(rule_id: str, name: str) -> Callable[[RuleFn], RuleFn]:
+    def register(fn: RuleFn) -> RuleFn:
+        LINT_RULES[rule_id] = (name, fn)
+        return fn
+
+    return register
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains; None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ----------------------------------------------------------------------
+# REPRO001 — no wall-clock in core/ and executor/
+
+
+@_rule("REPRO001", "no-wall-clock")
+def _check_wall_clock(tree: ast.AST, ctx: LintContext) -> list[LintFinding]:
+    if not any(p in _CLOCKED_PACKAGES for p in ctx.packages):
+        return []
+    out = []
+
+    def flag(node: ast.AST, what: str) -> None:
+        out.append(
+            LintFinding(
+                rule="REPRO001",
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=f"wall-clock read {what!r}; use the virtual clock "
+                f"(sim.clock) instead",
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name in _WALL_CLOCK_TIME_ATTRS:
+                        flag(node, f"time.{alias.name}")
+        elif isinstance(node, ast.Attribute):
+            dotted = _dotted(node)
+            if dotted is None:
+                continue
+            head, _, tail = dotted.rpartition(".")
+            if head == "time" and tail in _WALL_CLOCK_TIME_ATTRS:
+                flag(node, dotted)
+            elif (
+                tail in _WALL_CLOCK_DATETIME_ATTRS
+                and head.split(".")[-1] in ("datetime", "date")
+            ):
+                flag(node, dotted)
+    return out
+
+
+# ----------------------------------------------------------------------
+# REPRO002 — no float equality on progress fractions
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # -0.5 parses as UnaryOp(USub, Constant(0.5))
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, (ast.USub, ast.UAdd))
+        and _is_float_literal(node.operand)
+    )
+
+
+def _fraction_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    else:
+        return None
+    lowered = name.lower()
+    if any(h in lowered for h in _FRACTION_NAME_HINTS):
+        return name
+    if lowered.endswith(_FRACTION_NAME_SUFFIXES):
+        return name
+    return None
+
+
+@_rule("REPRO002", "no-float-progress-eq")
+def _check_float_equality(tree: ast.AST, ctx: LintContext) -> list[LintFinding]:
+    out = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                if _is_float_literal(side):
+                    out.append(
+                        LintFinding(
+                            rule="REPRO002",
+                            path=ctx.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message="exact equality against a float literal; "
+                            "use a tolerance (math.isclose)",
+                        )
+                    )
+                    break
+                name = _fraction_name(side)
+                if name is not None:
+                    out.append(
+                        LintFinding(
+                            rule="REPRO002",
+                            path=ctx.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message=f"exact equality on progress fraction "
+                            f"{name!r}; use a tolerance (math.isclose)",
+                        )
+                    )
+                    break
+    return out
+
+
+# ----------------------------------------------------------------------
+# REPRO003 — no mutable default arguments
+
+
+_MUTABLE_DISPLAYS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "deque"})
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_DISPLAYS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+@_rule("REPRO003", "no-mutable-default")
+def _check_mutable_defaults(tree: ast.AST, ctx: LintContext) -> list[LintFinding]:
+    out = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        args = node.args
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                name = getattr(node, "name", "<lambda>")
+                out.append(
+                    LintFinding(
+                        rule="REPRO003",
+                        path=ctx.path,
+                        line=default.lineno,
+                        col=default.col_offset,
+                        message=f"mutable default argument in {name!r}; "
+                        f"default to None (or use dataclasses.field)",
+                    )
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# REPRO004 — one-way import layering
+
+
+def _imported_layer(module: str) -> Optional[tuple[str, int]]:
+    """The layering rank a ``repro.X...`` import lands in, if any."""
+    parts = module.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return None
+    pkg = parts[1]
+    rank = _LAYER_RANK.get(pkg)
+    return (pkg, rank) if rank is not None else None
+
+
+@_rule("REPRO004", "import-layering")
+def _check_import_layering(tree: ast.AST, ctx: LintContext) -> list[LintFinding]:
+    own_layer = ctx.layer()
+    if own_layer is None:
+        return []
+    out = []
+
+    def flag(node: ast.AST, pkg: str) -> None:
+        own = LAYER_ORDER[own_layer]
+        out.append(
+            LintFinding(
+                rule="REPRO004",
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=f"layering back-edge: {own!r} must not import "
+                f"{pkg!r} (allowed direction: "
+                f"{' -> '.join(LAYER_ORDER)})",
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                hit = _imported_layer(alias.name)
+                if hit is not None and hit[1] > own_layer:
+                    flag(node, hit[0])
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            hit = _imported_layer(node.module)
+            if hit is None and node.module == "repro":
+                for alias in node.names:
+                    rank = _LAYER_RANK.get(alias.name)
+                    if rank is not None and rank > own_layer:
+                        flag(node, alias.name)
+            elif hit is not None and hit[1] > own_layer:
+                flag(node, hit[0])
+    return out

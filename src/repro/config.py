@@ -109,6 +109,11 @@ class ProgressConfig:
     #: CPU-bound consumers like Q5) or "page" (whole pages at read time;
     #: ablation knob showing why tuple granularity matters).
     scan_granularity: str = "tuple"
+    #: Pre-execution plan/segment invariant gate (repro.analysis.gate):
+    #: "off", "warn" (default: verify and warn on violations), or
+    #: "strict" (raise before executing).  The REPRO_VERIFY environment
+    #: variable overrides this; tests/CI run strict.
+    verify_mode: str = "warn"
 
 
 @dataclass(frozen=True)

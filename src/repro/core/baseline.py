@@ -21,7 +21,7 @@ from repro.executor.work import WorkTracker
 class OptimizerBaseline:
     """Remaining time from the optimizer's never-refined cost estimate."""
 
-    def __init__(self, specs: list[SegmentSpec], config: SystemConfig):
+    def __init__(self, specs: list[SegmentSpec], config: SystemConfig) -> None:
         total_bytes = initial_total_cost_bytes(specs)
         self.est_total_ios = total_bytes / config.page_size
         #: The optimizer's assumed I/O time converts its I/O count into the
@@ -38,7 +38,7 @@ class OptimizerBaseline:
 class StepBaseline:
     """Plan-step progress: which segment is running, out of how many."""
 
-    def __init__(self, specs: list[SegmentSpec], tracker: WorkTracker):
+    def __init__(self, specs: list[SegmentSpec], tracker: WorkTracker) -> None:
         self._specs = specs
         self._tracker = tracker
 

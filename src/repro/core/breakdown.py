@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.refine import EstimateSnapshot
+from repro.executor.work import WorkTracker
 
 
 @dataclass(frozen=True)
@@ -43,7 +44,7 @@ class SegmentProgress:
 
 
 def segment_progress(
-    snapshot: EstimateSnapshot, page_size: int, tracker=None
+    snapshot: EstimateSnapshot, page_size: int, tracker: Optional[WorkTracker] = None
 ) -> list[SegmentProgress]:
     """Digest a refinement snapshot into per-segment progress rows."""
     out = []

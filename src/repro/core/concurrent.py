@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.history import ProgressLog
 from repro.core.indicator import ProgressIndicator
@@ -38,6 +38,7 @@ from repro.database import Database
 from repro.errors import ProgressError
 from repro.executor.base import ExecContext
 from repro.executor.runtime import execute
+from repro.sim.clock import VirtualClock
 
 
 class _ClockGate:
@@ -49,7 +50,7 @@ class _ClockGate:
     virtual time up to a target instant, returning when all are parked.
     """
 
-    def __init__(self, clock, quantum: float):
+    def __init__(self, clock: VirtualClock, quantum: float) -> None:
         if quantum <= 0:
             raise ProgressError("quantum must be positive")
         self._clock = clock
@@ -132,7 +133,7 @@ class _ClockGate:
 
     # -- driver side ------------------------------------------------------
 
-    def run_until(self, target: float, workers_pending) -> None:
+    def run_until(self, target: float, workers_pending: Callable[[], bool]) -> None:
         """Open the window up to ``target`` and wait for quiescence."""
         cond = self._cond
         with cond:
@@ -200,7 +201,7 @@ class ConcurrentWorkload:
     query consumes before the turn rotates.
     """
 
-    def __init__(self, db: Database, quantum: float = 0.25):
+    def __init__(self, db: Database, quantum: float = 0.25) -> None:
         self._db = db
         self._gate = _ClockGate(db.clock, quantum)
         db.clock.gate = self._gate

@@ -45,7 +45,7 @@ class ProgressIndicator:
         clock: VirtualClock,
         config: Optional[SystemConfig] = None,
         on_report: Optional[Callable[[ProgressReport], None]] = None,
-    ):
+    ) -> None:
         self._config = config or planned.config
         self._progress_cfg = self._config.progress
         self._page_size = self._config.page_size
@@ -53,6 +53,11 @@ class ProgressIndicator:
         self._on_report = on_report
 
         self.segments = build_segments(planned.root)
+        # Pre-execution invariant gate (warn by default, strict in tests).
+        # Imported lazily: repro.analysis depends on repro.core.segments.
+        from repro.analysis.gate import gate_segments
+
+        gate_segments(planned.root, self.segments, config=self._config)
         self.tracker = WorkTracker(
             num_inputs=[len(s.inputs) for s in self.segments],
             final_segment=self.segments[-1].id,

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.segments import SegmentSpec
-from repro.executor.work import WorkTracker
+from repro.executor.work import SegmentCounters, WorkTracker
 
 
 @dataclass
@@ -117,7 +117,7 @@ class ProgressEstimator:
         specs: list[SegmentSpec],
         tracker: WorkTracker,
         refine_mode: str = "paper",
-    ):
+    ) -> None:
         if refine_mode not in REFINE_MODES:
             raise ValueError(f"unknown refine mode {refine_mode!r}")
         self._specs = specs
@@ -216,7 +216,7 @@ class ProgressEstimator:
         self,
         spec: SegmentSpec,
         index: int,
-        counters,
+        counters: SegmentCounters,
         done: list[SegmentEstimate],
     ) -> InputEstimate:
         meta = spec.inputs[index]

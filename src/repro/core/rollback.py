@@ -19,7 +19,9 @@ from repro.sim.clock import VirtualClock
 class RollbackMonitor:
     """Tracks a transaction rollback by its remaining undo-log records."""
 
-    def __init__(self, total_records: int, clock: VirtualClock, window: float = 10.0):
+    def __init__(
+        self, total_records: int, clock: VirtualClock, window: float = 10.0
+    ) -> None:
         if total_records < 0:
             raise ProgressError("total_records must be non-negative")
         self.total_records = total_records

@@ -136,7 +136,7 @@ class _Pipeline:
 
 
 class _Builder:
-    def __init__(self):
+    def __init__(self) -> None:
         self.specs: list[SegmentSpec] = []
 
     # -- pipeline lifecycle ---------------------------------------------
@@ -208,7 +208,7 @@ class _Builder:
             return self._visit_passthrough(node, node.child, None)
         raise ProgressError(f"cannot segment plan node {type(node).__name__}")
 
-    def _visit_scan(self, node) -> _Pipeline:
+    def _visit_scan(self, node: SeqScanNode | IndexScanNode) -> _Pipeline:
         table = node.table
         stats = table.statistics
         base_width = stats.avg_width if stats is not None else table.heap.avg_tuple_width()

@@ -34,7 +34,7 @@ class SpeedEstimator:
 class WindowSpeedEstimator(SpeedEstimator):
     """The paper's sliding-window estimator over the last ``window`` seconds."""
 
-    def __init__(self, window: float = 10.0):
+    def __init__(self, window: float = 10.0) -> None:
         if window <= 0:
             raise ProgressError("speed window must be positive")
         self.window = window
@@ -60,7 +60,7 @@ class WindowSpeedEstimator(SpeedEstimator):
 class DecayingSpeedEstimator(SpeedEstimator):
     """Exponentially-decaying average of per-interval speeds."""
 
-    def __init__(self, alpha: float = 0.3):
+    def __init__(self, alpha: float = 0.3) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ProgressError("decay alpha must be in (0, 1]")
         self.alpha = alpha
@@ -85,7 +85,7 @@ class DecayingSpeedEstimator(SpeedEstimator):
 class GlobalSpeedEstimator(SpeedEstimator):
     """Whole-history mean speed (ablation baseline)."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._first: Optional[tuple[float, float]] = None
         self._last: Optional[tuple[float, float]] = None
 

@@ -19,7 +19,9 @@ Action = Callable[[ProgressReport], None]
 class ProgressTrigger:
     """Fires ``action`` when ``condition`` first holds on a report."""
 
-    def __init__(self, name: str, condition: Condition, action: Action, once: bool = True):
+    def __init__(
+        self, name: str, condition: Condition, action: Action, once: bool = True
+    ) -> None:
         self.name = name
         self.condition = condition
         self.action = action
@@ -40,7 +42,7 @@ class ProgressTrigger:
 class TriggerSet:
     """A collection of triggers usable as an indicator's on_report hook."""
 
-    def __init__(self, triggers: Optional[list[ProgressTrigger]] = None):
+    def __init__(self, triggers: Optional[list[ProgressTrigger]] = None) -> None:
         self.triggers = list(triggers or [])
 
     def add(self, trigger: ProgressTrigger) -> None:

@@ -10,7 +10,10 @@ Section 5 evaluates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - analysis is imported lazily
+    from repro.analysis.invariants import Violation
 
 from repro.catalog.analyze import analyze_table
 from repro.catalog.catalog import Catalog, Table
@@ -96,11 +99,40 @@ class Database:
         bound = Binder(self.catalog).bind(statement)
         return Optimizer(self.config).plan(bound)
 
+    def verify(self, sql: str) -> "list[Violation]":
+        """Statically verify a statement's plan/segment invariants.
+
+        Returns the list of :class:`repro.analysis.invariants.Violation`
+        found (empty for a clean plan) without executing anything.
+        """
+        from repro.analysis.invariants import verify_plan
+
+        _specs, violations = verify_plan(self.prepare(sql).root)
+        return violations
+
+    def _gate_unmonitored(self, planned: PlannedQuery, label: str) -> None:
+        """Pre-execution invariant gate for the unmonitored fast path.
+
+        The monitored path is always gated by the indicator (warn-only by
+        default); the fast path skips segment building entirely, so it is
+        only verified in strict mode (tests/debug, ``REPRO_VERIFY=strict``)
+        where correctness checking outranks overhead.
+        """
+        from repro.analysis.gate import gate_segments, resolve_verify_mode
+        from repro.core.segments import build_segments
+
+        if resolve_verify_mode(self.config) != "strict":
+            return
+        gate_segments(
+            planned.root, build_segments(planned.root), mode="strict", label=label
+        )
+
     def execute(
         self, sql: str, keep_rows: bool = True, max_rows: Optional[int] = None
     ) -> QueryResult:
         """Run a query without progress monitoring (the fast path)."""
         planned = self.prepare(sql)
+        self._gate_unmonitored(planned, label=sql.strip())
         ctx = ExecContext(
             self.clock, self.disk, self.buffer_pool, self.config, tracker=None
         )
@@ -122,6 +154,7 @@ class Database:
         from repro.planner.explain import explain as render
 
         planned = self.prepare(sql)
+        self._gate_unmonitored(planned, label=sql.strip())
         ctx = ExecContext(
             self.clock,
             self.disk,

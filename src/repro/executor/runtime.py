@@ -5,8 +5,55 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from repro.errors import ExecutionError
 from repro.executor.base import ExecContext, build_operator
+from repro.executor.work import WorkTracker
 from repro.planner.optimizer import PlannedQuery
+from repro.planner.physical import PhysicalNode
+
+
+def check_tracker_alignment(root: PhysicalNode, tracker: WorkTracker) -> None:
+    """Pre-execution guard: the tracker must cover every segment and input
+    slot the plan's progress annotations reference.
+
+    Operators index ``tracker.segments`` by the ``segment_id`` /
+    ``pi_*`` annotations the segment builder wrote into the plan; running
+    a plan against a tracker built for a *different* plan (stale indicator,
+    re-prepared query) would corrupt counters or crash mid-query.  The
+    full structural invariants are checked by :mod:`repro.analysis`; this
+    cheap, dependency-free check only pins the plan to its tracker.
+    """
+    nseg = len(tracker.segments)
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        stack.extend(node.children)
+        for attr, value in vars(node).items():
+            if attr == "segment_id" or (
+                attr.startswith("pi_") and attr.endswith("_segment")
+            ):
+                if value is None:
+                    continue
+                if not (isinstance(value, int) and 0 <= value < nseg):
+                    raise ExecutionError(
+                        f"{type(node).__name__}.{attr} = {value!r} does not "
+                        f"match the attached tracker ({nseg} segments)"
+                    )
+            elif attr.startswith("pi_") and attr.endswith("_ref"):
+                if value is None:
+                    continue
+                if not (
+                    isinstance(value, tuple)
+                    and len(value) == 2
+                    and isinstance(value[0], int)
+                    and isinstance(value[1], int)
+                    and 0 <= value[0] < nseg
+                    and 0 <= value[1] < len(tracker.segments[value[0]].input_rows)
+                ):
+                    raise ExecutionError(
+                        f"{type(node).__name__}.{attr} = {value!r} does not "
+                        f"match the attached tracker ({nseg} segments)"
+                    )
 
 
 @dataclass
@@ -35,6 +82,9 @@ def execute(planned: PlannedQuery, ctx: ExecContext) -> Iterator[tuple]:
     visible to the indicator only through the clock, matching PostgreSQL
     InitPlans, which the paper's prototype also does not model.
     """
+    if ctx.tracker is not None:
+        check_tracker_alignment(planned.root, ctx.tracker)
+
     for expr, subplan in planned.subplans:
         sub_ctx = ExecContext(
             ctx.clock, ctx.disk, ctx.buffer_pool, ctx.config, tracker=None

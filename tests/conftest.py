@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# The plan/segment invariant gate (repro.analysis.gate) is warn-only in
+# production but strict under test: any plan the suite executes that
+# violates a structural invariant fails loudly instead of skewing results.
+os.environ.setdefault("REPRO_VERIFY", "strict")
 
 from repro.config import SystemConfig
 from repro.database import Database

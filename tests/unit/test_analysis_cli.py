@@ -1,0 +1,102 @@
+"""Unit tests: the ``repro-analyze`` / ``python -m repro.analysis`` CLI.
+
+Covers both subcommands and their exit codes, and the console-script
+entry point registered in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def fixture_tree(tmp_path):
+    """A lintable tree containing one violation of every rule."""
+    core = tmp_path / "core"
+    core.mkdir()
+    (core / "clock.py").write_text("import time\nt = time.time()\n")
+    (core / "eq.py").write_text("done = progress == 1.0\n")
+    (core / "defaults.py").write_text("def f(a=[]):\n    return a\n")
+    storage = tmp_path / "storage"
+    storage.mkdir()
+    (storage / "layering.py").write_text("import repro.core.segments\n")
+    return tmp_path
+
+
+class TestLintCommand:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "no problems found" in capsys.readouterr().out
+
+    def test_violations_exit_nonzero(self, fixture_tree, capsys):
+        assert main(["lint", str(fixture_tree)]) == 1
+        out = capsys.readouterr().out
+        for rule in ("REPRO001", "REPRO002", "REPRO003", "REPRO004"):
+            assert rule in out
+
+    def test_rule_filter(self, fixture_tree, capsys):
+        assert main(["lint", "--rule", "REPRO004", str(fixture_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "REPRO004" in out
+        assert "REPRO001" not in out
+
+    def test_unknown_rule_exits_two(self, fixture_tree, capsys):
+        assert main(["lint", "--rule", "REPRO999", str(fixture_tree)]) == 2
+
+    def test_shipped_tree_exits_zero(self, capsys):
+        assert main(["lint", str(REPO_ROOT / "src")]) == 0
+
+
+class TestVerifyCommand:
+    def test_all_paper_queries_verify(self, capsys):
+        assert main(["verify", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Q1", "Q2", "Q3", "Q4", "Q5"):
+            assert f"{name}: OK" in out
+
+    def test_single_query(self, capsys):
+        assert main(["verify", "--query", "Q1", "--scale", "0.002"]) == 0
+        assert "Q1: OK" in capsys.readouterr().out
+
+    def test_small_work_mem_forces_figure3_plans(self, capsys):
+        assert main(
+            ["verify", "--scale", "0.002", "--work-mem", "1"]
+        ) == 0
+
+    def test_ad_hoc_sql(self, capsys):
+        assert main(
+            ["verify", "--sql", "select count(*) from customer",
+             "--scale", "0.002"]
+        ) == 0
+        assert "sql: OK" in capsys.readouterr().out
+
+    def test_unknown_query_exits_two(self, capsys):
+        assert main(["verify", "--query", "Q9"]) == 2
+
+
+class TestEntryPoints:
+    def test_console_script_registered(self):
+        """pyproject.toml maps repro-analyze to this main()."""
+        text = (REPO_ROOT / "pyproject.toml").read_text()
+        assert 'repro-analyze = "repro.analysis.cli:main"' in text
+
+    def test_module_invocation(self, fixture_tree):
+        """python -m repro.analysis works end to end."""
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "lint", str(fixture_tree)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 1
+        assert "REPRO001" in proc.stdout

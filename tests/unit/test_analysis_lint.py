@@ -1,0 +1,159 @@
+"""Unit tests: the repo-specific AST lint rules."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.lint import lint_file, lint_paths, lint_source
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def rules_of(findings) -> set[str]:
+    return {f.rule for f in findings}
+
+
+class TestWallClockRule:
+    def test_flags_time_calls_in_core(self):
+        findings = lint_source(
+            "import time\n\ndef f():\n    return time.time()\n",
+            "src/repro/core/x.py",
+        )
+        assert rules_of(findings) == {"REPRO001"}
+
+    def test_flags_from_import(self):
+        findings = lint_source(
+            "from time import monotonic\n", "src/repro/executor/x.py"
+        )
+        assert rules_of(findings) == {"REPRO001"}
+
+    def test_flags_datetime_now(self):
+        findings = lint_source(
+            "import datetime\n\ndef f():\n    return datetime.datetime.now()\n",
+            "src/repro/core/x.py",
+        )
+        assert rules_of(findings) == {"REPRO001"}
+
+    def test_other_packages_may_use_time(self):
+        findings = lint_source(
+            "import time\n\ndef f():\n    return time.time()\n",
+            "src/repro/bench/x.py",
+        )
+        assert "REPRO001" not in rules_of(findings)
+
+    def test_time_sleep_is_not_wall_clock(self):
+        findings = lint_source(
+            "import time\n\ndef f():\n    time.sleep(0)\n",
+            "src/repro/core/x.py",
+        )
+        assert findings == []
+
+
+class TestFloatEqualityRule:
+    def test_flags_float_literal_equality(self):
+        findings = lint_source("ok = x == 1.0\n", "src/repro/core/x.py")
+        assert rules_of(findings) == {"REPRO002"}
+
+    def test_flags_progress_name_inequality(self):
+        findings = lint_source(
+            "def f(fraction_done, y):\n    return fraction_done != y\n",
+            "tools/x.py",
+        )
+        assert rules_of(findings) == {"REPRO002"}
+
+    def test_integer_equality_is_fine(self):
+        assert lint_source("ok = x == 1\n", "src/repro/core/x.py") == []
+
+    def test_float_ordering_is_fine(self):
+        assert lint_source("ok = x >= 1.0\n", "src/repro/core/x.py") == []
+
+
+class TestMutableDefaultRule:
+    def test_flags_list_dict_set_displays(self):
+        findings = lint_source(
+            "def f(a=[], b={}, c=set()):\n    return a, b, c\n", "x.py"
+        )
+        assert [f.rule for f in findings] == ["REPRO003"] * 3
+
+    def test_flags_keyword_only_defaults(self):
+        findings = lint_source("def f(*, a=[]):\n    return a\n", "x.py")
+        assert rules_of(findings) == {"REPRO003"}
+
+    def test_none_and_immutable_defaults_are_fine(self):
+        assert lint_source(
+            "def f(a=None, b=0, c=(), d='x'):\n    return a, b, c, d\n", "x.py"
+        ) == []
+
+
+class TestImportLayeringRule:
+    def test_storage_must_not_import_executor(self):
+        findings = lint_source(
+            "from repro.executor.work import WorkTracker\n",
+            "src/repro/storage/x.py",
+        )
+        assert rules_of(findings) == {"REPRO004"}
+
+    def test_executor_must_not_import_core(self):
+        findings = lint_source(
+            "import repro.core.segments\n", "src/repro/executor/x.py"
+        )
+        assert rules_of(findings) == {"REPRO004"}
+
+    def test_core_must_not_import_bench(self):
+        findings = lint_source(
+            "from repro import bench\n", "src/repro/core/x.py"
+        )
+        assert rules_of(findings) == {"REPRO004"}
+
+    def test_downward_imports_allowed(self):
+        assert lint_source(
+            "from repro.executor.work import WorkTracker\n"
+            "from repro.storage.page import Page\n",
+            "src/repro/core/x.py",
+        ) == []
+
+    def test_unlayered_modules_exempt(self):
+        assert lint_source(
+            "from repro.core.segments import build_segments\n",
+            "src/repro/analysis/x.py",
+        ) == []
+
+
+class TestDriver:
+    def test_noqa_suppresses(self):
+        assert lint_source(
+            "ok = x == 1.0  # noqa: REPRO002\n", "src/repro/core/x.py"
+        ) == []
+
+    def test_bare_noqa_suppresses(self):
+        assert lint_source("ok = x == 1.0  # noqa\n", "x.py") == []
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        findings = lint_source(
+            "ok = x == 1.0  # noqa: REPRO001\n", "src/repro/core/x.py"
+        )
+        assert rules_of(findings) == {"REPRO002"}
+
+    def test_syntax_error_becomes_finding(self):
+        findings = lint_source("def f(:\n", "x.py")
+        assert rules_of(findings) == {"REPRO000"}
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        pkg = tmp_path / "core"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text("import time\nt = time.time()\n")
+        (pkg / "good.py").write_text("x = 1\n")
+        findings = lint_paths([tmp_path])
+        assert rules_of(findings) == {"REPRO001"}
+
+    def test_lint_file_reads_disk(self, tmp_path):
+        target = tmp_path / "core"
+        target.mkdir()
+        bad = target / "bad.py"
+        bad.write_text("def f(a=[]):\n    return a\n")
+        assert rules_of(lint_file(bad)) == {"REPRO003"}
+
+
+def test_shipped_tree_is_clean():
+    """The lint pass lands green on the repo's own source tree."""
+    assert lint_paths([REPO_SRC]) == []

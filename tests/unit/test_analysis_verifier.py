@@ -1,0 +1,236 @@
+"""Unit tests: every plan/segment invariant rejects a broken plan.
+
+Each test takes a real optimizer plan, breaks exactly one structural
+property the paper's estimator relies on, and asserts the verifier flags
+it under the right rule id.  A clean plan must produce zero violations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.invariants import (
+    INVARIANT_RULES,
+    collect_nodes,
+    verify_plan,
+    verify_segments,
+)
+from repro.config import SystemConfig
+from repro.core.segments import build_segments
+from repro.database import Database
+from repro.planner.physical import HashJoinNode, SeqScanNode, SortNode
+from repro.storage.schema import Column, Schema
+from repro.storage.types import INTEGER, string
+
+
+def make_db(work_mem_pages: int = 256) -> Database:
+    db = Database(config=SystemConfig(work_mem_pages=work_mem_pages))
+    db.create_table(
+        "r",
+        Schema([Column("a", INTEGER), Column("b", INTEGER), Column("s", string(30))]),
+        [(i, i % 7, "x" * (i % 20)) for i in range(400)],
+    )
+    db.create_table(
+        "t",
+        Schema([Column("a", INTEGER), Column("c", INTEGER)]),
+        [(i % 200, i) for i in range(600)],
+    )
+    db.analyze()
+    return db
+
+
+def segmented(db: Database, sql: str):
+    planned = db.prepare(sql)
+    specs = build_segments(planned.root)
+    return planned.root, specs
+
+
+def rule_ids(violations) -> set[str]:
+    return {v.rule for v in violations}
+
+
+#: A plan with a blocking aggregate, a sort and an in-memory hash join.
+RICH_SQL = (
+    "select r.b, count(*) from r, t where r.a = t.a group by r.b order by r.b"
+)
+
+
+class TestCleanPlans:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "select * from r",
+            "select r.a from r where r.b = 3 order by r.a limit 5",
+            RICH_SQL,
+            "select r.a, t.c from r, t where r.a = t.a",
+        ],
+    )
+    def test_optimizer_plans_verify_clean(self, sql):
+        root, specs = segmented(make_db(), sql)
+        assert verify_segments(root, specs) == []
+
+    def test_multi_batch_plan_verifies_clean(self):
+        root, specs = segmented(
+            make_db(work_mem_pages=1), "select r.a, t.c from r, t where r.a = t.a"
+        )
+        join = next(n for n in collect_nodes(root) if isinstance(n, HashJoinNode))
+        assert join.num_batches > 1  # precondition: Figure 3 shape present
+        assert verify_segments(root, specs) == []
+
+    def test_verify_plan_builds_and_checks(self):
+        db = make_db()
+        planned = db.prepare(RICH_SQL)
+        specs, violations = verify_plan(planned.root)
+        assert violations == []
+        assert [s.id for s in specs] == list(range(len(specs)))
+
+
+class TestEachInvariantRejects:
+    """One deliberately-broken plan per registered rule."""
+
+    def test_dense_ids(self):
+        root, specs = segmented(make_db(), RICH_SQL)
+        specs[0].id = 99
+        assert "dense-ids" in rule_ids(verify_segments(root, specs))
+
+    def test_single_final_none(self):
+        root, specs = segmented(make_db(), RICH_SQL)
+        specs[-1].final = False
+        assert "single-final" in rule_ids(verify_segments(root, specs))
+
+    def test_single_final_multiple(self):
+        root, specs = segmented(make_db(), RICH_SQL)
+        specs[0].final = True
+        assert "single-final" in rule_ids(verify_segments(root, specs))
+
+    def test_topological_order(self):
+        root, specs = segmented(make_db(), RICH_SQL)
+        child_inp = next(
+            i for s in specs for i in s.inputs if i.kind == "child"
+        )
+        child_inp.child_segment = len(specs) - 1  # forward reference
+        holder = next(s for s in specs if child_inp in s.inputs)
+        if holder.id == len(specs) - 1:
+            child_inp.child_segment = holder.id  # self reference
+        assert "topological-order" in rule_ids(verify_segments(root, specs))
+
+    def test_dominant_count(self):
+        root, specs = segmented(make_db(), RICH_SQL)
+        for inp in specs[0].inputs:
+            inp.dominant = False
+        assert "dominant-count" in rule_ids(verify_segments(root, specs))
+
+    def test_hash_probe_dominance(self):
+        root, specs = segmented(
+            make_db(), "select r.a, t.c from r, t where r.a = t.a"
+        )
+        join = next(n for n in collect_nodes(root) if isinstance(n, HashJoinNode))
+        assert join.num_batches == 1
+        seg, idx = join.pi_hash_input_ref
+        specs[seg].inputs[idx].dominant = True
+        assert "hash-probe-dominance" in rule_ids(verify_segments(root, specs))
+
+    def test_blocking_closes_segment_missing(self):
+        root, specs = segmented(make_db(), RICH_SQL)
+        sort = next(n for n in collect_nodes(root) if isinstance(n, SortNode))
+        sort.pi_sort_segment = None
+        assert "blocking-closes-segment" in rule_ids(verify_segments(root, specs))
+
+    def test_blocking_closes_segment_shared(self):
+        root, specs = segmented(make_db(), RICH_SQL)
+        sort = next(n for n in collect_nodes(root) if isinstance(n, SortNode))
+        sort.pi_sort_segment = sort.segment_id
+        assert "blocking-closes-segment" in rule_ids(verify_segments(root, specs))
+
+    def test_figure3_shape(self):
+        root, specs = segmented(
+            make_db(work_mem_pages=1), "select r.a, t.c from r, t where r.a = t.a"
+        )
+        join = next(n for n in collect_nodes(root) if isinstance(n, HashJoinNode))
+        assert join.num_batches > 1
+        # Swap PA/PB dominance: PA dominant, PB not — breaks rule 2b's
+        # "probe partitions drive progress".
+        pa_seg, pa_idx = join.pi_pa_input_ref
+        pb_seg, pb_idx = join.pi_pb_input_ref
+        specs[pa_seg].inputs[pa_idx].dominant = True
+        specs[pb_seg].inputs[pb_idx].dominant = False
+        assert "figure3-shape" in rule_ids(verify_segments(root, specs))
+
+    def test_byte_conservation_never_consumed(self):
+        root, specs = segmented(make_db(), RICH_SQL)
+        consumer = next(
+            s for s in specs if any(i.kind == "child" for i in s.inputs)
+        )
+        consumer.inputs = [i for i in consumer.inputs if i.kind != "child"]
+        assert "byte-conservation" in rule_ids(verify_segments(root, specs))
+
+    def test_byte_conservation_double_counted(self):
+        root, specs = segmented(make_db(), RICH_SQL)
+        import copy
+
+        consumer = next(
+            s for s in specs if any(i.kind == "child" for i in s.inputs)
+        )
+        child_inp = next(i for i in consumer.inputs if i.kind == "child")
+        dup = copy.copy(child_inp)
+        dup.index = len(consumer.inputs)
+        dup.dominant = False
+        consumer.inputs.append(dup)
+        assert "byte-conservation" in rule_ids(verify_segments(root, specs))
+
+    def test_estimates_nonnegative(self):
+        root, specs = segmented(make_db(), RICH_SQL)
+        specs[0].est_output_rows = -5.0
+        assert "estimates-nonnegative" in rule_ids(verify_segments(root, specs))
+
+    def test_estimates_nonnegative_nan(self):
+        root, specs = segmented(make_db(), RICH_SQL)
+        specs[0].inputs[0].est_rows = float("nan")
+        assert "estimates-nonnegative" in rule_ids(verify_segments(root, specs))
+
+    def test_card_factor(self):
+        root, specs = segmented(make_db(), RICH_SQL)
+        specs[0].card_factor *= 10.0
+        assert "card-factor" in rule_ids(verify_segments(root, specs))
+
+    def test_annotations_present_missing_ref(self):
+        root, specs = segmented(make_db(), RICH_SQL)
+        scan = next(n for n in collect_nodes(root) if isinstance(n, SeqScanNode))
+        scan.pi_input_ref = None
+        assert "annotations-present" in rule_ids(verify_segments(root, specs))
+
+    def test_annotations_present_wrong_kind(self):
+        root, specs = segmented(make_db(), RICH_SQL)
+        # Point a scan's base-input ref at a child input slot.
+        target = next(
+            (s.id, i.index)
+            for s in specs
+            for i in s.inputs
+            if i.kind == "child"
+        )
+        scan = next(n for n in collect_nodes(root) if isinstance(n, SeqScanNode))
+        scan.pi_input_ref = target
+        assert "annotations-present" in rule_ids(verify_segments(root, specs))
+
+    def test_annotations_present_missing_segment_id(self):
+        root, specs = segmented(make_db(), RICH_SQL)
+        collect_nodes(root)[0].segment_id = None
+        assert "annotations-present" in rule_ids(verify_segments(root, specs))
+
+    def test_cost_consistency(self):
+        root, specs = segmented(make_db(), RICH_SQL)
+        specs[0].est_extra_bytes = float("inf")
+        assert "cost-consistency" in rule_ids(verify_segments(root, specs))
+
+
+def test_every_registered_rule_has_a_rejection_test():
+    """Meta-check: the class above covers each registered invariant."""
+    covered = set()
+    for name in dir(TestEachInvariantRejects):
+        if name.startswith("test_"):
+            covered.add(name[len("test_"):])
+    for rule_id in INVARIANT_RULES:
+        slug = rule_id.replace("-", "_")
+        assert any(c.startswith(slug) for c in covered), (
+            f"no rejection test for invariant {rule_id!r}"
+        )
