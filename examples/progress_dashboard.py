@@ -2,23 +2,33 @@
 
 Runs query Q2 under I/O interference (a "file copy" between t=120 s and
 t=400 s of virtual time) and redraws the paper's progress-indicator box on
-every report: elapsed time, estimated time left, percent done, estimated
-cost in U, and execution speed in U/s.  Watch the time-left estimate jump
-when the copy starts and collapse when it ends.
+every report.  Unlike a plain per-report callback, the dashboard is a
+**TraceBus subscriber**: it draws the box from ``report_emitted`` events
+and also narrates the indicator's internal refinements — every §4.3
+cardinality-source transition and dominant-input switch prints as an
+annotation line, so you can watch the estimate explain itself.  Watch the
+time-left estimate jump when the copy starts and collapse when it ends.
 
 Run:  python examples/progress_dashboard.py
 """
 
 from repro.config import SystemConfig
-from repro.core.report import ProgressReport
 from repro.core.units import format_duration
+from repro.obs import TraceBus
+from repro.obs.events import (
+    CardinalityRefined,
+    DominantSwitched,
+    ReportEmitted,
+    SegmentFinished,
+    TraceEvent,
+)
 from repro.sim.load import LoadProfile
 from repro.workloads import queries, tpcr
 
 COPY_START, COPY_END = 120.0, 400.0
 
 
-def draw_box(report: ProgressReport) -> None:
+def draw_box(report: ReportEmitted) -> None:
     bar_width = 32
     filled = int(round(report.fraction_done * bar_width))
     bar = "#" * filled + "-" * (bar_width - filled)
@@ -32,16 +42,37 @@ def draw_box(report: ProgressReport) -> None:
         if report.speed_pages_per_sec is not None
         else "-"
     )
-    copying = COPY_START <= report.time < COPY_END
+    copying = COPY_START <= report.t < COPY_END
     note = "  << concurrent file copy running >>" if copying else ""
+    percent = report.fraction_done * 100.0
     print("  +----------------------------------------------------+")
     print("  |  Progress Indicator              SQL name: Query 2 |")
-    print(f"  |  [{bar}] {report.percent_done:5.1f}%       |")
+    print(f"  |  [{bar}] {percent:5.1f}%       |")
     print(f"  |  Elapsed time   {format_duration(report.elapsed):<34} |")
     print(f"  |  Est. time left {left:<34} |")
     print(f"  |  Estimated cost {report.est_cost_pages:10.0f} U{'':<23} |")
     print(f"  |  Execution speed {speed:<33} |")
     print("  +----------------------------------------------------+" + note)
+
+
+def narrate(event: TraceEvent) -> None:
+    """One TraceBus subscriber drives the whole display."""
+    if isinstance(event, ReportEmitted) and not event.finished:
+        draw_box(event)
+    elif isinstance(event, CardinalityRefined):
+        print(
+            f"  * t={event.t:6.1f}s  segment {event.segment_id} input "
+            f"{event.label!r}: estimate source {event.source_from} -> "
+            f"{event.source_to} ({event.est_rows_from:.0f} -> "
+            f"{event.est_rows_to:.0f} rows)"
+        )
+    elif isinstance(event, DominantSwitched):
+        print(
+            f"  * t={event.t:6.1f}s  segment {event.segment_id}: dominant "
+            f"input switched {event.from_input} -> {event.to_input}"
+        )
+    elif isinstance(event, SegmentFinished):
+        print(f"  * t={event.t:6.1f}s  segment {event.segment_id} finished")
 
 
 def main() -> None:
@@ -53,10 +84,13 @@ def main() -> None:
         "Running Q2 with a file copy active between "
         f"t={COPY_START:.0f}s and t={COPY_END:.0f}s (virtual time)\n"
     )
-    monitored = db.execute_with_progress(queries.Q2, on_report=draw_box)
+    trace = TraceBus()
+    trace.subscribe(narrate)
+    monitored = db.execute_with_progress(queries.Q2, trace=trace)
     print(
         f"\nDone: {monitored.result.row_count} rows in "
-        f"{format_duration(monitored.log.total_elapsed)} of virtual time."
+        f"{format_duration(monitored.log.total_elapsed)} of virtual time; "
+        f"{len(trace.events)} trace events recorded."
     )
 
 

@@ -29,6 +29,13 @@ Compare with tolerances or ``math.isclose``.
 may import same-layer or lower-layer packages only; back-edges (storage
 importing executor, executor importing core, ...) are structural debt the
 segment verifier cannot untangle later.
+
+``REPRO005`` **no-adhoc-logging** — modules under ``core/`` or
+``executor/`` must not ``print()`` or use the :mod:`logging` module.
+Diagnostics from the engine flow through the typed trace events of
+:mod:`repro.obs` (emit on the attached ``TraceBus``), which keeps the
+hot path silent, the output machine-readable, and the timestamps on the
+virtual clock.
 """
 
 from __future__ import annotations
@@ -325,4 +332,49 @@ def _check_import_layering(tree: ast.AST, ctx: LintContext) -> list[LintFinding]
                         flag(node, alias.name)
             elif hit is not None and hit[1] > own_layer:
                 flag(node, hit[0])
+    return out
+
+
+# ----------------------------------------------------------------------
+# REPRO005 — no print / ad-hoc logging in core/ and executor/
+
+#: Packages REPRO005 applies to (same silent-engine core as REPRO001).
+_SILENT_PACKAGES = _CLOCKED_PACKAGES
+
+
+@_rule("REPRO005", "no-adhoc-logging")
+def _check_adhoc_logging(tree: ast.AST, ctx: LintContext) -> list[LintFinding]:
+    if not any(p in _SILENT_PACKAGES for p in ctx.packages):
+        return []
+    out = []
+
+    def flag(node: ast.AST, what: str) -> None:
+        out.append(
+            LintFinding(
+                rule="REPRO005",
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=f"ad-hoc output {what!r} in the engine core; emit a "
+                f"typed event on the TraceBus (repro.obs) instead",
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "logging":
+                    flag(node, f"import {alias.name}")
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module and (
+                node.module.split(".")[0] == "logging"
+            ):
+                flag(node, f"from {node.module} import ...")
+        elif isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id == "print":
+                flag(node, "print()")
+            else:
+                dotted = _dotted(node.func)
+                if dotted is not None and dotted.split(".")[0] == "logging":
+                    flag(node, f"{dotted}()")
     return out

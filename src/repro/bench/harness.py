@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.baseline import OptimizerBaseline, StepBaseline
 from repro.core.history import ProgressLog
 from repro.database import Database
 from repro.sim.load import LoadProfile
+
+if TYPE_CHECKING:  # pragma: no cover - obs is imported lazily
+    from repro.obs.bus import TraceBus
 
 
 @dataclass
@@ -23,6 +26,8 @@ class ExperimentResult:
     row_count: int
     num_segments: int
     segment_boundaries: list[tuple[int, float]] = field(default_factory=list)
+    #: The recorded TraceBus when tracing was on for this run, else None.
+    trace: Optional["TraceBus"] = None
 
     # -- figure series --------------------------------------------------
 
@@ -74,11 +79,17 @@ def run_experiment(
     Mirrors the paper's protocol (Section 5.1): the buffer pool starts
     cold, the load profile models any concurrent job, and the indicator's
     outputs are stored for post-processing.
+
+    Tracing follows ``ProgressConfig.trace_enabled`` / ``REPRO_TRACE``;
+    when ``REPRO_TRACE`` names a directory, the recorded trace is also
+    exported there as ``<name>.trace.jsonl`` + ``<name>.trace.json``.
     """
     db.restart()
     if load is not None:
         db.set_load(load)
     monitored = db.execute_with_progress(sql, keep_rows=keep_rows)
+    if monitored.trace is not None:
+        _export_trace_artifacts(name, monitored.trace)
 
     tracker = monitored.indicator.tracker
     step = StepBaseline(monitored.indicator.segments, tracker)
@@ -98,4 +109,18 @@ def run_experiment(
         row_count=monitored.result.row_count,
         num_segments=step.total_steps,
         segment_boundaries=boundaries,
+        trace=monitored.trace,
     )
+
+
+def _export_trace_artifacts(name: str, trace: "TraceBus") -> None:
+    """Write JSONL + Chrome trace files when REPRO_TRACE names a dir."""
+    from repro.obs import trace_artifact_dir, write_chrome_trace, write_jsonl
+
+    out_dir = trace_artifact_dir()
+    if out_dir is None:
+        return
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = name.lower().replace(" ", "_").replace("/", "_")
+    write_jsonl(trace.events, out_dir / f"{stem}.trace.jsonl")
+    write_chrome_trace(trace.events, out_dir / f"{stem}.trace.json")

@@ -114,6 +114,14 @@ class ProgressConfig:
     #: "strict" (raise before executing).  The REPRO_VERIFY environment
     #: variable overrides this; tests/CI run strict.
     verify_mode: str = "warn"
+    #: Structured tracing (repro.obs): when True, every monitored run
+    #: records typed TraceBus events (segment spans, refinement
+    #: provenance, speed samples, page counters).  Off by default — the
+    #: disabled path is a single ``is not None`` test per call site.  The
+    #: REPRO_TRACE environment variable overrides this: "1"/"on" enables,
+    #: "0"/"off" disables, and any other value enables tracing *and*
+    #: names the directory where trace artifacts are written.
+    trace_enabled: bool = False
 
 
 @dataclass(frozen=True)

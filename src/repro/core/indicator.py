@@ -18,6 +18,13 @@ Goals from Section 3: continuously revised estimates (every report
 re-runs the Section 4.5 refinement), acceptable pacing (periodic ticks),
 minimal overhead (counters are a handful of float adds per page/tuple;
 refinement runs only at tick time).
+
+With a :class:`repro.obs.bus.TraceBus` attached, the indicator also
+explains itself: every ticker fire, speed sample, refinement snapshot
+(with the full ``E = p*E2 + (1-p)*E1`` provenance per segment), §4.3
+estimate-source transition, and dominant-input switch is emitted as a
+typed event.  Without one (the default), every trace hook is a single
+``is not None`` test.
 """
 
 from __future__ import annotations
@@ -32,6 +39,21 @@ from repro.core.segments import build_segments, initial_total_cost_bytes
 from repro.core.speed import make_speed_estimator
 from repro.errors import ProgressError
 from repro.executor.work import WorkTracker
+from repro.obs.bus import TraceBus
+from repro.obs.events import (
+    CardinalityRefined,
+    DominantSwitched,
+    QueryFinished,
+    QueryStarted,
+    RefinementTick,
+    ReportEmitted,
+    SegmentMeta,
+    SpeedEstimated,
+    SpeedSampled,
+    TickerFired,
+)
+from repro.obs.events import InputTrace as _InputTrace
+from repro.obs.events import SegmentTrace as _SegmentTrace
 from repro.planner.optimizer import PlannedQuery
 from repro.sim.clock import VirtualClock
 
@@ -45,12 +67,16 @@ class ProgressIndicator:
         clock: VirtualClock,
         config: Optional[SystemConfig] = None,
         on_report: Optional[Callable[[ProgressReport], None]] = None,
+        trace: Optional[TraceBus] = None,
+        label: str = "query",
     ) -> None:
         self._config = config or planned.config
         self._progress_cfg = self._config.progress
         self._page_size = self._config.page_size
         self._clock = clock
         self._on_report = on_report
+        self._trace = trace
+        self._label = label
 
         self.segments = build_segments(planned.root)
         # Pre-execution invariant gate (warn by default, strict in tests).
@@ -63,6 +89,7 @@ class ProgressIndicator:
             final_segment=self.segments[-1].id,
             clock=clock,
         )
+        self.tracker.trace = trace
         self.estimator = ProgressEstimator(
             self.segments, self.tracker, refine_mode=self._progress_cfg.refine_mode
         )
@@ -80,6 +107,35 @@ class ProgressIndicator:
         self.started_at = clock.now
         self.reports: list[ProgressReport] = []
         self._finalized = False
+        #: Last seen estimate source per (segment, input) and last deciding
+        #: dominant input per segment — for trace transition events only.
+        self._last_sources: dict[tuple[int, int], str] = {}
+        self._last_rows: dict[tuple[int, int], float] = {}
+        self._last_dominant: dict[int, Optional[int]] = {}
+
+        if trace is not None:
+            trace.emit(
+                QueryStarted(
+                    t=clock.now,
+                    label=label,
+                    num_segments=len(self.segments),
+                    initial_cost_pages=self.initial_cost_pages,
+                    segments=tuple(
+                        SegmentMeta(
+                            id=s.id,
+                            label=s.label,
+                            final=s.final,
+                            inputs=tuple(
+                                (i.kind, i.label, i.dominant, i.child_segment)
+                                for i in s.inputs
+                            ),
+                            est_output_rows=s.est_output_rows,
+                            est_cost_bytes=s.initial_cost_bytes(),
+                        )
+                        for s in self.segments
+                    ),
+                )
+            )
 
         interval = self._progress_cfg.speed_sample_interval
         self._speed.record(clock.now, 0.0)
@@ -92,22 +148,35 @@ class ProgressIndicator:
     # ticker callbacks
 
     def _sample_speed(self, t: float) -> None:
-        self._speed.record(t, self.tracker.total_done_bytes / self._page_size)
+        done_pages = self.tracker.total_done_bytes / self._page_size
+        self._speed.record(t, done_pages)
+        if self._trace is not None:
+            self._trace.emit(TickerFired(
+                t=t, name="speed",
+                interval=self._progress_cfg.speed_sample_interval,
+            ))
+            self._trace.emit(SpeedSampled(t=t, cumulative_pages=done_pages))
+            self._trace.emit(SpeedEstimated(
+                t=t, estimator=self._speed.kind,
+                pages_per_sec=self._speed.speed(),
+            ))
 
     def _sample_report(self, t: float) -> None:
-        self.reports.append(self.report(at=t))
+        if self._trace is not None:
+            self._trace.emit(TickerFired(
+                t=t, name="report", interval=self._progress_cfg.update_interval
+            ))
+        self.reports.append(self._record_report(t, finished=False))
         if self._on_report is not None:
             self._on_report(self.reports[-1])
 
     # ------------------------------------------------------------------
     # reporting
 
-    def report(self, at: Optional[float] = None, finished: bool = False) -> ProgressReport:
-        """Build a report from the current refinement snapshot."""
-        t = self._clock.now if at is None else at
-        snapshot = self.estimator.snapshot()
+    def _build_report(
+        self, t: float, snapshot: EstimateSnapshot, finished: bool
+    ) -> ProgressReport:
         elapsed = t - self.started_at
-
         speed = self._speed.speed()
         if elapsed < self._progress_cfg.warmup:
             speed = None  # the indicator "watches" before first estimate
@@ -129,6 +198,99 @@ class ProgressIndicator:
             finished=finished,
         )
 
+    def _record_report(self, t: float, finished: bool) -> ProgressReport:
+        """One refinement pass: trace provenance, then build the report."""
+        snapshot = self.estimator.snapshot()
+        if self._trace is not None:
+            self._emit_refinement(t, snapshot)
+        report = self._build_report(t, snapshot, finished)
+        if self._trace is not None:
+            self._trace.emit(ReportEmitted(
+                t=t,
+                elapsed=report.elapsed,
+                done_pages=report.done_pages,
+                est_cost_pages=report.est_cost_pages,
+                fraction_done=report.fraction_done,
+                speed_pages_per_sec=report.speed_pages_per_sec,
+                est_remaining_seconds=report.est_remaining_seconds,
+                current_segment=report.current_segment,
+                finished=report.finished,
+            ))
+        return report
+
+    def _emit_refinement(self, t: float, snapshot: EstimateSnapshot) -> None:
+        """Emit the per-tick §4.5 provenance and §4.3 transitions."""
+        trace = self._trace
+        assert trace is not None
+        segment_traces: list[_SegmentTrace] = []
+        for est in snapshot.segments:
+            seg_id = est.spec.id
+            input_traces: list[_InputTrace] = []
+            for inp in est.inputs:
+                key = (seg_id, inp.index)
+                previous = self._last_sources.get(key)
+                if previous is not None and previous != inp.source:
+                    trace.emit(CardinalityRefined(
+                        t=t,
+                        segment_id=seg_id,
+                        input_index=inp.index,
+                        label=inp.label,
+                        source_from=previous,
+                        source_to=inp.source,
+                        est_rows_from=self._last_rows.get(key, 0.0),
+                        est_rows_to=inp.est_rows,
+                    ))
+                self._last_sources[key] = inp.source
+                self._last_rows[key] = inp.est_rows
+                input_traces.append(_InputTrace(
+                    index=inp.index,
+                    label=inp.label,
+                    dominant=inp.dominant,
+                    q=inp.progress,
+                    rows_read=inp.rows_read,
+                    est_rows=inp.est_rows,
+                    source=inp.source,
+                ))
+            if est.status == "running":
+                previous_dom = self._last_dominant.get(seg_id)
+                if (
+                    est.dominant_input is not None
+                    and previous_dom is not None
+                    and previous_dom != est.dominant_input
+                ):
+                    trace.emit(DominantSwitched(
+                        t=t,
+                        segment_id=seg_id,
+                        from_input=previous_dom,
+                        to_input=est.dominant_input,
+                    ))
+                if est.dominant_input is not None:
+                    self._last_dominant[seg_id] = est.dominant_input
+            segment_traces.append(_SegmentTrace(
+                segment_id=seg_id,
+                status=est.status,
+                p=est.p,
+                e1=est.e1,
+                e2=est.e2,
+                estimate=est.est_output_rows,
+                dominant_input=est.dominant_input,
+                est_cost_bytes=est.est_cost_bytes,
+                done_bytes=est.done_bytes,
+                inputs=tuple(input_traces),
+            ))
+        trace.emit(RefinementTick(
+            t=t,
+            segments=tuple(segment_traces),
+            est_total_bytes=snapshot.est_total_bytes,
+            done_bytes=snapshot.done_bytes,
+            current_segment=snapshot.current_segment,
+        ))
+
+    def report(self, at: Optional[float] = None, finished: bool = False) -> ProgressReport:
+        """Build a report from the current refinement snapshot."""
+        t = self._clock.now if at is None else at
+        return self._build_report(t, self.estimator.snapshot(), finished)
+
     def snapshot(self) -> EstimateSnapshot:
         """Expose the raw refinement snapshot (tests, dashboards)."""
         return self.estimator.snapshot()
@@ -147,8 +309,15 @@ class ProgressIndicator:
         self._finalized = True
         self._speed_ticker.cancel()
         self._report_ticker.cancel()
-        final = self.report(finished=True)
+        final = self._record_report(self._clock.now, finished=True)
         self.reports.append(final)
+        if self._trace is not None:
+            self._trace.emit(QueryFinished(
+                t=self._clock.now,
+                elapsed=self._clock.now - self.started_at,
+                done_pages=self.tracker.total_done_bytes / self._page_size,
+                actual_cost_pages=final.est_cost_pages,
+            ))
         return ProgressLog(
             reports=list(self.reports),
             started_at=self.started_at,

@@ -29,6 +29,12 @@ from repro.core.segments import SegmentSpec
 from repro.executor.work import SegmentCounters, WorkTracker
 
 
+#: Provenance values for :attr:`InputEstimate.source` (§4.3 / §4.5):
+#: base inputs move "ne" -> "overrun" -> "exact"; child inputs are
+#: "child" (propagated moving estimate) or "child_final" (producer done).
+INPUT_SOURCES = ("ne", "overrun", "exact", "child", "child_final")
+
+
 @dataclass
 class InputEstimate:
     """Refined view of one segment input."""
@@ -40,6 +46,8 @@ class InputEstimate:
     est_rows: float
     est_width: float
     dominant: bool
+    #: Where ``est_rows`` comes from right now (one of INPUT_SOURCES).
+    source: str = "ne"
 
     @property
     def est_bytes(self) -> float:
@@ -68,6 +76,13 @@ class SegmentEstimate:
     #: Current total cost estimate of this segment, in bytes.
     est_cost_bytes: float
     done_bytes: float
+    #: The optimizer's re-invoked estimate E1 (upward propagation).
+    e1: float = 0.0
+    #: The pure extrapolation E2 = y/p; None while p == 0.
+    e2: Optional[float] = None
+    #: Index of the input currently deciding p (the arg-max progress
+    #: among dominant inputs), or None before any progress / when done.
+    dominant_input: Optional[int] = None
 
     @property
     def remaining_bytes(self) -> float:
@@ -158,15 +173,19 @@ class ProgressEstimator:
             width = counters.avg_output_width()
             if width is None:
                 width = spec.est_output_width
+            exact = float(counters.output_rows)
             return SegmentEstimate(
                 spec=spec,
                 status="finished",
                 inputs=inputs,
                 p=1.0,
-                est_output_rows=float(counters.output_rows),
+                est_output_rows=exact,
                 est_output_width=width,
                 est_cost_bytes=counters.done_bytes,
                 done_bytes=counters.done_bytes,
+                e1=exact,
+                e2=exact,
+                dominant_input=None,
             )
 
         # E1: the optimizer's estimate, re-invoked with refined input
@@ -177,10 +196,14 @@ class ProgressEstimator:
 
         status = "running" if counters.started else "pending"
         dominants = [inp for inp in inputs if inp.dominant]
+        dominant_input: Optional[int] = None
         if counters.started and dominants:
             # Two dominant inputs (sort-merge): the faster-consumed side
             # decides p (Section 4.5, citing the LEO-style rule).
-            p = max(inp.progress for inp in dominants)
+            deciding = max(dominants, key=lambda inp: inp.progress)
+            p = deciding.progress
+            if p > 0:
+                dominant_input = deciding.index
         else:
             p = 0.0
 
@@ -210,6 +233,9 @@ class ProgressEstimator:
             est_output_width=width,
             est_cost_bytes=cost,
             done_bytes=counters.done_bytes,
+            e1=e1,
+            e2=(y / p) if p > 0 else None,
+            dominant_input=dominant_input,
         )
 
     def _estimate_input(
@@ -227,21 +253,23 @@ class ProgressEstimator:
             # Section 4.3: Ne until the scan finishes or overruns it.
             if counters.finished:
                 est_rows = float(rows_read)
+                source = "exact"
+            elif float(rows_read) > float(meta.est_rows):
+                est_rows = float(rows_read)
+                source = "overrun"
             else:
-                est_rows = max(float(meta.est_rows), float(rows_read))
+                est_rows = float(meta.est_rows)
+                source = "ne"
             if rows_read > 0:
                 est_width = bytes_read / rows_read
             else:
                 est_width = meta.est_width
         else:
             child = done[meta.child_segment]
-            if child.status == "finished":
-                est_rows = child.est_output_rows
-                est_width = child.est_output_width
-            else:
-                # Propagated (still-moving) child estimate.
-                est_rows = child.est_output_rows
-                est_width = child.est_output_width
+            source = "child_final" if child.status == "finished" else "child"
+            # Propagated (possibly still-moving) child estimate.
+            est_rows = child.est_output_rows
+            est_width = child.est_output_width
             est_rows = max(est_rows, float(rows_read))
             if rows_read > 0 and child.status == "finished":
                 # Trust observed input width once we are actually reading.
@@ -255,4 +283,5 @@ class ProgressEstimator:
             est_rows=est_rows,
             est_width=est_width,
             dominant=meta.dominant,
+            source=source,
         )

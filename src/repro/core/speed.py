@@ -23,6 +23,9 @@ from repro.errors import ProgressError
 class SpeedEstimator:
     """Interface: feed cumulative-work samples, ask for current speed."""
 
+    #: Stable name used by the factory and by SpeedEstimated trace events.
+    kind = "abstract"
+
     def record(self, t: float, cumulative_work: float) -> None:
         raise NotImplementedError
 
@@ -33,6 +36,8 @@ class SpeedEstimator:
 
 class WindowSpeedEstimator(SpeedEstimator):
     """The paper's sliding-window estimator over the last ``window`` seconds."""
+
+    kind = "window"
 
     def __init__(self, window: float = 10.0) -> None:
         if window <= 0:
@@ -60,6 +65,8 @@ class WindowSpeedEstimator(SpeedEstimator):
 class DecayingSpeedEstimator(SpeedEstimator):
     """Exponentially-decaying average of per-interval speeds."""
 
+    kind = "decay"
+
     def __init__(self, alpha: float = 0.3) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ProgressError("decay alpha must be in (0, 1]")
@@ -84,6 +91,8 @@ class DecayingSpeedEstimator(SpeedEstimator):
 
 class GlobalSpeedEstimator(SpeedEstimator):
     """Whole-history mean speed (ablation baseline)."""
+
+    kind = "global"
 
     def __init__(self) -> None:
         self._first: Optional[tuple[float, float]] = None

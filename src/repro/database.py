@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
-if TYPE_CHECKING:  # pragma: no cover - analysis is imported lazily
+if TYPE_CHECKING:  # pragma: no cover - analysis/obs are imported lazily
     from repro.analysis.invariants import Violation
+    from repro.obs.bus import TraceBus
 
 from repro.catalog.analyze import analyze_table
 from repro.catalog.catalog import Catalog, Table
@@ -39,6 +40,8 @@ class MonitoredResult:
     result: QueryResult
     log: ProgressLog
     indicator: ProgressIndicator
+    #: The recorded TraceBus when tracing was on for this run, else None.
+    trace: Optional["TraceBus"] = None
 
 
 class Database:
@@ -177,11 +180,17 @@ class Database:
         keep_rows: bool = False,
         max_rows: Optional[int] = None,
         on_report=None,
+        trace: "Optional[TraceBus]" = None,
     ) -> MonitoredResult:
         """Run a query with a progress indicator attached."""
         planned = self.prepare(sql)
         return self.run_planned_with_progress(
-            planned, keep_rows=keep_rows, max_rows=max_rows, on_report=on_report
+            planned,
+            keep_rows=keep_rows,
+            max_rows=max_rows,
+            on_report=on_report,
+            trace=trace,
+            label=sql.strip(),
         )
 
     def run_planned_with_progress(
@@ -190,10 +199,27 @@ class Database:
         keep_rows: bool = False,
         max_rows: Optional[int] = None,
         on_report=None,
+        trace: "Optional[TraceBus]" = None,
+        label: str = "query",
     ) -> MonitoredResult:
-        """Run an already-prepared plan with a progress indicator attached."""
+        """Run an already-prepared plan with a progress indicator attached.
+
+        ``trace`` attaches an explicit :class:`repro.obs.bus.TraceBus`;
+        when None, one is created automatically if tracing is enabled via
+        ``ProgressConfig.trace_enabled`` or the ``REPRO_TRACE`` env var.
+        The bus observes this run only: the shared disk/buffer-pool hooks
+        are attached for the duration of the query and restored after.
+        """
+        if trace is None:
+            from repro.obs import resolve_trace_enabled
+
+            if resolve_trace_enabled(self.config):
+                from repro.obs import TraceBus as _TraceBus
+
+                trace = _TraceBus()
         indicator = ProgressIndicator(
-            planned, self.clock, self.config, on_report=on_report
+            planned, self.clock, self.config, on_report=on_report,
+            trace=trace, label=label,
         )
         ctx = ExecContext(
             self.clock,
@@ -201,7 +227,17 @@ class Database:
             self.buffer_pool,
             self.config,
             tracker=indicator.tracker,
+            trace=trace,
         )
-        result = run_query(planned, ctx, keep_rows=keep_rows, max_rows=max_rows)
+        previous = (self.disk.trace, self.buffer_pool.trace)
+        if trace is not None:
+            self.disk.trace = trace
+            self.buffer_pool.trace = trace
+        try:
+            result = run_query(planned, ctx, keep_rows=keep_rows, max_rows=max_rows)
+        finally:
+            self.disk.trace, self.buffer_pool.trace = previous
         log = indicator.finalize()
-        return MonitoredResult(result=result, log=log, indicator=indicator)
+        return MonitoredResult(
+            result=result, log=log, indicator=indicator, trace=trace
+        )

@@ -53,3 +53,7 @@ class ExecutionError(ReproError):
 
 class ProgressError(ReproError):
     """Raised for invalid progress-indicator configuration or use."""
+
+
+class TraceError(ReproError):
+    """Raised for observability failures (non-monotonic events, bad traces)."""

@@ -84,6 +84,12 @@ def execute(planned: PlannedQuery, ctx: ExecContext) -> Iterator[tuple]:
     """
     if ctx.tracker is not None:
         check_tracker_alignment(planned.root, ctx.tracker)
+    if ctx.trace is not None:
+        from repro.obs.events import ExecutionStarted
+
+        ctx.trace.emit(
+            ExecutionStarted(t=ctx.clock.now, num_subplans=len(planned.subplans))
+        )
 
     for expr, subplan in planned.subplans:
         sub_ctx = ExecContext(
@@ -96,12 +102,22 @@ def execute(planned: PlannedQuery, ctx: ExecContext) -> Iterator[tuple]:
             sub_op.close()
 
     op = build_operator(planned.root, ctx)
+    produced = 0
     try:
-        yield from op.rows()
+        if ctx.trace is None:
+            yield from op.rows()
+        else:
+            for row in op.rows():
+                produced += 1
+                yield row
     finally:
         op.close()
         if ctx.tracker is not None:
             ctx.tracker.finish_all()
+        if ctx.trace is not None:
+            from repro.obs.events import ExecutionFinished
+
+            ctx.trace.emit(ExecutionFinished(t=ctx.clock.now, rows=produced))
 
 
 def run_query(

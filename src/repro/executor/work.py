@@ -14,7 +14,10 @@ these counters when it refines.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.obs.bus import TraceBus
 
 
 class SegmentCounters:
@@ -79,6 +82,10 @@ class WorkTracker:
         self._clock = clock
         #: Optional hook invoked as segments finish (indicator refresh).
         self.on_segment_finished: Optional[Callable[[int], None]] = None
+        #: Optional TraceBus for segment-lifecycle events.  None (default)
+        #: is the zero-cost disabled path: lifecycle methods test identity
+        #: only, and the per-tuple hot paths above are untouched entirely.
+        self.trace: Optional["TraceBus"] = None
 
     # ------------------------------------------------------------------
     # hot-path reporting (called per page / per tuple by operators)
@@ -112,14 +119,29 @@ class WorkTracker:
         seg.extra_bytes += nbytes
         seg.done_bytes += nbytes
         self.total_done_bytes += nbytes
+        if self.trace is not None:
+            from repro.obs.events import ExtraPass
+
+            self.trace.emit(
+                ExtraPass(t=self._now(), segment_id=segment_id, nbytes=nbytes)
+            )
 
     # ------------------------------------------------------------------
     # lifecycle
+
+    def _now(self) -> float:
+        return self._clock.now if self._clock is not None else 0.0
 
     def _start(self, seg: SegmentCounters) -> None:
         seg.started = True
         if self._clock is not None:
             seg.started_at = self._clock.now
+        if self.trace is not None:
+            from repro.obs.events import SegmentStarted
+
+            self.trace.emit(
+                SegmentStarted(t=self._now(), segment_id=seg.segment_id)
+            )
 
     def segment_finished(self, segment_id: int) -> None:
         """Mark a segment complete (exact counts freeze; hook fires once)."""
@@ -131,6 +153,17 @@ class WorkTracker:
         seg.finished = True
         if self._clock is not None:
             seg.finished_at = self._clock.now
+        if self.trace is not None:
+            from repro.obs.events import SegmentFinished
+
+            self.trace.emit(
+                SegmentFinished(
+                    t=self._now(),
+                    segment_id=segment_id,
+                    done_bytes=seg.done_bytes,
+                    output_rows=seg.output_rows,
+                )
+            )
         if self.on_segment_finished is not None:
             self.on_segment_finished(segment_id)
 

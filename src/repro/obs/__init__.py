@@ -1,0 +1,71 @@
+"""Observability: tracing, metrics, and the estimator-accuracy audit.
+
+The subsystem explains every estimate the progress indicator emits:
+
+* :class:`TraceBus` (``repro.obs.bus``) — an ordered stream of typed
+  events (``repro.obs.events``) stamped with **virtual** time.
+* :class:`MetricsRegistry` / :class:`MetricsCollector`
+  (``repro.obs.metrics``) — counters, gauges, histograms, and
+  per-segment span accounting derived from the event stream.
+* Exporters (``repro.obs.exporters``) — JSONL event logs and Chrome
+  ``trace_event`` JSON for ``chrome://tracing`` / Perfetto.
+* The audit (``repro.obs.audit``) — replays a trace and scores every
+  per-tick remaining-time estimate against ground truth.
+* A CLI — ``python -m repro.obs {trace,audit,metrics}``.
+
+Tracing is **opt-in**: pass a ``TraceBus`` to
+``Database.execute_with_progress(trace=...)``, set
+``ProgressConfig.trace_enabled``, or export ``REPRO_TRACE``.  Disabled
+(the default), every instrumented call site costs one ``is not None``
+test — ``benchmarks/bench_overhead.py`` keeps that claim measured.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.config import SystemConfig
+from repro.obs.audit import AuditRow, AuditSummary, audit_events, render_audit
+from repro.obs.bus import TraceBus
+from repro.obs.exporters import (
+    chrome_trace,
+    read_jsonl,
+    span_coverage,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    MetricsCollector,
+    MetricsRegistry,
+    compute_spans,
+    render_spans,
+)
+
+_OFF_VALUES = frozenset({"", "0", "off", "false", "no"})
+_ON_VALUES = frozenset({"1", "on", "true", "yes"})
+
+
+def resolve_trace_enabled(config: Optional[SystemConfig] = None) -> bool:
+    """Is tracing on?  ``REPRO_TRACE`` overrides the config flag."""
+    env = os.environ.get("REPRO_TRACE")
+    if env is None:
+        return bool(config is not None and config.progress.trace_enabled)
+    return env.strip().lower() not in _OFF_VALUES
+
+
+def trace_artifact_dir() -> Optional[Path]:
+    """Directory trace artifacts should be written to, if any.
+
+    ``REPRO_TRACE`` set to anything other than a plain on/off token is
+    taken as a directory path: tracing is enabled *and* the bench harness
+    writes ``<name>.trace.jsonl`` / ``<name>.trace.json`` artifacts there.
+    """
+    env = os.environ.get("REPRO_TRACE")
+    if env is None:
+        return None
+    token = env.strip()
+    if token.lower() in _OFF_VALUES or token.lower() in _ON_VALUES:
+        return None
+    return Path(token)

@@ -1,0 +1,374 @@
+"""Typed trace events: the vocabulary of the observability subsystem.
+
+Every event carries ``t``, the **virtual-clock** instant it describes —
+never wall-clock time (lint rule REPRO001 applies to the emitters, and the
+audit tooling depends on virtual timestamps being reproducible).  The
+taxonomy mirrors the paper's moving parts:
+
+=====================  =====================================================
+event                  paper anchor
+=====================  =====================================================
+QueryStarted           §3 (indicator attaches; optimizer's initial cost)
+SegmentStarted/
+SegmentFinished        §4.2 (segment lifecycle at blocking boundaries)
+RefinementTick         §4.5 (the full ``E = p*E2 + (1-p)*E1`` blend per
+                       segment, with p, q per input, and the dominant input)
+CardinalityRefined     §4.3 (a base input's estimate source transitioned:
+                       optimizer Ne -> running count -> exact)
+DominantSwitched       §4.5 (sort-merge p = max(qA, qB): the arg-max side
+                       changed)
+SpeedSampled/
+SpeedEstimated         §4.6 (cumulative-work sample; current speed estimate)
+TickerFired            §3 "acceptable pacing" (a periodic ticker ran)
+ReportEmitted          Figure 2 (one user-facing progress report)
+BufferAccess           §4.1 (time-per-U between disk-bound and cached poles)
+PageRead/PageWritten   §4.1 (disk page transfer counters)
+ExtraPass              §4.5 (multi-stage extra pass bytes)
+ExecutionStarted/
+ExecutionFinished      §5.1 (the monitored run itself)
+QueryFinished          §5 (ground truth for the accuracy audit)
+=====================  =====================================================
+
+Events are frozen dataclasses with a stable ``kind`` string, a lossless
+``to_dict`` and a ``event_from_dict`` inverse, so a JSONL trace round-trips
+exactly — the estimator-accuracy audit replays traces through these types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Optional, Type
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class: one observation at virtual instant ``t``."""
+
+    t: float
+
+    #: Stable wire name of the event type (overridden per subclass).
+    kind = "event"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Lossless dict form (JSONL wire format)."""
+        out: dict[str, Any] = {"kind": self.kind}
+        out.update(asdict(self))
+        return out
+
+
+# ----------------------------------------------------------------------
+# query lifecycle
+
+
+@dataclass(frozen=True)
+class SegmentMeta:
+    """Static per-segment facts recorded once at query start."""
+
+    id: int
+    label: str
+    final: bool
+    #: (kind, label, dominant, child_segment) per input, in input order.
+    inputs: tuple[tuple[str, str, bool, Optional[int]], ...]
+    est_output_rows: float
+    est_cost_bytes: float
+
+
+@dataclass(frozen=True)
+class QueryStarted(TraceEvent):
+    """The indicator attached to a planned query."""
+
+    label: str
+    num_segments: int
+    initial_cost_pages: float
+    segments: tuple[SegmentMeta, ...]
+
+    kind = "query_started"
+
+
+@dataclass(frozen=True)
+class QueryFinished(TraceEvent):
+    """The monitored query completed (audit ground truth)."""
+
+    elapsed: float
+    done_pages: float
+    actual_cost_pages: float
+
+    kind = "query_finished"
+
+
+@dataclass(frozen=True)
+class ExecutionStarted(TraceEvent):
+    """The executor began pulling rows from the plan root."""
+
+    num_subplans: int
+
+    kind = "execution_started"
+
+
+@dataclass(frozen=True)
+class ExecutionFinished(TraceEvent):
+    """The executor drained the plan root."""
+
+    rows: int
+
+    kind = "execution_finished"
+
+
+# ----------------------------------------------------------------------
+# segment lifecycle (§4.2)
+
+
+@dataclass(frozen=True)
+class SegmentStarted(TraceEvent):
+    """A segment reported its first input/output bytes."""
+
+    segment_id: int
+
+    kind = "segment_started"
+
+
+@dataclass(frozen=True)
+class SegmentFinished(TraceEvent):
+    """A segment completed; its counters are now exact."""
+
+    segment_id: int
+    done_bytes: float
+    output_rows: int
+
+    kind = "segment_finished"
+
+
+@dataclass(frozen=True)
+class ExtraPass(TraceEvent):
+    """A multi-stage extra pass re-processed ``nbytes`` (§4.5)."""
+
+    segment_id: int
+    nbytes: float
+
+    kind = "extra_pass"
+
+
+# ----------------------------------------------------------------------
+# refinement provenance (§4.3, §4.5)
+
+
+@dataclass(frozen=True)
+class InputTrace:
+    """One segment input inside a refinement snapshot."""
+
+    index: int
+    label: str
+    dominant: bool
+    #: This input's processed fraction (the q of §4.5).
+    q: float
+    rows_read: int
+    est_rows: float
+    #: Where the estimate comes from: "ne" (optimizer's Ne), "overrun"
+    #: (running count exceeded Ne), "exact" (scan finished), "child"
+    #: (propagated moving estimate), "child_final" (child segment done).
+    source: str
+
+
+@dataclass(frozen=True)
+class SegmentTrace:
+    """One segment's full refinement state at a tick."""
+
+    segment_id: int
+    status: str
+    #: Dominant-input fraction p of §4.5 (max over dominant inputs).
+    p: float
+    #: The optimizer's re-invoked estimate (upward propagation).
+    e1: float
+    #: The extrapolated estimate y/p; None while p == 0.
+    e2: Optional[float]
+    #: The blended output-cardinality estimate E = p*E2 + (1-p)*E1.
+    estimate: float
+    #: Which input currently decides p, or None before any progress.
+    dominant_input: Optional[int]
+    est_cost_bytes: float
+    done_bytes: float
+    inputs: tuple[InputTrace, ...]
+
+
+@dataclass(frozen=True)
+class RefinementTick(TraceEvent):
+    """A full §4.5 refinement pass, with per-segment provenance."""
+
+    segments: tuple[SegmentTrace, ...]
+    est_total_bytes: float
+    done_bytes: float
+    current_segment: Optional[int]
+
+    kind = "refinement_tick"
+
+
+@dataclass(frozen=True)
+class CardinalityRefined(TraceEvent):
+    """A §4.3 estimate-source transition on one segment input."""
+
+    segment_id: int
+    input_index: int
+    label: str
+    source_from: str
+    source_to: str
+    est_rows_from: float
+    est_rows_to: float
+
+    kind = "cardinality_refined"
+
+
+@dataclass(frozen=True)
+class DominantSwitched(TraceEvent):
+    """The input deciding p changed (sort-merge p = max(qA, qB))."""
+
+    segment_id: int
+    from_input: Optional[int]
+    to_input: int
+
+    kind = "dominant_switched"
+
+
+# ----------------------------------------------------------------------
+# speed monitoring (§4.6) and pacing (§3)
+
+
+@dataclass(frozen=True)
+class TickerFired(TraceEvent):
+    """A periodic virtual-clock ticker ran ("speed" or "report")."""
+
+    name: str
+    interval: float
+
+    kind = "ticker_fired"
+
+
+@dataclass(frozen=True)
+class SpeedSampled(TraceEvent):
+    """One cumulative-work sample fed to the speed estimator."""
+
+    cumulative_pages: float
+
+    kind = "speed_sampled"
+
+
+@dataclass(frozen=True)
+class SpeedEstimated(TraceEvent):
+    """The speed estimator's current output after a sample."""
+
+    estimator: str
+    pages_per_sec: Optional[float]
+
+    kind = "speed_estimated"
+
+
+@dataclass(frozen=True)
+class ReportEmitted(TraceEvent):
+    """One user-facing progress report (the paper's Figure 2 fields)."""
+
+    elapsed: float
+    done_pages: float
+    est_cost_pages: float
+    fraction_done: float
+    speed_pages_per_sec: Optional[float]
+    est_remaining_seconds: Optional[float]
+    current_segment: Optional[int]
+    finished: bool
+
+    kind = "report_emitted"
+
+
+# ----------------------------------------------------------------------
+# storage (§4.1)
+
+
+@dataclass(frozen=True)
+class BufferAccess(TraceEvent):
+    """One buffer-pool page request (hit = served from memory)."""
+
+    file_id: int
+    page_no: int
+    hit: bool
+
+    kind = "buffer_access"
+
+
+@dataclass(frozen=True)
+class PageRead(TraceEvent):
+    """One page read from the simulated disk (I/O time charged)."""
+
+    file_id: int
+    page_no: int
+    sequential: bool
+
+    kind = "page_read"
+
+
+@dataclass(frozen=True)
+class PageWritten(TraceEvent):
+    """One page written to the simulated disk (I/O time charged)."""
+
+    file_id: int
+    page_no: int
+
+    kind = "page_written"
+
+
+# ----------------------------------------------------------------------
+# wire format
+
+_EVENT_TYPES: tuple[Type[TraceEvent], ...] = (
+    QueryStarted,
+    QueryFinished,
+    ExecutionStarted,
+    ExecutionFinished,
+    SegmentStarted,
+    SegmentFinished,
+    ExtraPass,
+    RefinementTick,
+    CardinalityRefined,
+    DominantSwitched,
+    TickerFired,
+    SpeedSampled,
+    SpeedEstimated,
+    ReportEmitted,
+    BufferAccess,
+    PageRead,
+    PageWritten,
+)
+
+#: kind string -> event class, for deserialization.
+EVENT_KINDS: dict[str, Type[TraceEvent]] = {c.kind: c for c in _EVENT_TYPES}
+
+#: Nested dataclass fields that need reconstruction from lists/dicts.
+_NESTED = {
+    "query_started": {"segments": SegmentMeta},
+    "refinement_tick": {"segments": SegmentTrace},
+}
+_SEGMENT_TRACE_NESTED = {"inputs": InputTrace}
+
+
+def _rebuild(cls: type, payload: dict[str, Any]) -> Any:
+    """Reconstruct one (possibly nested) trace dataclass from dict form."""
+    kwargs: dict[str, Any] = {}
+    for f in fields(cls):
+        value = payload[f.name]
+        if cls is SegmentTrace and f.name in _SEGMENT_TRACE_NESTED:
+            inner = _SEGMENT_TRACE_NESTED[f.name]
+            value = tuple(_rebuild(inner, v) for v in value)
+        elif cls is SegmentMeta and f.name == "inputs":
+            value = tuple(tuple(v) for v in value)
+        kwargs[f.name] = value
+    return cls(**kwargs)
+
+
+def event_from_dict(payload: dict[str, Any]) -> TraceEvent:
+    """Inverse of :meth:`TraceEvent.to_dict` (JSONL replay path)."""
+    data = dict(payload)
+    kind = data.pop("kind")
+    try:
+        cls = EVENT_KINDS[kind]
+    except KeyError:
+        raise ValueError(f"unknown trace event kind {kind!r}") from None
+    for name, inner in _NESTED.get(kind, {}).items():
+        data[name] = tuple(_rebuild(inner, v) for v in data[name])
+    return cls(**data)

@@ -12,6 +12,10 @@ multi-stage passes always pay I/O.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - obs is imported lazily at emit time
+    from repro.obs.bus import TraceBus
 
 from repro.config import CostModelConfig
 from repro.sim.load import CPU
@@ -31,6 +35,9 @@ class BufferPool:
         self._frames: OrderedDict[tuple[int, int], Page] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Optional repro.obs.TraceBus emitting BufferAccess events.
+        #: None (default) is the zero-cost disabled path.
+        self.trace: Optional["TraceBus"] = None
 
     @property
     def capacity(self) -> int:
@@ -48,13 +55,26 @@ class BufferPool:
             self.hits += 1
             self._frames.move_to_end(key)
             self._disk.clock.advance(self._cost.cpu_operator, CPU)
+            if self.trace is not None:
+                self._emit_access(handle, page_no, hit=True)
             return page
         self.misses += 1
         page = self._disk.read_page(handle, page_no, sequential=sequential)
         self._frames[key] = page
         if len(self._frames) > self._capacity:
             self._frames.popitem(last=False)
+        if self.trace is not None:
+            self._emit_access(handle, page_no, hit=False)
         return page
+
+    def _emit_access(self, handle: FileHandle, page_no: int, hit: bool) -> None:
+        from repro.obs.events import BufferAccess
+
+        assert self.trace is not None
+        self.trace.emit(BufferAccess(
+            t=self._disk.clock.now, file_id=handle.file_id,
+            page_no=page_no, hit=hit,
+        ))
 
     def invalidate_file(self, handle: FileHandle) -> None:
         """Drop all cached pages of a file (after truncation/drop)."""

@@ -10,6 +10,10 @@ the speed curves in the paper's Figures 5, 10 and 14.
 from __future__ import annotations
 
 import itertools
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - obs is imported lazily at emit time
+    from repro.obs.bus import TraceBus
 
 from repro.config import CostModelConfig
 from repro.errors import StorageError
@@ -54,6 +58,9 @@ class SimulatedDisk:
         self.seq_reads = 0
         self.random_reads = 0
         self.writes = 0
+        #: Optional repro.obs.TraceBus emitting PageRead/PageWritten events
+        #: for charged I/O.  None (default) is the zero-cost disabled path.
+        self.trace: Optional["TraceBus"] = None
 
     @property
     def clock(self) -> VirtualClock:
@@ -101,6 +108,13 @@ class SimulatedDisk:
             else:
                 self.random_reads += 1
                 self._clock.advance(self._cost.random_page_read, IO)
+            if self.trace is not None:
+                from repro.obs.events import PageRead
+
+                self.trace.emit(PageRead(
+                    t=self._clock.now, file_id=handle.file_id,
+                    page_no=page_no, sequential=sequential,
+                ))
         return page
 
     def append_page(self, handle: FileHandle, page: Page, charge_io: bool = True) -> int:
@@ -109,6 +123,8 @@ class SimulatedDisk:
         if charge_io:
             self.writes += 1
             self._clock.advance(self._cost.page_write, IO)
+            if self.trace is not None:
+                self._emit_write(handle, len(handle.pages) - 1)
         return len(handle.pages) - 1
 
     def write_page(self, handle: FileHandle, page_no: int, page: Page, charge_io: bool = True) -> None:
@@ -119,6 +135,16 @@ class SimulatedDisk:
         if charge_io:
             self.writes += 1
             self._clock.advance(self._cost.page_write, IO)
+            if self.trace is not None:
+                self._emit_write(handle, page_no)
+
+    def _emit_write(self, handle: FileHandle, page_no: int) -> None:
+        from repro.obs.events import PageWritten
+
+        assert self.trace is not None
+        self.trace.emit(
+            PageWritten(t=self._clock.now, file_id=handle.file_id, page_no=page_no)
+        )
 
     def io_counters(self) -> dict[str, int]:
         """Snapshot of read/write counters (for tests and overhead benches)."""

@@ -1,0 +1,46 @@
+"""Integration: every shipped example script runs to completion.
+
+Each example is a documented entry point (README points users at them),
+so a refactor that breaks one is a release bug even when the library
+tests stay green.  They run as subprocesses, the way users run them.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_six_examples_shipped():
+    assert len(EXAMPLES) == 6
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    env = {"PYTHONPATH": str(REPO_ROOT / "src")}
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} failed:\n{proc.stdout[-2000:]}\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_dashboard_narrates_from_the_trace():
+    """The dashboard consumes TraceBus events, not report callbacks."""
+    source = (REPO_ROOT / "examples" / "progress_dashboard.py").read_text()
+    assert "TraceBus" in source
+    assert "subscribe" in source
+    assert "on_report" not in source

@@ -119,6 +119,42 @@ class TestImportLayeringRule:
         ) == []
 
 
+class TestAdhocLoggingRule:
+    def test_flags_print_in_core(self):
+        findings = lint_source(
+            "def f(x):\n    print(x)\n", "src/repro/core/x.py"
+        )
+        assert rules_of(findings) == {"REPRO005"}
+        assert "TraceBus" in findings[0].message
+
+    def test_flags_logging_import_in_executor(self):
+        findings = lint_source(
+            "import logging\n", "src/repro/executor/x.py"
+        )
+        assert rules_of(findings) == {"REPRO005"}
+
+    def test_flags_from_logging_import(self):
+        findings = lint_source(
+            "from logging import getLogger\n", "src/repro/core/x.py"
+        )
+        assert rules_of(findings) == {"REPRO005"}
+
+    def test_flags_logging_calls(self):
+        findings = lint_source(
+            "def f():\n    logging.warning('x')\n", "src/repro/core/x.py"
+        )
+        assert rules_of(findings) == {"REPRO005"}
+
+    def test_print_allowed_outside_the_engine(self):
+        assert lint_source("print('ok')\n", "src/repro/bench/x.py") == []
+        assert lint_source("print('ok')\n", "src/repro/obs/cli.py") == []
+
+    def test_shipped_core_and_executor_are_silent(self):
+        findings = lint_paths([REPO_SRC / "repro" / "core",
+                               REPO_SRC / "repro" / "executor"])
+        assert "REPRO005" not in rules_of(findings)
+
+
 class TestDriver:
     def test_noqa_suppresses(self):
         assert lint_source(

@@ -1,0 +1,58 @@
+"""Unit tests: the ``python -m repro.obs`` CLI (small scales throughout)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.cli import main
+
+SCALE = ["--scale", "0.002"]
+
+
+class TestTraceCommand:
+    def test_trace_q1_exports_and_reports_coverage(self, tmp_path, capsys):
+        assert main(["trace", "--query", "q1", "--out", str(tmp_path), *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "events recorded" in out
+        assert "span coverage   : 100.0%" in out
+        assert (tmp_path / "q1.trace.jsonl").exists()
+        doc = json.loads((tmp_path / "q1.trace.json").read_text())
+        assert any(e.get("cat") == "query" for e in doc["traceEvents"])
+
+    def test_trace_adhoc_sql(self, tmp_path, capsys):
+        code = main([
+            "trace", "--sql", "select count(*) from customer",
+            "--out", str(tmp_path), *SCALE,
+        ])
+        assert code == 0
+        assert (tmp_path / "adhoc.trace.jsonl").exists()
+
+    def test_unknown_query_exits_two(self, capsys):
+        assert main(["trace", "--query", "q9"]) == 2
+        assert "unknown query" in capsys.readouterr().err
+
+
+class TestAuditCommand:
+    def test_audit_fresh_run(self, capsys):
+        assert main(["audit", "--query", "q1", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "|error|" in out
+        assert "remaining-time error" in out
+
+    def test_audit_saved_trace(self, tmp_path, capsys):
+        assert main(["trace", "--query", "q1", "--out", str(tmp_path), *SCALE]) == 0
+        capsys.readouterr()
+        trace_file = tmp_path / "q1.trace.jsonl"
+        assert main(["audit", "--input", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert str(trace_file) in out
+        assert "query elapsed" in out
+
+
+class TestMetricsCommand:
+    def test_metrics_dump(self, capsys):
+        assert main(["metrics", "--query", "q1", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "io.reads.seq" in out
+        assert "reports.emitted" in out
+        assert "Segment spans" in out

@@ -1,0 +1,144 @@
+"""Unit tests: JSONL and Chrome trace exporters, with golden files.
+
+The golden files under ``tests/unit/data/`` pin the wire formats: any
+change to the JSONL schema or the Chrome ``trace_event`` mapping shows up
+as a diff here.  Regenerate deliberately with::
+
+    PYTHONPATH=src:tests python -c \
+        "from unit.test_obs_exporters import regenerate; regenerate()"
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.events import (
+    CardinalityRefined,
+    PageRead,
+    QueryFinished,
+    QueryStarted,
+    ReportEmitted,
+    SegmentFinished,
+    SegmentMeta,
+    SegmentStarted,
+    SpeedEstimated,
+    TraceEvent,
+)
+from repro.obs.exporters import (
+    chrome_trace,
+    read_jsonl,
+    span_coverage,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+DATA = Path(__file__).parent / "data"
+GOLDEN_JSONL = DATA / "obs_golden.trace.jsonl"
+GOLDEN_CHROME = DATA / "obs_golden.trace.json"
+
+
+def golden_events() -> list[TraceEvent]:
+    """A small, fixed, hand-written trace exercising every export path."""
+    return [
+        QueryStarted(
+            t=0.0, label="golden query", num_segments=2,
+            initial_cost_pages=24.0,
+            segments=(
+                SegmentMeta(id=0, label="sort [SeqScan(t)]", final=False,
+                            inputs=(("base", "t", True, None),),
+                            est_output_rows=64.0, est_cost_bytes=98304.0),
+                SegmentMeta(id=1, label="output", final=True,
+                            inputs=(("child", "sort", True, 0),),
+                            est_output_rows=64.0, est_cost_bytes=98304.0),
+            ),
+        ),
+        SegmentStarted(t=0.5, segment_id=0),
+        PageRead(t=0.5, file_id=3, page_no=0, sequential=True),
+        SpeedEstimated(t=1.0, estimator="window", pages_per_sec=2.0),
+        CardinalityRefined(
+            t=5.0, segment_id=0, input_index=0, label="t",
+            source_from="ne", source_to="overrun",
+            est_rows_from=64.0, est_rows_to=96.0,
+        ),
+        SegmentFinished(t=6.0, segment_id=0, done_bytes=98304.0,
+                        output_rows=96),
+        SegmentStarted(t=6.0, segment_id=1),
+        ReportEmitted(
+            t=10.0, elapsed=10.0, done_pages=14.0, est_cost_pages=26.0,
+            fraction_done=0.5384615384615384, speed_pages_per_sec=2.0,
+            est_remaining_seconds=6.0, current_segment=1, finished=False,
+        ),
+        SegmentFinished(t=16.0, segment_id=1, done_bytes=114688.0,
+                        output_rows=96),
+        QueryFinished(t=16.0, elapsed=16.0, done_pages=26.0,
+                      actual_cost_pages=26.0),
+    ]
+
+
+def regenerate() -> None:  # pragma: no cover - developer tool
+    DATA.mkdir(exist_ok=True)
+    write_jsonl(golden_events(), GOLDEN_JSONL)
+    write_chrome_trace(golden_events(), GOLDEN_CHROME)
+
+
+class TestJsonl:
+    def test_matches_golden_file(self, tmp_path):
+        out = tmp_path / "t.jsonl"
+        assert write_jsonl(golden_events(), out) == len(golden_events())
+        assert out.read_text() == GOLDEN_JSONL.read_text()
+
+    def test_round_trip_is_lossless(self):
+        buf = io.StringIO()
+        write_jsonl(golden_events(), buf)
+        buf.seek(0)
+        assert read_jsonl(buf) == golden_events()
+
+    def test_read_from_golden_path(self):
+        assert read_jsonl(GOLDEN_JSONL) == golden_events()
+
+
+class TestChromeTrace:
+    def test_matches_golden_file(self, tmp_path):
+        out = tmp_path / "t.json"
+        write_chrome_trace(golden_events(), out)
+        assert json.loads(out.read_text()) == json.loads(
+            GOLDEN_CHROME.read_text()
+        )
+
+    def test_schema_basics(self):
+        doc = chrome_trace(golden_events())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"M", "X", "C", "i"}
+        for e in doc["traceEvents"]:
+            assert e["pid"] == 1
+            if e["ph"] != "M":
+                assert e["ts"] >= 0
+
+    def test_virtual_time_in_microseconds(self):
+        doc = chrome_trace(golden_events())
+        root = [e for e in doc["traceEvents"]
+                if e["ph"] == "X" and e["cat"] == "query"]
+        assert len(root) == 1
+        assert root[0]["ts"] == 0.0
+        assert root[0]["dur"] == pytest.approx(16.0 * 1_000_000.0)
+
+    def test_segment_spans_on_own_threads(self):
+        doc = chrome_trace(golden_events())
+        seg = {e["tid"]: e for e in doc["traceEvents"]
+               if e["ph"] == "X" and e["cat"] == "segment"}
+        assert set(seg) == {1, 2}
+        assert seg[1]["args"]["self_bytes"] == 98304.0
+        assert seg[2]["args"]["subtree_bytes"] == 114688.0 + 98304.0
+
+    def test_full_span_coverage(self):
+        assert span_coverage(chrome_trace(golden_events())) == pytest.approx(1.0)
+
+    def test_coverage_zero_without_root(self):
+        events = [e for e in golden_events()
+                  if not isinstance(e, QueryFinished)]
+        assert span_coverage(chrome_trace(events)) == 0.0

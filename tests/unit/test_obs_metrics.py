@@ -1,0 +1,152 @@
+"""Unit tests: the metrics registry, collector, and span accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.events import (
+    BufferAccess,
+    PageRead,
+    PageWritten,
+    QueryFinished,
+    QueryStarted,
+    ReportEmitted,
+    SegmentFinished,
+    SegmentMeta,
+    SegmentStarted,
+    SpeedEstimated,
+)
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsCollector,
+    MetricsRegistry,
+    compute_spans,
+    render_spans,
+)
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_histogram_buckets(self):
+        h = Histogram("h", (10.0, 20.0))
+        for v in (5, 10, 15, 25):
+            h.observe(v)
+        # bisect_left: a value equal to a bound counts in the lower bucket
+        assert h.bucket_counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.mean() == pytest.approx(13.75)
+
+    def test_histogram_bounds_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (2.0, 1.0))
+
+    def test_registry_is_idempotent_per_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h", (1.0,)) is reg.histogram("h", (1.0,))
+
+    def test_render_flat_text(self):
+        reg = MetricsRegistry()
+        reg.counter("io.reads").inc(3)
+        reg.gauge("speed").set(12.5)
+        out = reg.render()
+        assert "io.reads 3" in out
+        assert "speed 12.5" in out
+
+
+class TestCollector:
+    def test_storage_events_counted(self):
+        events = [
+            PageRead(t=0.0, file_id=1, page_no=0, sequential=True),
+            PageRead(t=0.1, file_id=1, page_no=9, sequential=False),
+            PageWritten(t=0.2, file_id=2, page_no=0),
+            BufferAccess(t=0.3, file_id=1, page_no=0, hit=True),
+            BufferAccess(t=0.4, file_id=1, page_no=1, hit=False),
+        ]
+        reg = MetricsCollector().collect(events)
+        assert reg.counter("io.reads.seq").value == 1
+        assert reg.counter("io.reads.random").value == 1
+        assert reg.counter("io.writes").value == 1
+        assert reg.counter("buffer.hits").value == 1
+        assert reg.counter("buffer.misses").value == 1
+
+    def test_progress_and_speed_aggregation(self):
+        events = [
+            SpeedEstimated(t=1.0, estimator="window", pages_per_sec=None),
+            SpeedEstimated(t=2.0, estimator="window", pages_per_sec=4.0),
+            ReportEmitted(
+                t=10.0, elapsed=10.0, done_pages=5.0, est_cost_pages=50.0,
+                fraction_done=0.1, speed_pages_per_sec=4.0,
+                est_remaining_seconds=11.25, current_segment=0, finished=False,
+            ),
+            QueryFinished(t=20.0, elapsed=20.0, done_pages=50.0,
+                          actual_cost_pages=50.0),
+        ]
+        reg = MetricsCollector().collect(events)
+        assert reg.counter("reports.emitted").value == 1
+        assert reg.gauge("speed.pages_per_sec").value == 4.0
+        assert reg.gauge("progress.fraction_done").value == 0.1
+        assert reg.gauge("query.elapsed_seconds").value == 20.0
+        # The None speed sample is not observed in the distribution.
+        assert reg.histogram("speed.distribution", ()).count == 1
+
+
+def _query_started_two_segments() -> QueryStarted:
+    """Segment 1 consumes segment 0's output (child link)."""
+    return QueryStarted(
+        t=0.0, label="q", num_segments=2, initial_cost_pages=20.0,
+        segments=(
+            SegmentMeta(id=0, label="sort", final=False,
+                        inputs=(("base", "t", True, None),),
+                        est_output_rows=10.0, est_cost_bytes=81920.0),
+            SegmentMeta(id=1, label="output", final=True,
+                        inputs=(("child", "sort", True, 0),),
+                        est_output_rows=10.0, est_cost_bytes=81920.0),
+        ),
+    )
+
+
+class TestSpans:
+    def test_self_time_excludes_child_overlap(self):
+        events = [
+            _query_started_two_segments(),
+            SegmentStarted(t=1.0, segment_id=0),
+            SegmentStarted(t=2.0, segment_id=1),
+            SegmentFinished(t=6.0, segment_id=0, done_bytes=8192.0,
+                            output_rows=5),
+            SegmentFinished(t=10.0, segment_id=1, done_bytes=16384.0,
+                            output_rows=5),
+        ]
+        spans = compute_spans(events)
+        parent = spans[1]
+        assert parent.duration == pytest.approx(8.0)      # 2 .. 10
+        assert parent.child_seconds == pytest.approx(4.0)  # overlap 2 .. 6
+        assert parent.self_seconds == pytest.approx(4.0)
+        assert parent.subtree_bytes == pytest.approx(16384.0 + 8192.0)
+        child = spans[0]
+        assert child.self_seconds == pytest.approx(child.duration)
+
+    def test_unstarted_segment_renders_as_dash(self):
+        spans = compute_spans([_query_started_two_segments()])
+        table = render_spans(spans, page_size=8192)
+        assert "sort" in table and "output" in table
+        assert " - " in table.replace("-" * 10, "")
+
+    def test_render_spans_page_units(self):
+        events = [
+            _query_started_two_segments(),
+            SegmentStarted(t=0.0, segment_id=0),
+            SegmentFinished(t=1.0, segment_id=0, done_bytes=81920.0,
+                            output_rows=1),
+        ]
+        table = render_spans(compute_spans(events), page_size=8192)
+        assert "10.0" in table  # 81920 bytes / 8192 = 10 U
