@@ -42,7 +42,11 @@ def test_overhead_monitored_vs_plain(benchmark, record_figure):
 
     def monitored_run():
         monitored_db.restart()
-        return monitored_db.execute_with_progress(queries.Q2)
+        return (
+            monitored_db.connect()
+            .submit(queries.Q2, name="Q2", keep_rows=False)
+            .monitored()
+        )
 
     # Time the monitored path under pytest-benchmark...
     monitored = benchmark.pedantic(monitored_run, rounds=3, iterations=1)
@@ -52,14 +56,13 @@ def test_overhead_monitored_vs_plain(benchmark, record_figure):
     for _ in range(3):
         plain_db.restart()
         t0 = time.perf_counter()
-        plain = plain_db.execute(queries.Q2, keep_rows=False)
+        plain = plain_db.connect().execute(queries.Q2, keep_rows=False)
         plain_times.append(time.perf_counter() - t0)
 
     monitored_times = []
     for _ in range(3):
-        monitored_db.restart()
         t0 = time.perf_counter()
-        monitored_db.execute_with_progress(queries.Q2)
+        monitored_run()
         monitored_times.append(time.perf_counter() - t0)
 
     plain_real = min(plain_times)
@@ -100,7 +103,11 @@ def test_overhead_tracing_on_vs_off(benchmark, record_figure):
 
     def run(db, trace):
         db.restart()
-        return db.execute_with_progress(queries.Q2, trace=trace)
+        return (
+            db.connect()
+            .submit(queries.Q2, name="Q2", keep_rows=False, trace=trace)
+            .monitored()
+        )
 
     traced = benchmark.pedantic(
         lambda: run(bench_db, TraceBus()), rounds=3, iterations=1
@@ -109,7 +116,7 @@ def test_overhead_tracing_on_vs_off(benchmark, record_figure):
     off_times, on_times = [], []
     for _ in range(3):
         t0 = time.perf_counter()
-        off = run(off_db, None)
+        off = run(off_db, False)
         off_times.append(time.perf_counter() - t0)
     for _ in range(3):
         t0 = time.perf_counter()

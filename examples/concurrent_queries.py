@@ -1,6 +1,7 @@
 """Concurrent queries and DBA load management (paper Section 6, use 1).
 
-Three queries share one database on a single virtual clock.  Their
+Three queries share one database — one virtual clock, one buffer pool —
+through a single :class:`Session` and its cooperative scheduler.  Their
 indicators observe *each other* as load — no synthetic interference
 window needed.  Midway, the DBA consults the indicators, picks the query
 with the most remaining work, and blocks it so the short queries finish
@@ -10,26 +11,33 @@ Run:  python examples/concurrent_queries.py
 """
 
 from repro.config import SystemConfig
-from repro.core.concurrent import ConcurrentWorkload
 from repro.core.loadmgmt import MonitoredQuery, choose_victims, most_remaining_work
 from repro.workloads import queries, tpcr
 
 
 def main() -> None:
     db = tpcr.build_database(scale=0.005, config=SystemConfig(work_mem_pages=24))
-    workload = ConcurrentWorkload(db)
-    workload.add("scan", queries.Q1)
-    workload.add("join", queries.Q2)
-    workload.add("nl", queries.Q5)
+    session = db.connect()
+    handles = {
+        name: session.submit(sql, name=name, keep_rows=False)
+        for name, sql in [
+            ("scan", queries.Q1),
+            ("join", queries.Q2),
+            ("nl", queries.Q5),
+        ]
+    }
 
-    # Let everything run for a while (12 slices of 10 virtual seconds).
-    for _ in range(12):
-        if not workload.step():
+    # Let everything interleave for a while (120 scheduler slices).
+    for _ in range(120):
+        if session.step() is None:
             break
 
     print(f"t={db.clock.now:7.1f}s  DBA checks the running queries:")
-    snapshot = workload.reports()
-    pool = [MonitoredQuery(name, r) for name, r in snapshot.items()]
+    pool = [
+        MonitoredQuery(name, h.progress())
+        for name, h in handles.items()
+        if not h.done
+    ]
     for q in pool:
         remaining = q.report.est_remaining_seconds
         print(
@@ -42,26 +50,25 @@ def main() -> None:
     if victims:
         victim = victims[0].name
         print(f"\n   -> blocking {victim!r} (most remaining work)\n")
-        workload.suspend(victim)
+        session.scheduler.suspend(victim)
     else:
         victim = None
 
     # Run until every unblocked query completes.
-    while any(
-        not run.done and not run.suspended for run in workload.queries.values()
-    ):
-        workload.step()
+    while session.step() is not None:
+        pass
 
-    for name, run in workload.queries.items():
-        if run.done:
-            print(f"t={db.clock.now:7.1f}s  {name} finished in {run.elapsed:.1f}s")
+    for name, handle in handles.items():
+        if handle.done:
+            elapsed = handle.task.result.elapsed
+            print(f"t={db.clock.now:7.1f}s  {name} finished in {elapsed:.1f}s")
 
     if victim is not None:
         print(f"\n   -> resuming {victim!r}")
-        workload.resume(victim)
-        workload.run()
-        run = workload.queries[victim]
-        print(f"t={db.clock.now:7.1f}s  {victim} finished in {run.elapsed:.1f}s "
+        session.scheduler.resume(victim)
+        session.run()
+        elapsed = handles[victim].task.result.elapsed
+        print(f"t={db.clock.now:7.1f}s  {victim} finished in {elapsed:.1f}s "
               "(including blocked time)")
 
 

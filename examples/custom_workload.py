@@ -5,7 +5,7 @@ sessions, page views — with an index, runs ad-hoc SQL through the full
 pipeline (parse -> bind -> optimize -> execute), and monitors a heavy
 sorted join.  Demonstrates the public API surface a downstream user
 touches: ``Database``, ``create_table``/``create_index``/``analyze``,
-``prepare`` + ``explain``, and ``execute_with_progress``.
+``prepare`` + ``explain``, and ``connect()`` / ``Session.submit``.
 
 Run:  python examples/custom_workload.py
 """
@@ -58,9 +58,10 @@ def build_analytics_db() -> Database:
 
 def main() -> None:
     db = build_analytics_db()
+    session = db.connect()
 
     print("Ad-hoc lookups (index scans):")
-    result = db.execute(
+    result = session.execute(
         "select s.session_id, s.duration from sessions s where s.user_id = 42"
     )
     print(f"  sessions of user 42: {result.row_count}")
@@ -76,15 +77,19 @@ def main() -> None:
     print(explain(planned.root))
 
     print("\nMonitored execution:")
-    monitored = db.run_planned_with_progress(
-        planned, keep_rows=True, on_report=lambda r: print("  " + r.format_line())
+    handle = session.submit(
+        planned,
+        name="top-sessions",
+        keep_rows=True,
+        on_report=lambda r: print("  " + r.format_line()),
     )
+    rows = handle.result().rows
     print("\nTop sessions (user, country, seconds):")
-    for row in monitored.result.rows:
+    for row in rows:
         print(f"  {row[0]:>6} {row[1]:>3} {row[2]:>10.1f}")
     print(
-        f"\nFinished in {monitored.log.total_elapsed:.1f} virtual seconds; "
-        f"{monitored.indicator.tracker.done_pages(db.config.page_size):.0f} U "
+        f"\nFinished in {handle.log.total_elapsed:.1f} virtual seconds; "
+        f"{handle.task.indicator.tracker.done_pages(db.config.page_size):.0f} U "
         "of work performed."
     )
 

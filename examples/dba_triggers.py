@@ -62,9 +62,12 @@ def demo_triggers() -> None:
             ),
         ]
     )
-    monitored = db.execute_with_progress(queries.Q2, on_report=triggers)
+    handle = db.connect().submit(
+        queries.Q2, name="Q2", keep_rows=False, on_report=triggers
+    )
+    handle.result()
     fired = [t.name for t in triggers.triggers if t.fired]
-    print(f"\n  query finished after {monitored.log.total_elapsed:.0f}s; "
+    print(f"\n  query finished after {handle.log.total_elapsed:.0f}s; "
           f"triggers fired: {fired or 'none'}\n")
 
 
@@ -73,10 +76,11 @@ def demo_load_management() -> None:
     pool: list[MonitoredQuery] = []
     for name, sql in [("Q1", queries.Q1), ("Q2", queries.Q2), ("Q5", queries.Q5)]:
         db = tpcr.build_database(scale=0.005, config=SystemConfig(work_mem_pages=24))
-        monitored = db.execute_with_progress(sql)
+        handle = db.connect().submit(sql, name=name, keep_rows=False)
+        handle.result()
         # Take each query's report from one third of the way through its
         # life — a snapshot of "currently running" state.
-        snapshot = monitored.log.at(monitored.log.total_elapsed / 3)
+        snapshot = handle.log.at(handle.log.total_elapsed / 3)
         pool.append(MonitoredQuery(name, snapshot))
 
     print(f"  {'query':<6} {'done %':>8} {'est. remaining (s)':>20}")

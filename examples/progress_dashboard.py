@@ -86,10 +86,11 @@ def main() -> None:
     )
     trace = TraceBus()
     trace.subscribe(narrate)
-    monitored = db.execute_with_progress(queries.Q2, trace=trace)
+    handle = db.connect().submit(queries.Q2, name="Q2", trace=trace, keep_rows=False)
+    result = handle.result()
     print(
-        f"\nDone: {monitored.result.row_count} rows in "
-        f"{format_duration(monitored.log.total_elapsed)} of virtual time; "
+        f"\nDone: {result.row_count} rows in "
+        f"{format_duration(handle.log.total_elapsed)} of virtual time; "
         f"{len(trace.events)} trace events recorded."
     )
 

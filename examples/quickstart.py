@@ -25,14 +25,19 @@ def main() -> None:
     print(explain(planned.root))
 
     print("\nExecuting with a progress indicator (one report / 10 s):\n")
-    monitored = db.run_planned_with_progress(
-        planned, on_report=lambda r: print("  " + r.format_line())
+    session = db.connect()
+    handle = session.submit(
+        planned,
+        name="Q2",
+        keep_rows=False,
+        on_report=lambda r: print("  " + r.format_line()),
     )
+    result = handle.result()
 
-    log = monitored.log
+    log = handle.log
     final = log.final()
     print("\nQuery finished.")
-    print(f"  rows produced      : {monitored.result.row_count}")
+    print(f"  rows produced      : {result.row_count}")
     print(f"  virtual run time   : {format_duration(log.total_elapsed)}")
     print(f"  exact query cost   : {final.est_cost_pages:.0f} U (pages)")
     print(

@@ -53,7 +53,7 @@ def main() -> None:
 
     # Sanity: the data is back to its original state.
     db.analyze("orders")
-    result = db.execute("select sum(totalprice) from orders")
+    result = db.connect().execute("select sum(totalprice) from orders")
     print(f"sum(totalprice) after rollback: {result.rows[0][0]:.2f}")
 
 

@@ -15,11 +15,18 @@ Quick start::
     from repro.workloads import tpcr
 
     db = tpcr.build_database(scale=0.01)
-    monitored = db.execute_with_progress("select * from lineitem")
-    for report in monitored.log:
+    session = db.connect()
+    handle = session.submit("select * from lineitem")
+    result = handle.result()
+    for report in handle.log:
         print(report.format_line())
+
+Several ``submit`` calls on one session run interleaved on the shared
+virtual clock — each with its own progress indicator (see
+:mod:`repro.sched` and :mod:`repro.api`).
 """
 
+from repro.api import QueryHandle, Session
 from repro.config import (
     CostModelConfig,
     PlannerConfig,
@@ -32,11 +39,13 @@ from repro.database import Database, MonitoredResult
 from repro.errors import ReproError
 from repro.sim.load import CPU, IO, InterferenceWindow, LoadProfile
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Database",
     "MonitoredResult",
+    "Session",
+    "QueryHandle",
     "SystemConfig",
     "CostModelConfig",
     "PlannerConfig",

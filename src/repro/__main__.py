@@ -59,9 +59,13 @@ def cmd_demo(args) -> int:
     print(f"Plan for {name}:")
     print(explain(planned.root))
     print("\nRunning with progress indicator:\n")
-    monitored = db.run_planned_with_progress(
-        planned, on_report=lambda r: print("  " + r.format_line())
+    handle = db.connect().submit(
+        planned,
+        name=name,
+        keep_rows=False,
+        on_report=lambda r: print("  " + r.format_line()),
     )
+    monitored = handle.monitored()
     print(
         f"\n{name} finished: {monitored.result.row_count} rows in "
         f"{format_duration(monitored.log.total_elapsed)} (virtual)."
@@ -74,13 +78,13 @@ def cmd_demo(args) -> int:
 def cmd_sql(args) -> int:
     """Run arbitrary SQL against the generated data set, monitored."""
     db = _build_db(args)
-    monitored = db.execute_with_progress(
+    handle = db.connect().submit(
         args.statement,
         keep_rows=True,
         max_rows=args.max_rows,
         on_report=lambda r: print("  " + r.format_line()),
     )
-    result = monitored.result
+    result = handle.result()
     print(f"\n{result.row_count} row(s); showing up to {args.max_rows}:")
     print("  " + " | ".join(result.names))
     for row in result.rows:

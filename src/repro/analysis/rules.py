@@ -36,6 +36,14 @@ Diagnostics from the engine flow through the typed trace events of
 :mod:`repro.obs` (emit on the attached ``TraceBus``), which keeps the
 hot path silent, the output machine-readable, and the timestamps on the
 virtual clock.
+
+``REPRO006`` **no-deprecated-facade** — no new callers of the deprecated
+``Database`` query facade (``execute_with_progress`` /
+``run_planned_with_progress``, or ``execute`` on a receiver named
+``db``/``database``).  The stable surface is ``Database.connect()`` →
+:class:`repro.api.Session` → :class:`repro.api.QueryHandle`; the old
+methods are shims that warn and forward.  The shim module itself and
+test files are exempt.
 """
 
 from __future__ import annotations
@@ -377,4 +385,65 @@ def _check_adhoc_logging(tree: ast.AST, ctx: LintContext) -> list[LintFinding]:
                 dotted = _dotted(node.func)
                 if dotted is not None and dotted.split(".")[0] == "logging":
                     flag(node, f"{dotted}()")
+    return out
+
+
+# ----------------------------------------------------------------------
+# REPRO006 — no new callers of the deprecated Database query facade
+
+#: Methods that are unambiguously the deprecated facade.
+_DEPRECATED_FACADE_METHODS = frozenset(
+    {"execute_with_progress", "run_planned_with_progress"}
+)
+#: Receiver names that mark a bare ``.execute(...)`` as the facade (a
+#: ``session.execute(...)`` is the supported Session convenience).
+_DATABASE_RECEIVER_NAMES = frozenset({"db", "database"})
+
+
+def _facade_exempt(ctx: LintContext) -> bool:
+    """The shim module itself and test files may reference the facade."""
+    path = ctx.path.replace("\\", "/")
+    if path.endswith("/database.py") or path == "database.py":
+        return True
+    parts = path.split("/")
+    return any(p in ("tests", "test") for p in parts) or parts[-1].startswith(
+        "test_"
+    )
+
+
+@_rule("REPRO006", "no-deprecated-facade")
+def _check_deprecated_facade(tree: ast.AST, ctx: LintContext) -> list[LintFinding]:
+    if _facade_exempt(ctx):
+        return []
+    out = []
+
+    def flag(node: ast.AST, what: str) -> None:
+        out.append(
+            LintFinding(
+                rule="REPRO006",
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=f"deprecated Database facade call {what!r}; use "
+                f"Database.connect() and Session.submit (repro.api)",
+            )
+        )
+
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        attr = node.func.attr
+        if attr in _DEPRECATED_FACADE_METHODS:
+            flag(node, f".{attr}()")
+        elif attr == "execute":
+            receiver = node.func.value
+            name = (
+                receiver.id
+                if isinstance(receiver, ast.Name)
+                else receiver.attr
+                if isinstance(receiver, ast.Attribute)
+                else None
+            )
+            if name is not None and name.lower() in _DATABASE_RECEIVER_NAMES:
+                flag(node, f"{name}.execute()")
     return out

@@ -11,7 +11,7 @@ from repro.database import Database
 from repro.sim.load import LoadProfile
 
 if TYPE_CHECKING:  # pragma: no cover - obs is imported lazily
-    from repro.obs.bus import TraceBus
+    from repro.obs.bus import SealedTrace
 
 
 @dataclass
@@ -26,8 +26,8 @@ class ExperimentResult:
     row_count: int
     num_segments: int
     segment_boundaries: list[tuple[int, float]] = field(default_factory=list)
-    #: The recorded TraceBus when tracing was on for this run, else None.
-    trace: Optional["TraceBus"] = None
+    #: Sealed view of the recorded trace when tracing was on, else None.
+    trace: Optional["SealedTrace"] = None
 
     # -- figure series --------------------------------------------------
 
@@ -87,7 +87,9 @@ def run_experiment(
     db.restart()
     if load is not None:
         db.set_load(load)
-    monitored = db.execute_with_progress(sql, keep_rows=keep_rows)
+    monitored = db.connect().submit(
+        sql, name=name, keep_rows=keep_rows
+    ).monitored()
     if monitored.trace is not None:
         _export_trace_artifacts(name, monitored.trace)
 
@@ -113,7 +115,7 @@ def run_experiment(
     )
 
 
-def _export_trace_artifacts(name: str, trace: "TraceBus") -> None:
+def _export_trace_artifacts(name: str, trace: "SealedTrace") -> None:
     """Write JSONL + Chrome trace files when REPRO_TRACE names a dir."""
     from repro.obs import trace_artifact_dir, write_chrome_trace, write_jsonl
 

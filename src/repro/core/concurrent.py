@@ -36,7 +36,7 @@ from repro.core.indicator import ProgressIndicator
 from repro.core.report import ProgressReport
 from repro.database import Database
 from repro.errors import ProgressError
-from repro.executor.base import ExecContext
+from repro.executor.base import PULSE, ExecContext
 from repro.executor.runtime import execute
 from repro.sim.clock import VirtualClock
 
@@ -240,7 +240,8 @@ class ConcurrentWorkload:
             self._go.wait()
             try:
                 for _row in execute(planned, ctx):
-                    run.row_count += 1
+                    if _row is not PULSE:
+                        run.row_count += 1
             except BaseException as exc:  # surface worker failures
                 run.error = exc
             else:

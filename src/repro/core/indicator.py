@@ -43,6 +43,7 @@ from repro.obs.bus import TraceBus
 from repro.obs.events import (
     CardinalityRefined,
     DominantSwitched,
+    QueryCancelled,
     QueryFinished,
     QueryStarted,
     RefinementTick,
@@ -107,6 +108,10 @@ class ProgressIndicator:
         self.started_at = clock.now
         self.reports: list[ProgressReport] = []
         self._finalized = False
+        #: Re-entrancy guard: a report tick must never nest inside another
+        #: (several indicators share one clock under the scheduler, and a
+        #: refinement pass touches shared tracker state).
+        self._sampling = False
         #: Last seen estimate source per (segment, input) and last deciding
         #: dominant input per segment — for trace transition events only.
         self._last_sources: dict[tuple[int, int], str] = {}
@@ -162,13 +167,19 @@ class ProgressIndicator:
             ))
 
     def _sample_report(self, t: float) -> None:
-        if self._trace is not None:
-            self._trace.emit(TickerFired(
-                t=t, name="report", interval=self._progress_cfg.update_interval
-            ))
-        self.reports.append(self._record_report(t, finished=False))
-        if self._on_report is not None:
-            self._on_report(self.reports[-1])
+        if self._sampling:
+            return
+        self._sampling = True
+        try:
+            if self._trace is not None:
+                self._trace.emit(TickerFired(
+                    t=t, name="report", interval=self._progress_cfg.update_interval
+                ))
+            self.reports.append(self._record_report(t, finished=False))
+            if self._on_report is not None:
+                self._on_report(self.reports[-1])
+        finally:
+            self._sampling = False
 
     # ------------------------------------------------------------------
     # reporting
@@ -317,6 +328,36 @@ class ProgressIndicator:
                 elapsed=self._clock.now - self.started_at,
                 done_pages=self.tracker.total_done_bytes / self._page_size,
                 actual_cost_pages=final.est_cost_pages,
+            ))
+        return ProgressLog(
+            reports=list(self.reports),
+            started_at=self.started_at,
+            finished_at=self._clock.now,
+            initial_cost_pages=self.initial_cost_pages,
+        )
+
+    def abort(self) -> ProgressLog:
+        """Stop sampling after a cancellation; the query never finished.
+
+        Unlike :meth:`finalize`, the last report keeps ``finished=False``
+        (the work counters stay wherever the cancelled executor left
+        them), and the trace records :class:`QueryCancelled` rather than
+        ``QueryFinished`` — the audit must not treat the final snapshot as
+        ground truth.
+        """
+        if self._finalized:
+            raise ProgressError("indicator already finalized")
+        self._finalized = True
+        self._speed_ticker.cancel()
+        self._report_ticker.cancel()
+        final = self._record_report(self._clock.now, finished=False)
+        self.reports.append(final)
+        if self._trace is not None:
+            self._trace.emit(QueryCancelled(
+                t=self._clock.now,
+                elapsed=self._clock.now - self.started_at,
+                done_pages=self.tracker.total_done_bytes / self._page_size,
+                fraction_done=final.fraction_done,
             ))
         return ProgressLog(
             reports=list(self.reports),

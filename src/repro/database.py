@@ -9,12 +9,14 @@ Section 5 evaluates.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover - analysis/obs are imported lazily
     from repro.analysis.invariants import Violation
-    from repro.obs.bus import TraceBus
+    from repro.api import Session
+    from repro.obs.bus import SealedTrace, TraceBus
 
 from repro.catalog.analyze import analyze_table
 from repro.catalog.catalog import Catalog, Table
@@ -35,13 +37,19 @@ from repro.storage.schema import Schema
 
 @dataclass
 class MonitoredResult:
-    """Result of a query executed with a progress indicator attached."""
+    """Result of a query executed with a progress indicator attached.
+
+    Superseded by :class:`repro.api.QueryHandle`; kept as the bundle the
+    deprecated facade (and ``QueryHandle.monitored()``) returns.
+    """
 
     result: QueryResult
     log: ProgressLog
     indicator: ProgressIndicator
-    #: The recorded TraceBus when tracing was on for this run, else None.
-    trace: Optional["TraceBus"] = None
+    #: Sealed, read-only view of the recorded trace when tracing was on
+    #: for this run, else None.  (Earlier versions leaked the live
+    #: TraceBus here; callers who passed their own bus still hold it.)
+    trace: Optional["SealedTrace"] = None
 
 
 class Database:
@@ -94,6 +102,31 @@ class Database:
         self.clock.set_load(load)
 
     # ------------------------------------------------------------------
+    # sessions (the stable query API)
+
+    def connect(
+        self,
+        policy: str = "round_robin",
+        quantum_pages: Optional[int] = None,
+    ) -> "Session":
+        """Open a :class:`repro.api.Session` — the stable query surface.
+
+        Queries submitted through one session run cooperatively
+        interleaved (see :mod:`repro.sched`); ``policy`` and
+        ``quantum_pages`` configure its scheduler.
+        """
+        from repro.api import Session
+        from repro.sched.scheduler import DEFAULT_QUANTUM_PAGES
+
+        return Session(
+            self,
+            policy=policy,
+            quantum_pages=DEFAULT_QUANTUM_PAGES
+            if quantum_pages is None
+            else quantum_pages,
+        )
+
+    # ------------------------------------------------------------------
     # queries
 
     def prepare(self, sql: str) -> PlannedQuery:
@@ -133,13 +166,31 @@ class Database:
     def execute(
         self, sql: str, keep_rows: bool = True, max_rows: Optional[int] = None
     ) -> QueryResult:
-        """Run a query without progress monitoring (the fast path)."""
-        planned = self.prepare(sql)
-        self._gate_unmonitored(planned, label=sql.strip())
-        ctx = ExecContext(
-            self.clock, self.disk, self.buffer_pool, self.config, tracker=None
+        """Run a query without progress monitoring.
+
+        .. deprecated::
+            Use ``db.connect()`` and
+            ``session.submit(sql, monitor=False).result()`` (or the
+            ``session.execute`` convenience).  This shim stays for
+            source compatibility only.
+        """
+        warnings.warn(
+            "Database.execute() is deprecated; use Database.connect() and "
+            "Session.submit(sql, monitor=False).result()",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return run_query(planned, ctx, keep_rows=keep_rows, max_rows=max_rows)
+        return (
+            self.connect()
+            .submit(
+                sql,
+                name=sql.strip() or "query",
+                monitor=False,
+                keep_rows=keep_rows,
+                max_rows=max_rows,
+            )
+            .result()
+        )
 
     def explain(self, sql: str) -> str:
         """EXPLAIN: the annotated plan without executing it."""
@@ -182,10 +233,22 @@ class Database:
         on_report=None,
         trace: "Optional[TraceBus]" = None,
     ) -> MonitoredResult:
-        """Run a query with a progress indicator attached."""
-        planned = self.prepare(sql)
-        return self.run_planned_with_progress(
-            planned,
+        """Run a query with a progress indicator attached.
+
+        .. deprecated::
+            Use ``db.connect()`` and ``session.submit(sql)`` — the
+            returned :class:`repro.api.QueryHandle` carries progress,
+            result and (sealed) trace.  This shim stays for source
+            compatibility only.
+        """
+        warnings.warn(
+            "Database.execute_with_progress() is deprecated; use "
+            "Database.connect() and Session.submit(sql) — see repro.api",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._run_monitored_shim(
+            self.prepare(sql),
             keep_rows=keep_rows,
             max_rows=max_rows,
             on_report=on_report,
@@ -204,40 +267,44 @@ class Database:
     ) -> MonitoredResult:
         """Run an already-prepared plan with a progress indicator attached.
 
-        ``trace`` attaches an explicit :class:`repro.obs.bus.TraceBus`;
-        when None, one is created automatically if tracing is enabled via
-        ``ProgressConfig.trace_enabled`` or the ``REPRO_TRACE`` env var.
-        The bus observes this run only: the shared disk/buffer-pool hooks
-        are attached for the duration of the query and restored after.
+        .. deprecated::
+            Use ``db.connect()`` and ``session.submit(planned)`` — the
+            session surface accepts prepared plans directly.  This shim
+            stays for source compatibility only.
         """
-        if trace is None:
-            from repro.obs import resolve_trace_enabled
-
-            if resolve_trace_enabled(self.config):
-                from repro.obs import TraceBus as _TraceBus
-
-                trace = _TraceBus()
-        indicator = ProgressIndicator(
-            planned, self.clock, self.config, on_report=on_report,
-            trace=trace, label=label,
+        warnings.warn(
+            "Database.run_planned_with_progress() is deprecated; use "
+            "Database.connect() and Session.submit(planned) — see repro.api",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        ctx = ExecContext(
-            self.clock,
-            self.disk,
-            self.buffer_pool,
-            self.config,
-            tracker=indicator.tracker,
+        return self._run_monitored_shim(
+            planned,
+            keep_rows=keep_rows,
+            max_rows=max_rows,
+            on_report=on_report,
             trace=trace,
+            label=label,
         )
-        previous = (self.disk.trace, self.buffer_pool.trace)
-        if trace is not None:
-            self.disk.trace = trace
-            self.buffer_pool.trace = trace
-        try:
-            result = run_query(planned, ctx, keep_rows=keep_rows, max_rows=max_rows)
-        finally:
-            self.disk.trace, self.buffer_pool.trace = previous
-        log = indicator.finalize()
-        return MonitoredResult(
-            result=result, log=log, indicator=indicator, trace=trace
+
+    def _run_monitored_shim(
+        self,
+        planned: PlannedQuery,
+        keep_rows: bool,
+        max_rows: Optional[int],
+        on_report,
+        trace: "Union[None, TraceBus]",
+        label: str,
+    ) -> MonitoredResult:
+        """Shared body of the deprecated monitored facade: one-query
+        session, legacy bundle out (``trace`` sealed, not live)."""
+        handle = self.connect().submit(
+            planned,
+            name=label or "query",
+            monitor=True,
+            trace=trace,
+            keep_rows=keep_rows,
+            max_rows=max_rows,
+            on_report=on_report,
         )
+        return handle.monitored()

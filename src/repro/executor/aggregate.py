@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from repro.errors import ExecutionError
-from repro.executor.base import ExecContext, Operator, build_operator
+from repro.executor.base import PULSE, ExecContext, Operator, build_operator
 from repro.executor.rowops import layout_of, row_width_fn
 from repro.expr.bound import AggregateExpr
 from repro.expr.compiler import compile_expr, compile_predicate
@@ -75,6 +75,9 @@ class HashAggregateOp(Operator):
         group_rows: dict = {}
         saw_input = False
         for row in self._child.rows():
+            if row is PULSE:
+                yield row
+                continue
             saw_input = True
             ctx.clock.advance(per_row, CPU)
             key = key_fn(row)
@@ -163,6 +166,9 @@ class FilterOp(Operator):
         per_row = len(self._predicates) * ctx.config.cost.cpu_operator
         predicates = self._predicates
         for row in self._child.rows():
+            if row is PULSE:
+                yield row
+                continue
             ctx.clock.advance(per_row, CPU)
             keep = True
             for predicate in predicates:

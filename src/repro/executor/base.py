@@ -29,6 +29,46 @@ from repro.storage.buffer import BufferPool
 from repro.storage.disk import SimulatedDisk
 
 
+class _WorkPulse:
+    """The cooperative-scheduling marker operators interleave with rows.
+
+    Operators yield :data:`PULSE` at bounded-work boundaries (a heap page
+    scanned, a sort chunk compared, a spill partition page re-read) in
+    addition to their output rows.  A pulse carries no data and charges no
+    virtual time; it only returns control to whoever drives the iteration,
+    which is what lets :mod:`repro.sched` slice many in-flight queries on
+    one clock.  Single-query drivers simply skip pulses.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "PULSE"
+
+
+#: The singleton work pulse.  Compare with ``is``: ``item is PULSE``.
+PULSE = _WorkPulse()
+
+
+def pull(source: Iterator):
+    """Advance ``source`` to its next *row*, forwarding pulses upstream.
+
+    A ``yield from``-able helper for operators that drive a child with
+    explicit ``next()`` calls (merge join)::
+
+        row = yield from pull(child_rows)
+
+    Returns the next non-pulse item, or ``None`` when the child is
+    exhausted (rows are tuples, never ``None``).
+    """
+    for item in source:
+        if item is PULSE:
+            yield PULSE
+        else:
+            return item
+    return None
+
+
 class ExecContext:
     """Everything an operator needs at run time."""
 
@@ -60,9 +100,12 @@ class ExecContext:
 class Operator:
     """Base class: an operator is an iterable of output rows.
 
-    ``rows()`` returns a generator; iterating it *is* execution.  Operators
-    own their children and any temp files they spill; ``close()`` releases
-    resources (the driver calls it once iteration ends or is abandoned).
+    ``rows()`` returns a generator; iterating it *is* execution.  The
+    stream interleaves output rows with :data:`PULSE` markers (yielded at
+    bounded-work boundaries and forwarded transparently by parents) so a
+    driver can suspend execution mid-plan.  Operators own their children
+    and any temp files they spill; ``close()`` releases resources (the
+    driver calls it once iteration ends or is abandoned).
     """
 
     def __init__(self, node: PhysicalNode, ctx: ExecContext):
@@ -88,6 +131,9 @@ class _CountingOperator(Operator):
         counters = self.ctx.actual_rows
         key = id(self._inner.node)
         for row in self._inner.rows():
+            if row is PULSE:
+                yield row
+                continue
             counters[key] += 1
             yield row
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.executor.base import ExecContext, Operator, build_operator
+from repro.executor.base import PULSE, ExecContext, Operator, build_operator
 from repro.expr.compiler import compile_expr
 from repro.planner.physical import LimitNode, ProjectNode
 from repro.sim.load import CPU
@@ -58,6 +58,9 @@ class ProjectOp(Operator):
         )
         fns = self._fns
         for row in self._child.rows():
+            if row is PULSE:
+                yield row
+                continue
             ctx.clock.advance(per_row, CPU)
             out = tuple(fn(row) for fn in fns)
             if tracker is not None and segment is not None:
@@ -80,6 +83,9 @@ class DistinctOp(Operator):
         per_row = ctx.config.cost.cpu_hash
         seen: set = set()
         for row in self._child.rows():
+            if row is PULSE:
+                yield row
+                continue
             ctx.clock.advance(per_row, CPU)
             if row in seen:
                 continue
@@ -102,6 +108,9 @@ class LimitOp(Operator):
         if remaining <= 0:
             return
         for row in self._child.rows():
+            if row is PULSE:
+                yield row
+                continue
             yield row
             remaining -= 1
             if remaining <= 0:

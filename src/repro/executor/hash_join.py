@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from repro.errors import ExecutionError
-from repro.executor.base import ExecContext, Operator, build_operator
+from repro.executor.base import PULSE, ExecContext, Operator, build_operator
 from repro.executor.rowops import combiner, concat_layout, layout_of, row_width_fn
 from repro.expr.compiler import compile_predicate
 from repro.planner.physical import HashJoinNode, PlanColumn
@@ -97,6 +97,9 @@ class HashJoinOp(Operator):
         total_rows = 0
         total_bytes = 0.0
         for row in self._build_child.rows():
+            if row is PULSE:
+                yield row
+                continue
             ctx.clock.advance(cost.cpu_hash, CPU)
             width = build_width(row)
             total_rows += 1
@@ -128,6 +131,9 @@ class HashJoinOp(Operator):
         per_probe = cost.cpu_hash
         per_match = cost.cpu_tuple + len(extra) * cost.cpu_operator
         for probe_row in self._probe_child.rows():
+            if probe_row is PULSE:
+                yield probe_row
+                continue
             ctx.clock.advance(per_probe, CPU)
             key = probe_key(probe_row)
             if key is None:
@@ -154,7 +160,7 @@ class HashJoinOp(Operator):
         tracker = ctx.tracker
         nbatches = node.num_batches
 
-        build_parts = self._partition(
+        build_parts = yield from self._partition(
             self._build_child,
             node.build.columns,
             self._build_key,
@@ -163,7 +169,7 @@ class HashJoinOp(Operator):
             segment=getattr(node, "pi_build_segment", None),
             name=f"hj_build_{id(node)}",
         )
-        probe_parts = self._partition(
+        probe_parts = yield from self._partition(
             self._probe_child,
             node.probe.columns,
             self._probe_key,
@@ -186,6 +192,9 @@ class HashJoinOp(Operator):
         for b in range(nbatches):
             table: dict = {}
             for row in self._read_partition(build_parts[b], join_segment, pa_ref):
+                if row is PULSE:
+                    yield row
+                    continue
                 ctx.clock.advance(cost.cpu_hash, CPU)
                 key = build_key(row)
                 if key is None:
@@ -196,6 +205,9 @@ class HashJoinOp(Operator):
                 else:
                     bucket.append(row)
             for probe_row in self._read_partition(probe_parts[b], join_segment, pb_ref):
+                if probe_row is PULSE:
+                    yield probe_row
+                    continue
                 ctx.clock.advance(cost.cpu_hash, CPU)
                 key = probe_key(probe_row)
                 if key is None:
@@ -222,8 +234,12 @@ class HashJoinOp(Operator):
         nbatches: int,
         segment: Optional[int],
         name: str,
-    ) -> list[HeapFile]:
-        """Drain ``child`` into ``nbatches`` temp partitions (one write pass)."""
+    ) -> Iterator[tuple]:
+        """Drain ``child`` into ``nbatches`` temp partitions (one write pass).
+
+        A ``yield from``-able phase: yields only PULSE markers while
+        draining, *returns* the partition files.
+        """
         ctx = self.ctx
         cost = ctx.config.cost
         tracker = ctx.tracker
@@ -234,6 +250,9 @@ class HashJoinOp(Operator):
         ]
         self._temp_files.extend(parts)
         for row in child.rows():
+            if row is PULSE:
+                yield row
+                continue
             ctx.clock.advance(cost.cpu_hash, CPU)
             key = key_fn(row)
             batch = hash(key) % nbatches if key is not None else 0
@@ -261,6 +280,7 @@ class HashJoinOp(Operator):
             if tracker is not None and ref is not None:
                 tracker.input_rows(ref[0], ref[1], n, page.bytes_used)
             yield from page.rows
+            yield PULSE
 
     # guard: the factory should never hand us something else
     def _unreachable(self):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.executor.base import ExecContext, Operator, build_operator
+from repro.executor.base import ExecContext, Operator, build_operator, pull
 from repro.executor.rowops import combiner, concat_layout, layout_of
 from repro.expr.compiler import compile_predicate
 from repro.planner.physical import MergeJoinNode
@@ -42,10 +42,12 @@ class MergeJoinOp(Operator):
         per_step = cost.cpu_compare
         per_match = cost.cpu_tuple + len(extra) * cost.cpu_operator
 
+        # Children are advanced through ``pull`` so their PULSE markers
+        # propagate to our caller between explicit next-row fetches.
         left = self._left_child.rows()
         right = self._right_child.rows()
-        left_row = next(left, None)
-        right_row = next(right, None)
+        left_row = yield from pull(left)
+        right_row = yield from pull(right)
 
         while left_row is not None and right_row is not None:
             ctx.clock.advance(per_step, CPU)
@@ -53,24 +55,24 @@ class MergeJoinOp(Operator):
             rkey = right_row[rslot]
             # NULL keys never match; skip past them.
             if lkey is None:
-                left_row = next(left, None)
+                left_row = yield from pull(left)
                 continue
             if rkey is None:
-                right_row = next(right, None)
+                right_row = yield from pull(right)
                 continue
             if lkey < rkey:
-                left_row = next(left, None)
+                left_row = yield from pull(left)
             elif lkey > rkey:
-                right_row = next(right, None)
+                right_row = yield from pull(right)
             else:
                 # Collect the full matching group on the right, then emit
                 # the cross product with every matching left row.
                 group = [right_row]
-                right_row = next(right, None)
+                right_row = yield from pull(right)
                 while right_row is not None and right_row[rslot] == lkey:
                     ctx.clock.advance(per_step, CPU)
                     group.append(right_row)
-                    right_row = next(right, None)
+                    right_row = yield from pull(right)
                 while left_row is not None and left_row[lslot] == lkey:
                     ctx.clock.advance(per_match * len(group), CPU)
                     if extra:
@@ -81,7 +83,7 @@ class MergeJoinOp(Operator):
                     else:
                         for r in group:
                             yield combine(left_row, r)
-                    left_row = next(left, None)
+                    left_row = yield from pull(left)
 
     def close(self) -> None:
         self._left_child.close()

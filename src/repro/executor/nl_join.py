@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.executor.base import ExecContext, Operator, build_operator
+from repro.executor.base import PULSE, ExecContext, Operator, build_operator
 from repro.executor.rowops import combiner, concat_layout, row_width_fn
 from repro.expr.compiler import compile_predicate
 from repro.planner.physical import NestLoopNode
@@ -42,6 +42,9 @@ class NestLoopOp(Operator):
         inner_bytes = 0.0
         width_fn = self._inner_width
         for row in self._inner_child.rows():
+            if row is PULSE:
+                yield row
+                continue
             ctx.clock.advance(cost.cpu_tuple, CPU)
             inner_bytes += width_fn(row)
             inner_rows.append(row)
@@ -60,6 +63,9 @@ class NestLoopOp(Operator):
 
         first_outer = True
         for outer_row in self._outer_child.rows():
+            if outer_row is PULSE:
+                yield outer_row
+                continue
             ctx.clock.advance(per_outer_cpu, CPU)
             if rescan_io and not first_outer:
                 ctx.clock.advance(rescan_io, IO)

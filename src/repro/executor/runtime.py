@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.errors import ExecutionError
-from repro.executor.base import ExecContext, build_operator
+from repro.executor.base import PULSE, ExecContext, build_operator
 from repro.executor.work import WorkTracker
 from repro.planner.optimizer import PlannedQuery
 from repro.planner.physical import PhysicalNode
@@ -75,12 +75,25 @@ class QueryResult:
 
 
 def execute(planned: PlannedQuery, ctx: ExecContext) -> Iterator[tuple]:
-    """Stream a plan's output rows (caller owns iteration pacing).
+    """Stream a plan's output rows, interleaved with ``PULSE`` markers.
+
+    The returned generator is a cooperative coroutine: between output
+    rows it yields :data:`repro.executor.base.PULSE` at bounded-work
+    boundaries (page reads, sort chunks, spill passes), so a scheduler
+    can suspend and resume the query in work quanta.  Single-query
+    drivers (:func:`run_query`) skip pulses; :mod:`repro.sched` uses them
+    to interleave many in-flight queries on one virtual clock.
+
+    Progress counters are frozen via ``finish_all`` only when the plan
+    runs to completion — a cancelled (closed) generator leaves its
+    unfinished segments unfinished, which is what the per-query progress
+    log of a cancelled query should show.
 
     Uncorrelated IN-subqueries (hashed InitPlans) run first, on the same
-    simulated resources but without progress accounting — their time is
-    visible to the indicator only through the clock, matching PostgreSQL
-    InitPlans, which the paper's prototype also does not model.
+    simulated resources but without progress accounting, and complete
+    within the first resumption — their time is visible to the indicator
+    only through the clock, matching PostgreSQL InitPlans, which the
+    paper's prototype also does not model.
     """
     if ctx.tracker is not None:
         check_tracker_alignment(planned.root, ctx.tracker)
@@ -97,27 +110,33 @@ def execute(planned: PlannedQuery, ctx: ExecContext) -> Iterator[tuple]:
         )
         sub_op = build_operator(subplan.root, sub_ctx)
         try:
-            expr.set_result(row[0] for row in sub_op.rows())
+            expr.set_result(
+                row[0] for row in sub_op.rows() if row is not PULSE
+            )
         finally:
             sub_op.close()
 
     op = build_operator(planned.root, ctx)
     produced = 0
+    completed = False
     try:
         if ctx.trace is None:
             yield from op.rows()
         else:
             for row in op.rows():
-                produced += 1
+                if row is not PULSE:
+                    produced += 1
                 yield row
+        completed = True
     finally:
         op.close()
-        if ctx.tracker is not None:
-            ctx.tracker.finish_all()
-        if ctx.trace is not None:
-            from repro.obs.events import ExecutionFinished
+        if completed:
+            if ctx.tracker is not None:
+                ctx.tracker.finish_all()
+            if ctx.trace is not None:
+                from repro.obs.events import ExecutionFinished
 
-            ctx.trace.emit(ExecutionFinished(t=ctx.clock.now, rows=produced))
+                ctx.trace.emit(ExecutionFinished(t=ctx.clock.now, rows=produced))
 
 
 def run_query(
@@ -136,6 +155,8 @@ def run_query(
     rows: list[tuple] = []
     produced = 0
     for row in execute(planned, ctx):
+        if row is PULSE:
+            continue
         produced += 1
         if keep_rows and (max_rows is None or len(rows) < max_rows):
             rows.append(row)

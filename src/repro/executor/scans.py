@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.executor.base import ExecContext, Operator
+from repro.executor.base import PULSE, ExecContext, Operator
 from repro.expr.compiler import compile_predicate
 from repro.planner.physical import IndexScanNode, SeqScanNode
 from repro.sim.load import CPU, IO
@@ -54,34 +54,44 @@ class SeqScanOp(Operator):
         per_tuple = ctx.config.progress.scan_granularity != "page"
         if monitored:
             seg, idx = ref
+        pool = ctx.buffer_pool
         for page_no in range(handle.num_pages):
-            page = ctx.buffer_pool.get_page(handle, page_no, sequential=True)
+            page = pool.get_page(handle, page_no, sequential=True)
             n = len(page.rows)
             if not n:
                 continue
-            ctx.clock.advance(cpu_per_row * n, CPU)
-            # Bytes are reported per tuple (not per page) by default so a
-            # slow consumer — e.g. a CPU-bound nested-loops join pulling one
-            # outer tuple at a time, the paper's Q5 — still shows smooth
-            # byte progress to the speed monitor.  "page" granularity is an
-            # ablation knob demonstrating why that matters.
-            per_row_bytes = page.bytes_used / n
-            if monitored and not per_tuple:
-                tracker.input_rows(seg, idx, n, page.bytes_used)
-            for row in page.rows:
-                if monitored and per_tuple:
-                    tracker.input_rows(seg, idx, 1, per_row_bytes)
-                keep = True
-                for predicate in predicates:
-                    if not predicate(row):
-                        keep = False
-                        break
-                if not keep:
-                    continue
-                if slots is None:
-                    yield row
-                else:
-                    yield tuple(row[i] for i in slots)
+            # The page stays pinned while its rows are in flight — across
+            # scheduler suspensions too (PULSE is yielded under the pin) —
+            # and the finally releases it on exhaustion *and* on
+            # cancellation (generator close).
+            pool.pin(handle, page_no)
+            try:
+                ctx.clock.advance(cpu_per_row * n, CPU)
+                # Bytes are reported per tuple (not per page) by default so a
+                # slow consumer — e.g. a CPU-bound nested-loops join pulling one
+                # outer tuple at a time, the paper's Q5 — still shows smooth
+                # byte progress to the speed monitor.  "page" granularity is an
+                # ablation knob demonstrating why that matters.
+                per_row_bytes = page.bytes_used / n
+                if monitored and not per_tuple:
+                    tracker.input_rows(seg, idx, n, page.bytes_used)
+                for row in page.rows:
+                    if monitored and per_tuple:
+                        tracker.input_rows(seg, idx, 1, per_row_bytes)
+                    keep = True
+                    for predicate in predicates:
+                        if not predicate(row):
+                            keep = False
+                            break
+                    if not keep:
+                        continue
+                    if slots is None:
+                        yield row
+                    else:
+                        yield tuple(row[i] for i in slots)
+                yield PULSE
+            finally:
+                pool.unpin(handle, page_no)
 
 
 class IndexScanOp(Operator):
@@ -109,31 +119,39 @@ class IndexScanOp(Operator):
         ctx.clock.advance(index.height * cost.random_page_read, IO)
         ctx.clock.advance(index.height * cost.cpu_index_level, CPU)
 
+        pool = ctx.buffer_pool
         entries_seen = 0
         for _key, rid in index.search_range(
             node.low, node.high, node.low_inclusive, node.high_inclusive
         ):
-            # One sequential leaf-page read per `fanout` entries consumed.
+            # One sequential leaf-page read per `fanout` entries consumed;
+            # leaf-page boundaries are also the scan's scheduling pulses.
             if entries_seen % index.fanout == 0:
                 ctx.clock.advance(cost.seq_page_read, IO)
+                if entries_seen:
+                    yield PULSE
             entries_seen += 1
 
             page_no, slot = rid
-            page = ctx.buffer_pool.get_page(heap_handle, page_no, sequential=False)
-            row = page.rows[slot]
-            ctx.clock.advance(
-                cost.cpu_tuple + len(predicates) * cost.cpu_operator, CPU
-            )
-            if tracker is not None and ref is not None:
-                tracker.input_rows(ref[0], ref[1], 1, schema.row_width(row))
-            keep = True
-            for predicate in predicates:
-                if not predicate(row):
-                    keep = False
-                    break
-            if not keep:
-                continue
-            if slots is None:
-                yield row
-            else:
-                yield tuple(row[i] for i in slots)
+            page = pool.get_page(heap_handle, page_no, sequential=False)
+            pool.pin(heap_handle, page_no)
+            try:
+                row = page.rows[slot]
+                ctx.clock.advance(
+                    cost.cpu_tuple + len(predicates) * cost.cpu_operator, CPU
+                )
+                if tracker is not None and ref is not None:
+                    tracker.input_rows(ref[0], ref[1], 1, schema.row_width(row))
+                keep = True
+                for predicate in predicates:
+                    if not predicate(row):
+                        keep = False
+                        break
+                if not keep:
+                    continue
+                if slots is None:
+                    yield row
+                else:
+                    yield tuple(row[i] for i in slots)
+            finally:
+                pool.unpin(heap_handle, page_no)

@@ -15,7 +15,7 @@ from __future__ import annotations
 import heapq
 from typing import Iterator, Optional
 
-from repro.executor.base import ExecContext, Operator, build_operator
+from repro.executor.base import PULSE, ExecContext, Operator, build_operator
 from repro.executor.rowops import row_width_fn
 from repro.planner.physical import SortNode
 from repro.sim.load import CPU
@@ -25,6 +25,11 @@ from repro.storage.schema import Column, Schema
 #: Charge sort-comparison CPU in slices of this many comparisons so the
 #: clock's tickers can fire during large sorts.
 _CPU_CHUNK = 50_000
+
+#: Yield a scheduling PULSE every this many merged/streamed rows (the
+#: merge phase reads spilled pages inside ``heapq.merge``, which cannot
+#: forward pulses itself).
+_MERGE_PULSE_ROWS = 256
 
 
 class _KeyPart:
@@ -73,7 +78,7 @@ class SortOp(Operator):
     # ------------------------------------------------------------------
 
     def rows(self) -> Iterator[tuple]:
-        memory_run = self._form_runs()
+        memory_run = yield from self._form_runs()
         if memory_run is not None:
             yield from self._stream_memory_run(memory_run)
         else:
@@ -88,11 +93,12 @@ class SortOp(Operator):
     # ------------------------------------------------------------------
     # run formation (blocking; ends this sort's segment)
 
-    def _form_runs(self) -> Optional[list[tuple]]:
-        """Drain the child into sorted runs.
+    def _form_runs(self) -> Iterator[tuple]:
+        """Drain the child into sorted runs (a ``yield from``-able phase).
 
-        Returns the single in-memory run when everything fit in work_mem,
-        otherwise None (runs were spilled to ``self._runs``).
+        Yields only PULSE markers while working; *returns* the single
+        in-memory run when everything fit in work_mem, otherwise None
+        (runs were spilled to ``self._runs``).
         """
         ctx = self.ctx
         cost = ctx.config.cost
@@ -103,6 +109,9 @@ class SortOp(Operator):
         buffer: list[tuple] = []
         buffer_bytes = 0.0
         for row in self._child.rows():
+            if row is PULSE:
+                yield row
+                continue
             ctx.clock.advance(cost.cpu_tuple, CPU)
             width = width_fn(row)
             if tracker is not None and segment is not None:
@@ -110,23 +119,23 @@ class SortOp(Operator):
             buffer.append(row)
             buffer_bytes += width
             if buffer_bytes > ctx.work_mem_bytes:
-                self._spill_run(buffer)
+                yield from self._spill_run(buffer)
                 buffer = []
                 buffer_bytes = 0.0
 
         memory_run: Optional[list[tuple]] = None
         if self._runs:
             if buffer:
-                self._spill_run(buffer)
-            self._collapse_runs(segment)
+                yield from self._spill_run(buffer)
+            yield from self._collapse_runs(segment)
         else:
-            self._sort_buffer(buffer)
+            yield from self._sort_buffer(buffer)
             memory_run = buffer
         if tracker is not None and segment is not None:
             tracker.segment_finished(segment)
         return memory_run
 
-    def _sort_buffer(self, buffer: list[tuple]) -> None:
+    def _sort_buffer(self, buffer: list[tuple]) -> Iterator[tuple]:
         n = len(buffer)
         if n <= 1:
             return
@@ -137,10 +146,11 @@ class SortOp(Operator):
             step = min(remaining, _CPU_CHUNK)
             self.ctx.clock.advance(step * cost, CPU)
             remaining -= step
+            yield PULSE
         buffer.sort(key=self._key)
 
-    def _spill_run(self, buffer: list[tuple]) -> None:
-        self._sort_buffer(buffer)
+    def _spill_run(self, buffer: list[tuple]) -> Iterator[tuple]:
+        yield from self._sort_buffer(buffer)
         ctx = self.ctx
         schema = Schema(
             Column(f"s{i}_{c.name.replace('.', '_')}", c.type)
@@ -157,11 +167,12 @@ class SortOp(Operator):
         run.flush()
         self._runs.append(run)
 
-    def _collapse_runs(self, segment: Optional[int]) -> None:
+    def _collapse_runs(self, segment: Optional[int]) -> Iterator[tuple]:
         """Cascade-merge runs until they fit the merge fanout.
 
         Each extra pass re-reads and re-writes every byte; those bytes are
-        the paper's multi-stage costs, reported via ``extra_pass``.
+        the paper's multi-stage costs, reported via ``extra_pass``.  One
+        PULSE is yielded per merged group (a bounded unit of work).
         """
         ctx = self.ctx
         fanout = max(2, ctx.config.work_mem_pages)
@@ -192,6 +203,7 @@ class SortOp(Operator):
             for run in group:
                 run.drop()
             self._runs = self._runs[fanout:] + [merged]
+            yield PULSE
 
     # ------------------------------------------------------------------
     # merge phase (streams into the consuming segment)
@@ -202,11 +214,13 @@ class SortOp(Operator):
         ref = getattr(self.node, "pi_merge_input_ref", None)
         cpu_tuple = ctx.config.cost.cpu_tuple
         width_fn = self._width
-        for row in run:
+        for streamed, row in enumerate(run, start=1):
             ctx.clock.advance(cpu_tuple, CPU)
             if tracker is not None and ref is not None:
                 tracker.input_rows(ref[0], ref[1], 1, width_fn(row))
             yield row
+            if streamed % _MERGE_PULSE_ROWS == 0:
+                yield PULSE
 
     def _merge_spilled_runs(self) -> Iterator[tuple]:
         ctx = self.ctx
@@ -225,7 +239,13 @@ class SortOp(Operator):
                     tracker.input_rows(ref[0], ref[1], n, page.bytes_used)
                 yield from page.rows
 
+        # read_run streams into heapq.merge, which cannot forward pulses;
+        # the outer loop emits them at a fixed row cadence instead.
         compare = cost.cpu_compare * max(1, len(self._runs)).bit_length()
+        merged = 0
         for row in heapq.merge(*(read_run(r) for r in self._runs), key=key):
             ctx.clock.advance(compare, CPU)
             yield row
+            merged += 1
+            if merged % _MERGE_PULSE_ROWS == 0:
+                yield PULSE

@@ -28,9 +28,11 @@ from typing import Optional
 
 from repro.config import SystemConfig
 from repro.obs.audit import AuditRow, AuditSummary, audit_events, render_audit
-from repro.obs.bus import TraceBus
+from repro.obs.bus import SealedTrace, TraceBus
 from repro.obs.exporters import (
     chrome_trace,
+    chrome_trace_concurrent,
+    overlapping_query_spans,
     read_jsonl,
     span_coverage,
     write_chrome_trace,

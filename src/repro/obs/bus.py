@@ -83,8 +83,54 @@ class TraceBus:
         """Events recorded so far, by kind."""
         return dict(self._counts)
 
+    def seal(self) -> "SealedTrace":
+        """Snapshot the stream as a read-only view.
+
+        Results handed to callers (``QueryHandle.trace()``,
+        ``MonitoredResult.trace``) expose a sealed view rather than the
+        live bus, so a finished query's trace cannot be extended or have
+        subscribers attached after the fact.
+        """
+        return SealedTrace(tuple(self.events), dict(self._counts))
+
     def __len__(self) -> int:
         return len(self.events)
 
     def __repr__(self) -> str:
         return f"TraceBus({len(self.events)} events)"
+
+
+class SealedTrace:
+    """Immutable view of a completed trace stream.
+
+    Quacks like the read side of :class:`TraceBus` (``events``,
+    ``of_kind``, ``counts``, ``len``) but has no ``emit`` or
+    ``subscribe`` — the stream is closed.
+    """
+
+    __slots__ = ("_events", "_counts")
+
+    def __init__(self, events: tuple[TraceEvent, ...], counts: dict[str, int]) -> None:
+        self._events = events
+        self._counts = counts
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        return self._events
+
+    def of_kind(self, kind: str) -> Iterator[TraceEvent]:
+        """Iterate events of one kind, in emission order."""
+        return (e for e in self._events if e.kind == kind)
+
+    def counts(self) -> dict[str, int]:
+        """Events by kind."""
+        return dict(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __repr__(self) -> str:
+        return f"SealedTrace({len(self._events)} events)"

@@ -82,7 +82,7 @@ def _run_traced(args: argparse.Namespace) -> Optional[tuple[str, TraceBus]]:
     if load is not None:
         db.set_load(load)
     trace = TraceBus()
-    db.execute_with_progress(sql, trace=trace)
+    db.connect().submit(sql, name=name.lower(), trace=trace, keep_rows=False).result()
     return (name, trace)
 
 

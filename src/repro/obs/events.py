@@ -97,6 +97,22 @@ class QueryFinished(TraceEvent):
 
 
 @dataclass(frozen=True)
+class QueryCancelled(TraceEvent):
+    """The monitored query was cancelled before completion.
+
+    The paper's Section 1 motivation — a user deciding whether a query is
+    worth waiting for — ends here when the answer is no.  ``fraction_done``
+    is the indicator's last estimate at the moment of cancellation.
+    """
+
+    elapsed: float
+    done_pages: float
+    fraction_done: float
+
+    kind = "query_cancelled"
+
+
+@dataclass(frozen=True)
 class ExecutionStarted(TraceEvent):
     """The executor began pulling rows from the plan root."""
 
@@ -319,6 +335,7 @@ class PageWritten(TraceEvent):
 _EVENT_TYPES: tuple[Type[TraceEvent], ...] = (
     QueryStarted,
     QueryFinished,
+    QueryCancelled,
     ExecutionStarted,
     ExecutionFinished,
     SegmentStarted,

@@ -1,0 +1,59 @@
+"""Cooperative multi-query scheduling on one shared virtual clock.
+
+The executor yields :data:`~repro.executor.base.PULSE` markers at
+bounded-work boundaries; this package turns those markers into a
+scheduler: N in-flight queries interleave in work quanta on one
+:class:`~repro.database.Database`, each with its own progress indicator,
+progress log and trace stream, while contention for the shared clock and
+buffer pool produces the speed dips the paper induced synthetically.
+
+Entry points:
+
+* :class:`CooperativeScheduler` — submit/step/run/cancel.
+* :mod:`repro.sched.policy` — round-robin and priority policies.
+* ``python -m repro.sched.demo`` — a runnable smoke demo.
+
+The thread-based :class:`repro.core.concurrent.ConcurrentWorkload`
+predates this package and remains for the clock-gate experiments; new
+code should use the scheduler (or the :class:`repro.api.Session` facade
+on top of it).
+"""
+
+from repro.sched.policy import (
+    PriorityPolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    make_policy,
+)
+from repro.sched.scheduler import DEFAULT_QUANTUM_PAGES, CooperativeScheduler
+from repro.sched.task import (
+    CANCELLED,
+    DONE_STATES,
+    FAILED,
+    FINISHED,
+    PENDING,
+    RUNNABLE_STATES,
+    RUNNING,
+    SUSPENDED,
+    QueryTask,
+    SliceRecord,
+)
+
+__all__ = [
+    "CANCELLED",
+    "DEFAULT_QUANTUM_PAGES",
+    "DONE_STATES",
+    "FAILED",
+    "FINISHED",
+    "PENDING",
+    "RUNNABLE_STATES",
+    "RUNNING",
+    "SUSPENDED",
+    "CooperativeScheduler",
+    "PriorityPolicy",
+    "QueryTask",
+    "RoundRobinPolicy",
+    "SchedulingPolicy",
+    "SliceRecord",
+    "make_policy",
+]

@@ -1,0 +1,75 @@
+"""Scheduling policies: which runnable task gets the next slice.
+
+Policies are pure functions of task state — no randomness, no wall
+clock — so a workload replayed with the same submissions and the same
+policy produces the identical interleaving (the determinism tests rely
+on this).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ProgressError
+from repro.sched.task import QueryTask
+
+
+class SchedulingPolicy:
+    """Strategy interface: pick the next task from the runnable set."""
+
+    name = "policy"
+
+    def choose(self, runnable: Sequence[QueryTask]) -> QueryTask:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Fair rotation: the least-recently-sliced runnable task runs next.
+
+    Ties (several tasks never sliced) break on submission order, so the
+    very first rotation is first-submitted-first-served.
+    """
+
+    name = "round_robin"
+
+    def choose(self, runnable: Sequence[QueryTask]) -> QueryTask:
+        return min(runnable, key=lambda t: (t.last_sliced, t.seq))
+
+
+class PriorityPolicy(SchedulingPolicy):
+    """Strict priorities with round-robin inside each priority class.
+
+    Higher ``priority`` always preempts lower at slice boundaries; equal
+    priorities share slices fairly.  A long-running low-priority query
+    therefore starves while higher-priority work exists — which is the
+    point: its progress indicator keeps reporting, and its estimated
+    remaining time grows, making the starvation *visible* (the paper's
+    Section 6 load-management motivation).
+    """
+
+    name = "priority"
+
+    def choose(self, runnable: Sequence[QueryTask]) -> QueryTask:
+        top = max(t.priority for t in runnable)
+        return min(
+            (t for t in runnable if t.priority == top),
+            key=lambda t: (t.last_sliced, t.seq),
+        )
+
+
+_POLICIES = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    PriorityPolicy.name: PriorityPolicy,
+}
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a policy by name ("round_robin" or "priority")."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ProgressError(
+            f"unknown scheduling policy {name!r}; "
+            f"expected one of {sorted(_POLICIES)}"
+        ) from None
+    return cls()

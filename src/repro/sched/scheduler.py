@@ -1,0 +1,330 @@
+"""The cooperative multi-query scheduler.
+
+Interleaves N in-flight queries on one :class:`~repro.database.Database`
+— one shared virtual clock, buffer pool and disk — by resuming each
+query's executor coroutine for a bounded *slice* of work, then suspending
+it at the next PULSE marker (see :mod:`repro.executor.base`).
+
+A slice's budget is the **quantum**, measured in pages of U: a monitored
+task is suspended once its own work tracker advanced ``quantum_pages``
+since the slice began; unmonitored tasks fall back to counting pulses
+(one pulse ≈ one page-equivalent of work).  Which task runs next is the
+:mod:`policy's <repro.sched.policy>` call; everything is deterministic,
+so the same submissions under the same policy replay the identical
+interleaving.
+
+This is where the paper's Section 4.6 "system load" stops being a
+synthetic :class:`~repro.sim.load.InterferenceWindow` and becomes real
+contention: while query A holds a slice, the shared clock advances, so
+query B's speed samples observe stalled work — its indicator reports a
+speed dip *because A ran*, not because anyone scripted one.  Likewise
+the buffer pool: A's reads evict B's pages, so B pays misses it would
+not pay alone.
+
+Per-slice bookkeeping routes shared-resource observability to the right
+query: the active task's TraceBus is installed on the disk and buffer
+pool (so PageRead/BufferAccess events land in *its* stream), and the
+disk's I/O owner label is set to the task name (per-owner counters).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.indicator import ProgressIndicator
+from repro.database import Database
+from repro.errors import ProgressError
+from repro.executor.base import PULSE, ExecContext
+from repro.executor.runtime import QueryResult, execute
+from repro.obs.bus import TraceBus
+from repro.planner.optimizer import PlannedQuery
+from repro.sched.policy import SchedulingPolicy, make_policy
+from repro.sched.task import (
+    CANCELLED,
+    FAILED,
+    FINISHED,
+    RUNNING,
+    SUSPENDED,
+    QueryTask,
+    SliceRecord,
+)
+
+#: Default slice budget: pages of U per slice.
+DEFAULT_QUANTUM_PAGES = 4
+
+
+class CooperativeScheduler:
+    """Slices many in-flight queries over one shared Database."""
+
+    def __init__(
+        self,
+        db: Database,
+        policy: Union[str, SchedulingPolicy] = "round_robin",
+        quantum_pages: int = DEFAULT_QUANTUM_PAGES,
+    ) -> None:
+        if quantum_pages <= 0:
+            raise ProgressError("quantum_pages must be positive")
+        self.db = db
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.quantum_pages = quantum_pages
+        self.tasks: dict[str, QueryTask] = {}
+        #: Every slice granted, in order — the interleaving log the
+        #: determinism tests compare across runs.
+        self.slices: list[SliceRecord] = []
+        self._page_size = db.config.page_size
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # submission
+
+    def submit(
+        self,
+        query: Union[str, PlannedQuery],
+        name: Optional[str] = None,
+        monitor: bool = True,
+        trace: Union[None, bool, TraceBus] = None,
+        priority: int = 0,
+        keep_rows: bool = True,
+        max_rows: Optional[int] = None,
+        on_report=None,
+    ) -> QueryTask:
+        """Register a query as an in-flight task (no work happens yet).
+
+        ``query`` is SQL text or an already-prepared plan.  ``monitor``
+        attaches a per-task :class:`ProgressIndicator` (``on_report``,
+        if given, observes each of its periodic reports).  ``trace`` is a
+        :class:`TraceBus` to record into, ``True`` to create one, or
+        ``None`` to follow the config/env default (``REPRO_TRACE``).
+        """
+        if isinstance(query, PlannedQuery):
+            planned, sql = query, "<planned>"
+        else:
+            sql = query
+            planned = self.db.prepare(sql)
+        if name is None:
+            name = f"q{len(self.tasks) + 1}"
+        if name in self.tasks:
+            raise ProgressError(f"task {name!r} already submitted")
+
+        bus = self._resolve_trace(trace)
+        indicator: Optional[ProgressIndicator] = None
+        if monitor:
+            indicator = ProgressIndicator(
+                planned, self.db.clock, self.db.config,
+                on_report=on_report, trace=bus, label=name,
+            )
+        else:
+            self.db._gate_unmonitored(planned, label=name)
+        ctx = ExecContext(
+            self.db.clock,
+            self.db.disk,
+            self.db.buffer_pool,
+            self.db.config,
+            tracker=None if indicator is None else indicator.tracker,
+            trace=bus,
+        )
+        task = QueryTask(
+            name=name,
+            sql=sql,
+            planned=planned,
+            gen=execute(planned, ctx),
+            priority=priority,
+            indicator=indicator,
+            trace=bus,
+            keep_rows=keep_rows,
+            max_rows=max_rows,
+            seq=len(self.tasks),
+        )
+        self.tasks[name] = task
+        return task
+
+    def _resolve_trace(
+        self, trace: Union[None, bool, TraceBus]
+    ) -> Optional[TraceBus]:
+        if isinstance(trace, TraceBus):
+            return trace
+        if trace is True:
+            return TraceBus()
+        if trace is False:
+            return None
+        from repro.obs import resolve_trace_enabled
+
+        return TraceBus() if resolve_trace_enabled(self.db.config) else None
+
+    # ------------------------------------------------------------------
+    # driving
+
+    @property
+    def runnable(self) -> list[QueryTask]:
+        """Tasks that can receive a slice, in submission order."""
+        return [t for t in self.tasks.values() if t.runnable]
+
+    def step(self) -> Optional[QueryTask]:
+        """Grant one slice to the policy's pick; None if nothing runnable."""
+        runnable = self.runnable
+        if not runnable:
+            return None
+        task = self.policy.choose(runnable)
+        self._run_slice(task)
+        return task
+
+    def run(self) -> list[QueryTask]:
+        """Slice until every task reached a terminal state."""
+        while self.step() is not None:
+            pass
+        return list(self.tasks.values())
+
+    def run_until(self, task: QueryTask) -> QueryTask:
+        """Slice (all tasks, per policy) until ``task`` is done.
+
+        Other in-flight tasks keep making progress — that is the
+        cooperative model: waiting on one query's result pumps the whole
+        workload.
+        """
+        if task.name not in self.tasks:
+            raise ProgressError(f"unknown task {task.name!r}")
+        while not task.done:
+            if self.step() is None:  # e.g. the target task is suspended
+                raise ProgressError(
+                    f"task {task.name!r} cannot finish: nothing runnable"
+                )
+        return task
+
+    def suspend(self, task: Union[str, QueryTask]) -> QueryTask:
+        """Block a task from receiving slices (DBA load management, §6).
+
+        The task keeps all mid-query state — pins, runs, indicator — and
+        the shared clock keeps moving while others run, so its indicator
+        honestly reports the blocked time.  :meth:`resume` lifts the block.
+        """
+        task = self._lookup(task)
+        task.blocked = True
+        return task
+
+    def resume(self, task: Union[str, QueryTask]) -> QueryTask:
+        """Lift a :meth:`suspend` block; the task is schedulable again."""
+        task = self._lookup(task)
+        task.blocked = False
+        return task
+
+    def _lookup(self, task: Union[str, QueryTask]) -> QueryTask:
+        if isinstance(task, str):
+            try:
+                return self.tasks[task]
+            except KeyError:
+                raise ProgressError(f"unknown task {task!r}") from None
+        return task
+
+    def cancel(self, task: Union[str, QueryTask]) -> QueryTask:
+        """Cancel an in-flight task.
+
+        Closing the suspended coroutine unwinds the operator tree's
+        ``finally`` blocks mid-segment — buffer pins are released, temp
+        files dropped — and the indicator is aborted: its last report
+        keeps ``finished=False`` and the trace records ``QueryCancelled``.
+        """
+        task = self._lookup(task)
+        if task.done:
+            return task
+        if task.state == RUNNING:  # pragma: no cover - single-threaded guard
+            raise ProgressError(f"task {task.name!r} is mid-slice")
+        task.gen.close()
+        task.state = CANCELLED
+        task.finished_at = self.db.clock.now
+        if task.indicator is not None:
+            task.log = task.indicator.abort()
+        return task
+
+    # ------------------------------------------------------------------
+    # slice mechanics
+
+    def _run_slice(self, task: QueryTask) -> None:
+        clock = self.db.clock
+        disk = self.db.disk
+        pool = self.db.buffer_pool
+        started = clock.now
+        if task.started_at is None:
+            task.started_at = started
+        start_pages = self._done_pages(task)
+        pulses = 0
+        reason = "quantum"
+        keep = task.keep_rows
+        cap = task.max_rows
+
+        task.state = RUNNING
+        prev_owner = disk.set_owner(task.name)
+        prev_traces = (disk.trace, pool.trace)
+        if task.trace_bus is not None:
+            disk.trace = task.trace_bus
+            pool.trace = task.trace_bus
+        try:
+            while True:
+                try:
+                    item = next(task.gen)
+                except StopIteration:
+                    reason = "finished"
+                    self._finish(task)
+                    break
+                if item is PULSE:
+                    pulses += 1
+                    if self._quantum_spent(task, start_pages, pulses):
+                        task.state = SUSPENDED
+                        break
+                else:
+                    task.row_count += 1
+                    if keep and (cap is None or len(task.rows) < cap):
+                        task.rows.append(item)
+        except BaseException as exc:
+            reason = "failed"
+            task.state = FAILED
+            task.error = exc
+            task.finished_at = clock.now
+            task.gen.close()
+            if task.indicator is not None:
+                task.log = task.indicator.abort()
+            raise
+        finally:
+            disk.set_owner(prev_owner)
+            disk.trace, pool.trace = prev_traces
+            record = SliceRecord(
+                seq=self._seq,
+                task=task.name,
+                started_at=started,
+                ended_at=clock.now,
+                pulses=pulses,
+                pages=self._done_pages(task) - start_pages,
+                reason=reason,
+            )
+            task.last_sliced = self._seq
+            self._seq += 1
+            task.slices.append(record)
+            self.slices.append(record)
+
+    def _finish(self, task: QueryTask) -> None:
+        clock = self.db.clock
+        task.state = FINISHED
+        task.finished_at = clock.now
+        assert task.started_at is not None
+        task.result = QueryResult(
+            rows=task.rows,
+            names=task.planned.output_names,
+            elapsed=task.finished_at - task.started_at,
+            started_at=task.started_at,
+            finished_at=task.finished_at,
+            row_count=task.row_count,
+        )
+        if task.indicator is not None:
+            task.log = task.indicator.finalize()
+
+    def _done_pages(self, task: QueryTask) -> float:
+        if task.indicator is None:
+            return 0.0
+        return task.indicator.tracker.total_done_bytes / self._page_size
+
+    def _quantum_spent(self, task: QueryTask, start_pages: float, pulses: int) -> bool:
+        if task.indicator is not None:
+            if self._done_pages(task) - start_pages >= self.quantum_pages:
+                return True
+        # Unmonitored fallback (and a backstop for monitored phases whose
+        # pulses outpace tracked bytes): one pulse ≈ one page of work.
+        return pulses >= self.quantum_pages

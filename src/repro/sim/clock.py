@@ -59,6 +59,10 @@ class VirtualClock:
         #: Optional arbiter consulted before every charge (concurrent
         #: workloads install one; see repro.core.concurrent).
         self.gate = None
+        #: Re-entrancy guard: a ticker callback that observes the clock
+        #: (sampling another query's indicator, emitting trace events)
+        #: must not recursively re-fire tickers mid-dispatch.
+        self._firing = False
         self._refresh_factors()
 
     # ------------------------------------------------------------------
@@ -147,13 +151,25 @@ class VirtualClock:
     # internals
 
     def _fire_due(self) -> None:
-        """Fire all active tickers whose next_fire time has arrived."""
-        for ticker in self._tickers:
-            while ticker.active and ticker.next_fire <= self.now + _EPSILON:
-                fire_at = ticker.next_fire
-                ticker.next_fire += ticker.interval
-                ticker.callback(fire_at)
-        self._tickers = [t for t in self._tickers if t.active]
+        """Fire all active tickers whose next_fire time has arrived.
+
+        Iterates a snapshot so callbacks may register new tickers, and
+        refuses to recurse: a callback that advances the clock (directly
+        or through code it calls) defers newly-due tickers to the
+        in-flight dispatch loop rather than nesting a second one.
+        """
+        if self._firing:
+            return
+        self._firing = True
+        try:
+            for ticker in list(self._tickers):
+                while ticker.active and ticker.next_fire <= self.now + _EPSILON:
+                    fire_at = ticker.next_fire
+                    ticker.next_fire += ticker.interval
+                    ticker.callback(fire_at)
+            self._tickers = [t for t in self._tickers if t.active]
+        finally:
+            self._firing = False
 
     def _refresh_factors(self) -> None:
         """Recompute cached per-resource factors and the next event time."""

@@ -4,6 +4,15 @@ Base-table page reads go through the pool: a hit costs only a token CPU
 charge, a miss pays the disk's I/O time.  This is what lets a query's
 observed speed differ between "disk-bound" and "completely cached" — the
 paper's Section 4.1 explicitly ranges the time-per-U between those poles.
+With several in-flight queries (see :mod:`repro.sched`) the pool is the
+shared resource they fight over: one query's pages evict another's, and
+the loser's observed speed drops — contention the paper modeled with a
+synthetic interference window now emerges from the workload itself.
+
+Pages can be *pinned* while a query is actively consuming them: pinned
+frames are exempt from eviction, so a scan suspended mid-page by the
+scheduler finds its page still resident when resumed, and a cancelled
+query releases its pins on the way out (the operator's cleanup path).
 
 Temp files (spill partitions, sort runs) intentionally bypass the pool so
 multi-stage passes always pay I/O.
@@ -18,6 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - obs is imported lazily at emit time
     from repro.obs.bus import TraceBus
 
 from repro.config import CostModelConfig
+from repro.errors import BufferPoolError
 from repro.sim.load import CPU
 from repro.storage.disk import FileHandle, SimulatedDisk
 from repro.storage.page import Page
@@ -33,6 +43,8 @@ class BufferPool:
         self._capacity = capacity_pages
         self._cost = cost
         self._frames: OrderedDict[tuple[int, int], Page] = OrderedDict()
+        #: Pin refcounts per (file_id, page_no); pinned frames never evict.
+        self._pins: dict[tuple[int, int], int] = {}
         self.hits = 0
         self.misses = 0
         #: Optional repro.obs.TraceBus emitting BufferAccess events.
@@ -46,6 +58,11 @@ class BufferPool:
     @property
     def num_cached(self) -> int:
         return len(self._frames)
+
+    @property
+    def pinned_count(self) -> int:
+        """Number of distinct pages currently holding at least one pin."""
+        return len(self._pins)
 
     def get_page(self, handle: FileHandle, page_no: int, sequential: bool = True) -> Page:
         """Fetch a page, charging I/O on a miss and a token CPU hit cost."""
@@ -62,10 +79,50 @@ class BufferPool:
         page = self._disk.read_page(handle, page_no, sequential=sequential)
         self._frames[key] = page
         if len(self._frames) > self._capacity:
-            self._frames.popitem(last=False)
+            self._evict_one()
         if self.trace is not None:
             self._emit_access(handle, page_no, hit=False)
         return page
+
+    def _evict_one(self) -> None:
+        """Drop the least-recently-used unpinned frame."""
+        pins = self._pins
+        for key in self._frames:
+            if key not in pins:
+                del self._frames[key]
+                return
+        raise BufferPoolError(
+            f"cannot evict: all {len(self._frames)} resident pages are pinned"
+        )
+
+    # ------------------------------------------------------------------
+    # pinning
+
+    def pin(self, handle: FileHandle, page_no: int) -> None:
+        """Exempt a page from eviction while a query is consuming it.
+
+        Pins are refcounted; every ``pin`` must be paired with an
+        :meth:`unpin` (operators do this in ``finally`` blocks, so
+        cancellation mid-segment releases them on the way out).
+        """
+        key = (handle.file_id, page_no)
+        self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, handle: FileHandle, page_no: int) -> None:
+        """Release one pin on a page.
+
+        Tolerates pins already dropped wholesale by :meth:`clear` (a
+        restart while abandoned generators are still pending collection),
+        so operator cleanup paths can always unpin unconditionally.
+        """
+        key = (handle.file_id, page_no)
+        count = self._pins.get(key)
+        if count is None:
+            return
+        if count <= 1:
+            del self._pins[key]
+        else:
+            self._pins[key] = count - 1
 
     def _emit_access(self, handle: FileHandle, page_no: int, hit: bool) -> None:
         from repro.obs.events import BufferAccess
@@ -85,6 +142,7 @@ class BufferPool:
     def clear(self) -> None:
         """Empty the pool (the paper restarts with a cold buffer pool)."""
         self._frames.clear()
+        self._pins.clear()
 
     def hit_rate(self) -> float:
         """Fraction of requests served from memory."""

@@ -61,10 +61,40 @@ class SimulatedDisk:
         #: Optional repro.obs.TraceBus emitting PageRead/PageWritten events
         #: for charged I/O.  None (default) is the zero-cost disabled path.
         self.trace: Optional["TraceBus"] = None
+        #: Current I/O owner label (set per scheduler slice); None disables
+        #: per-owner attribution entirely (single-query fast path).
+        self._owner: Optional[str] = None
+        #: Per-owner I/O counters: owner -> {seq_reads, random_reads, writes}.
+        self._owner_counters: dict[str, dict[str, int]] = {}
 
     @property
     def clock(self) -> VirtualClock:
         return self._clock
+
+    # ------------------------------------------------------------------
+    # per-owner I/O attribution (scheduler slices)
+
+    def set_owner(self, owner: Optional[str]) -> Optional[str]:
+        """Attribute subsequent charged I/O to ``owner``; returns the prior
+        owner so callers can restore it (the scheduler brackets each slice
+        with ``set_owner``/restore)."""
+        previous = self._owner
+        self._owner = owner
+        return previous
+
+    def owner_counters(self, owner: str) -> dict[str, int]:
+        """Copy of one owner's I/O counters (zeros if it never did I/O)."""
+        counters = self._owner_counters.get(owner)
+        if counters is None:
+            return {"seq_reads": 0, "random_reads": 0, "writes": 0}
+        return dict(counters)
+
+    def _charge_owner(self, kind: str) -> None:
+        counters = self._owner_counters.get(self._owner)  # type: ignore[arg-type]
+        if counters is None:
+            counters = {"seq_reads": 0, "random_reads": 0, "writes": 0}
+            self._owner_counters[self._owner] = counters  # type: ignore[index]
+        counters[kind] += 1
 
     # ------------------------------------------------------------------
     # file lifecycle
@@ -104,9 +134,13 @@ class SimulatedDisk:
         if charge_io:
             if sequential:
                 self.seq_reads += 1
+                if self._owner is not None:
+                    self._charge_owner("seq_reads")
                 self._clock.advance(self._cost.seq_page_read, IO)
             else:
                 self.random_reads += 1
+                if self._owner is not None:
+                    self._charge_owner("random_reads")
                 self._clock.advance(self._cost.random_page_read, IO)
             if self.trace is not None:
                 from repro.obs.events import PageRead
@@ -122,6 +156,8 @@ class SimulatedDisk:
         handle.pages.append(page)
         if charge_io:
             self.writes += 1
+            if self._owner is not None:
+                self._charge_owner("writes")
             self._clock.advance(self._cost.page_write, IO)
             if self.trace is not None:
                 self._emit_write(handle, len(handle.pages) - 1)
@@ -134,6 +170,8 @@ class SimulatedDisk:
         handle.pages[page_no] = page
         if charge_io:
             self.writes += 1
+            if self._owner is not None:
+                self._charge_owner("writes")
             self._clock.advance(self._cost.page_write, IO)
             if self.trace is not None:
                 self._emit_write(handle, page_no)
