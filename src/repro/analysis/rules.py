@@ -44,6 +44,18 @@ virtual clock.
 :class:`repro.api.Session` → :class:`repro.api.QueryHandle`; the old
 methods are shims that warn and forward.  The shim module itself and
 test files are exempt.
+
+``REPRO007`` **no-blanket-except** — modules under ``core/`` or
+``executor/`` must not catch blindly: no bare ``except:``, and no
+``except Exception`` / ``except BaseException`` (alone or inside a
+tuple).  Handlers must name types from the :mod:`repro.errors` taxonomy
+(or concrete stdlib types) so transient faults stay distinguishable from
+fatal ones — a blanket handler deep in the engine can swallow an
+injected :class:`~repro.errors.TransientIOError` that the disk's retry
+machinery, the scheduler's containment boundary, or a test harness
+needed to see.  The few *deliberate* boundaries (the indicator's
+degrade-don't-die wrappers, the scheduler-adjacent worker-thread edge)
+carry an explanatory ``# noqa: REPRO007``.
 """
 
 from __future__ import annotations
@@ -446,4 +458,61 @@ def _check_deprecated_facade(tree: ast.AST, ctx: LintContext) -> list[LintFindin
             )
             if name is not None and name.lower() in _DATABASE_RECEIVER_NAMES:
                 flag(node, f"{name}.execute()")
+    return out
+
+
+# ----------------------------------------------------------------------
+# REPRO007 — no bare / blanket except in core/ and executor/
+
+#: Packages REPRO007 applies to (same engine core as REPRO001/REPRO005).
+_TAXONOMY_PACKAGES = _CLOCKED_PACKAGES
+#: Exception names that catch everything (or nearly so).
+_BLANKET_EXCEPTION_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _blanket_name(node: ast.AST) -> Optional[str]:
+    """The blanket exception name a handler clause names, if any."""
+    if isinstance(node, ast.Name) and node.id in _BLANKET_EXCEPTION_NAMES:
+        return node.id
+    dotted = _dotted(node)
+    if dotted is not None and dotted.split(".")[-1] in _BLANKET_EXCEPTION_NAMES:
+        return dotted
+    return None
+
+
+@_rule("REPRO007", "no-blanket-except")
+def _check_blanket_except(tree: ast.AST, ctx: LintContext) -> list[LintFinding]:
+    if not any(p in _TAXONOMY_PACKAGES for p in ctx.packages):
+        return []
+    out = []
+
+    def flag(node: ast.AST, what: str) -> None:
+        out.append(
+            LintFinding(
+                rule="REPRO007",
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=f"blanket handler {what}; catch types from the "
+                f"repro.errors taxonomy (transient vs fatal), or mark a "
+                f"deliberate boundary with '# noqa: REPRO007'",
+            )
+        )
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        clause = node.type
+        if clause is None:
+            flag(node, "bare 'except:'")
+        elif isinstance(clause, ast.Tuple):
+            for element in clause.elts:
+                name = _blanket_name(element)
+                if name is not None:
+                    flag(node, f"'except (..., {name}, ...)'")
+                    break
+        else:
+            name = _blanket_name(clause)
+            if name is not None:
+                flag(node, f"'except {name}'")
     return out

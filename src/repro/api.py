@@ -34,7 +34,7 @@ from repro.executor.runtime import QueryResult
 from repro.obs.bus import SealedTrace, TraceBus
 from repro.planner.optimizer import PlannedQuery
 from repro.sched.scheduler import DEFAULT_QUANTUM_PAGES, CooperativeScheduler
-from repro.sched.task import CANCELLED, FAILED, QueryTask
+from repro.sched.task import CANCELLED, FAILED, TIMED_OUT, QueryTask
 
 if TYPE_CHECKING:  # pragma: no cover - circular at import time only
     from repro.database import Database, MonitoredResult
@@ -83,13 +83,14 @@ class QueryHandle:
         """Drive the session until this query completes; return its result.
 
         Other in-flight queries advance too (cooperative interleaving).
-        Raises the original executor error for a failed query and
+        Raises the original executor error for a failed query,
+        :class:`~repro.errors.QueryTimeoutError` for a timed-out one, and
         :class:`ProgressError` for a cancelled one.
         """
         task = self._task
         if not task.done:
             self._session.scheduler.run_until(task)
-        if task.state == FAILED:
+        if task.state in (FAILED, TIMED_OUT):
             assert task.error is not None
             raise task.error
         if task.state == CANCELLED:
@@ -175,11 +176,18 @@ class Session:
         keep_rows: bool = True,
         max_rows: Optional[int] = None,
         on_report=None,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> QueryHandle:
         """Submit a query (SQL text or a prepared plan) for execution.
 
         No work happens until the session is driven — by this or any
         other handle's ``.result()``, or by :meth:`run`.
+
+        ``timeout`` (virtual seconds from the query's first slice) or
+        ``deadline`` (absolute virtual-clock instant) arm the scheduler's
+        watchdog; past it the query is unwound and ``.result()`` raises
+        :class:`~repro.errors.QueryTimeoutError`.
         """
         task = self.scheduler.submit(
             query,
@@ -190,6 +198,8 @@ class Session:
             keep_rows=keep_rows,
             max_rows=max_rows,
             on_report=on_report,
+            timeout=timeout,
+            deadline=deadline,
         )
         return QueryHandle(self, task)
 

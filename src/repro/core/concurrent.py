@@ -242,7 +242,10 @@ class ConcurrentWorkload:
                 for _row in execute(planned, ctx):
                     if _row is not PULSE:
                         run.row_count += 1
-            except BaseException as exc:  # surface worker failures
+            except Exception as exc:  # noqa: REPRO007 - worker-thread
+                # boundary: the failure is stored and re-raised on the
+                # driving thread by _raise_worker_errors.  Interpreter
+                # escapes (KeyboardInterrupt, SystemExit) propagate.
                 run.error = exc
             else:
                 run.finished_at = self._db.clock.now

@@ -25,10 +25,21 @@ explains itself: every ticker fire, speed sample, refinement snapshot
 estimate-source transition, and dominant-input switch is emitted as a
 typed event.  Without one (the default), every trace hook is a single
 ``is not None`` test.
+
+**Degrade, don't die** (Section 3's "monitoring must not endanger the
+query"): the indicator's ticker callbacks run *inside* the executing
+query — the virtual clock fires them mid-``advance`` — so an exception
+escaping a refinement pass would abort the query it was merely watching.
+Every monitoring entry point therefore catches ``Exception`` at the
+boundary: the failing sample is replaced by the last good report (or, if
+none exists yet, by the optimizer's initial estimate), the report is
+marked ``degraded=True``, a ``degraded`` trace event records the error,
+and the query never notices.  ``degraded_count`` tallies the hits.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Optional
 
 from repro.config import SystemConfig
@@ -43,9 +54,12 @@ from repro.obs.bus import TraceBus
 from repro.obs.events import (
     CardinalityRefined,
     DominantSwitched,
+    IndicatorDegraded,
     QueryCancelled,
+    QueryFailed,
     QueryFinished,
     QueryStarted,
+    QueryTimedOut,
     RefinementTick,
     ReportEmitted,
     SegmentMeta,
@@ -108,6 +122,8 @@ class ProgressIndicator:
         self.started_at = clock.now
         self.reports: list[ProgressReport] = []
         self._finalized = False
+        #: Monitoring failures absorbed at the degrade boundary.
+        self.degraded_count = 0
         #: Re-entrancy guard: a report tick must never nest inside another
         #: (several indicators share one clock under the scheduler, and a
         #: refinement pass touches shared tracker state).
@@ -153,18 +169,22 @@ class ProgressIndicator:
     # ticker callbacks
 
     def _sample_speed(self, t: float) -> None:
-        done_pages = self.tracker.total_done_bytes / self._page_size
-        self._speed.record(t, done_pages)
-        if self._trace is not None:
-            self._trace.emit(TickerFired(
-                t=t, name="speed",
-                interval=self._progress_cfg.speed_sample_interval,
-            ))
-            self._trace.emit(SpeedSampled(t=t, cumulative_pages=done_pages))
-            self._trace.emit(SpeedEstimated(
-                t=t, estimator=self._speed.kind,
-                pages_per_sec=self._speed.speed(),
-            ))
+        try:
+            done_pages = self.tracker.total_done_bytes / self._page_size
+            self._speed.record(t, done_pages)
+            if self._trace is not None:
+                self._trace.emit(TickerFired(
+                    t=t, name="speed",
+                    interval=self._progress_cfg.speed_sample_interval,
+                ))
+                self._trace.emit(SpeedSampled(t=t, cumulative_pages=done_pages))
+                self._trace.emit(SpeedEstimated(
+                    t=t, estimator=self._speed.kind,
+                    pages_per_sec=self._speed.speed(),
+                ))
+        except Exception as exc:  # noqa: REPRO007 - degrade boundary: a
+            # broken speed sample is dropped; the query must not notice.
+            self._note_degraded(t, phase="speed", fallback="skip", error=exc)
 
     def _sample_report(self, t: float) -> None:
         if self._sampling:
@@ -175,9 +195,20 @@ class ProgressIndicator:
                 self._trace.emit(TickerFired(
                     t=t, name="report", interval=self._progress_cfg.update_interval
                 ))
-            self.reports.append(self._record_report(t, finished=False))
+            self.reports.append(self._safe_record(t, finished=False))
             if self._on_report is not None:
-                self._on_report(self.reports[-1])
+                try:
+                    self._on_report(self.reports[-1])
+                except Exception as exc:  # noqa: REPRO007 - degrade
+                    # boundary: a broken user callback must not unwind
+                    # the query the ticker fired inside of.
+                    self._note_degraded(
+                        t, phase="on_report", fallback="skip", error=exc
+                    )
+        except Exception as exc:  # noqa: REPRO007 - outermost degrade
+            # boundary: even a failure in the fallback path itself is
+            # absorbed; this tick is simply lost.
+            self._note_degraded(t, phase="report", fallback="skip", error=exc)
         finally:
             self._sampling = False
 
@@ -208,6 +239,70 @@ class ProgressIndicator:
             current_segment=snapshot.current_segment,
             finished=finished,
         )
+
+    def _safe_record(self, t: float, finished: bool) -> ProgressReport:
+        """One refinement pass behind the degrade boundary.
+
+        Any ``Exception`` out of the snapshot / provenance / report path
+        is absorbed and a fallback report served instead — the query the
+        ticker fired inside of must never see monitoring errors.
+        """
+        try:
+            return self._record_report(t, finished)
+        except Exception as exc:  # noqa: REPRO007 - degrade boundary
+            return self._degrade(t, finished, phase="refine", error=exc)
+
+    def _degrade(
+        self, t: float, finished: bool, phase: str, error: Exception
+    ) -> ProgressReport:
+        """Serve a fallback report after a monitoring failure.
+
+        Preference order: the last good report (re-stamped to the current
+        instant), else the optimizer's initial estimate with whatever the
+        raw work counters say — the same information a plain
+        optimizer-cost indicator would have.
+        """
+        last = next(
+            (r for r in reversed(self.reports) if not r.degraded), None
+        )
+        if last is not None:
+            fallback = "last_report"
+            report = replace(
+                last, time=t, elapsed=t - self.started_at,
+                finished=finished, degraded=True,
+            )
+        else:
+            fallback = "optimizer"
+            done = self.tracker.total_done_bytes / self._page_size
+            total = max(self.initial_cost_pages, done)
+            report = ProgressReport(
+                time=t,
+                elapsed=t - self.started_at,
+                done_pages=done,
+                est_cost_pages=total,
+                fraction_done=done / total if total > 0 else 0.0,
+                speed_pages_per_sec=None,
+                est_remaining_seconds=None,
+                current_segment=None,
+                finished=finished,
+                degraded=True,
+            )
+        self._note_degraded(t, phase=phase, fallback=fallback, error=error)
+        return report
+
+    def _note_degraded(
+        self, t: float, phase: str, fallback: str, error: Exception
+    ) -> None:
+        """Count one absorbed monitoring failure and (best-effort) trace it."""
+        self.degraded_count += 1
+        if self._trace is not None:
+            try:
+                self._trace.emit(IndicatorDegraded(
+                    t=t, phase=phase, fallback=fallback, error=repr(error),
+                ))
+            except Exception:  # noqa: REPRO007 - last-ditch: even tracing
+                # the degradation must not endanger the query.
+                pass
 
     def _record_report(self, t: float, finished: bool) -> ProgressReport:
         """One refinement pass: trace provenance, then build the report."""
@@ -298,9 +393,16 @@ class ProgressIndicator:
         ))
 
     def report(self, at: Optional[float] = None, finished: bool = False) -> ProgressReport:
-        """Build a report from the current refinement snapshot."""
+        """Build a report from the current refinement snapshot.
+
+        Behind the same degrade boundary as the periodic ticks: a broken
+        refinement yields a fallback report, never an exception.
+        """
         t = self._clock.now if at is None else at
-        return self._build_report(t, self.estimator.snapshot(), finished)
+        try:
+            return self._build_report(t, self.estimator.snapshot(), finished)
+        except Exception as exc:  # noqa: REPRO007 - degrade boundary
+            return self._degrade(t, finished, phase="report", error=exc)
 
     def snapshot(self) -> EstimateSnapshot:
         """Expose the raw refinement snapshot (tests, dashboards)."""
@@ -320,7 +422,7 @@ class ProgressIndicator:
         self._finalized = True
         self._speed_ticker.cancel()
         self._report_ticker.cancel()
-        final = self._record_report(self._clock.now, finished=True)
+        final = self._safe_record(self._clock.now, finished=True)
         self.reports.append(final)
         if self._trace is not None:
             self._trace.emit(QueryFinished(
@@ -336,29 +438,50 @@ class ProgressIndicator:
             initial_cost_pages=self.initial_cost_pages,
         )
 
-    def abort(self) -> ProgressLog:
-        """Stop sampling after a cancellation; the query never finished.
+    def abort(
+        self,
+        reason: str = "cancelled",
+        error: Optional[BaseException] = None,
+    ) -> ProgressLog:
+        """Stop sampling on an abnormal end; the query never finished.
 
         Unlike :meth:`finalize`, the last report keeps ``finished=False``
-        (the work counters stay wherever the cancelled executor left
-        them), and the trace records :class:`QueryCancelled` rather than
-        ``QueryFinished`` — the audit must not treat the final snapshot as
-        ground truth.
+        (the work counters stay wherever the unwound executor left
+        them), and the trace records the terminal event matching
+        ``reason`` — :class:`QueryCancelled`, :class:`QueryTimedOut`
+        (``"timeout"``) or :class:`QueryFailed` (``"failed"``) — rather
+        than ``QueryFinished``: the audit must not treat the final
+        snapshot as ground truth.
         """
+        if reason not in ("cancelled", "timeout", "failed"):
+            raise ProgressError(f"unknown abort reason {reason!r}")
         if self._finalized:
             raise ProgressError("indicator already finalized")
         self._finalized = True
         self._speed_ticker.cancel()
         self._report_ticker.cancel()
-        final = self._record_report(self._clock.now, finished=False)
+        final = self._safe_record(self._clock.now, finished=False)
         self.reports.append(final)
         if self._trace is not None:
-            self._trace.emit(QueryCancelled(
-                t=self._clock.now,
-                elapsed=self._clock.now - self.started_at,
-                done_pages=self.tracker.total_done_bytes / self._page_size,
-                fraction_done=final.fraction_done,
-            ))
+            now = self._clock.now
+            elapsed = now - self.started_at
+            done_pages = self.tracker.total_done_bytes / self._page_size
+            if reason == "timeout":
+                self._trace.emit(QueryTimedOut(
+                    t=now, elapsed=elapsed, done_pages=done_pages,
+                    fraction_done=final.fraction_done,
+                ))
+            elif reason == "failed":
+                self._trace.emit(QueryFailed(
+                    t=now, elapsed=elapsed, done_pages=done_pages,
+                    fraction_done=final.fraction_done,
+                    error="<unknown>" if error is None else repr(error),
+                ))
+            else:
+                self._trace.emit(QueryCancelled(
+                    t=now, elapsed=elapsed, done_pages=done_pages,
+                    fraction_done=final.fraction_done,
+                ))
         return ProgressLog(
             reports=list(self.reports),
             started_at=self.started_at,

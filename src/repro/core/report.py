@@ -33,6 +33,11 @@ class ProgressReport:
     current_segment: Optional[int]
     #: Whether the query has completed.
     finished: bool = False
+    #: True when this sample is a fallback served because the refinement
+    #: machinery raised (the degrade-don't-die boundary): the values come
+    #: from the last good report or the optimizer's initial estimate, not
+    #: from a fresh snapshot.
+    degraded: bool = False
 
     @property
     def percent_done(self) -> float:

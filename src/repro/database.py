@@ -13,9 +13,11 @@ import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
-if TYPE_CHECKING:  # pragma: no cover - analysis/obs are imported lazily
+if TYPE_CHECKING:  # pragma: no cover - analysis/fault/obs imported lazily
     from repro.analysis.invariants import Violation
     from repro.api import Session
+    from repro.fault.injector import FaultInjector
+    from repro.fault.plan import FaultPlan
     from repro.obs.bus import SealedTrace, TraceBus
 
 from repro.catalog.analyze import analyze_table
@@ -100,6 +102,34 @@ class Database:
     def set_load(self, load: LoadProfile) -> None:
         """Install a run-time load profile (interference windows)."""
         self.clock.set_load(load)
+
+    # ------------------------------------------------------------------
+    # fault injection (the robustness layer)
+
+    def install_faults(self, plan: "FaultPlan") -> "FaultInjector":
+        """Arm deterministic fault injection on this instance's storage.
+
+        The returned :class:`~repro.fault.FaultInjector` draws from
+        ``random.Random(plan.seed)``, so the same plan over the same
+        execution replays the identical fault schedule.  Installing a new
+        plan replaces the previous injector (and resets its stream).
+        """
+        from repro.fault.injector import FaultInjector
+
+        injector = FaultInjector(plan, self.clock)
+        self.disk.faults = injector
+        self.buffer_pool.faults = injector
+        return injector
+
+    def clear_faults(self) -> None:
+        """Disarm fault injection; storage hooks return to the ~zero path."""
+        self.disk.faults = None
+        self.buffer_pool.faults = None
+
+    @property
+    def faults(self) -> "Optional[FaultInjector]":
+        """The installed fault injector, if any."""
+        return self.disk.faults
 
     # ------------------------------------------------------------------
     # sessions (the stable query API)

@@ -2,6 +2,22 @@
 
 Every error raised intentionally by the library derives from
 :class:`ReproError`, so callers can catch one type at the boundary.
+
+The hierarchy is also a **taxonomy**: every concrete error is either
+
+* **transient** — retrying the failed operation may succeed.  Transient
+  errors additionally derive from :class:`TransientError`; the storage
+  layer retries them with exponential virtual-clock backoff (see
+  :mod:`repro.fault.retry`) before letting them propagate.
+* **fatal** — retrying cannot help (bad plan, exhausted spill space,
+  violated invariant).  Fatal errors propagate immediately and terminate
+  exactly one query, never the whole workload: the scheduler contains
+  them into the failing task's terminal state.
+
+Handlers inside ``repro.core`` and ``repro.executor`` must catch taxonomy
+types, never bare ``Exception`` (lint rule REPRO007) — a blanket handler
+there would swallow injected faults and corrupt the recovery paths the
+chaos harness (:mod:`repro.fault.chaos`) exercises.
 """
 
 from __future__ import annotations
@@ -11,12 +27,53 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro engine."""
 
 
+class TransientError(ReproError):
+    """Marker base: the failed operation may succeed if retried.
+
+    The storage layer retries transient I/O with bounded exponential
+    backoff on the virtual clock; an operation that keeps failing past
+    the retry budget propagates its transient error, which the scheduler
+    then treats as the query's fatal outcome.
+    """
+
+
+class FatalError(ReproError):
+    """Marker base: retrying the failed operation cannot succeed."""
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether ``error`` is retryable under the engine's taxonomy."""
+    return isinstance(error, TransientError)
+
+
 class StorageError(ReproError):
     """Raised for storage-layer failures (bad page ids, full pages, ...)."""
 
 
-class BufferPoolError(StorageError):
+class BufferPoolError(StorageError, FatalError):
     """Raised when the buffer pool cannot satisfy a request (e.g. all pinned)."""
+
+
+class TransientIOError(StorageError, TransientError):
+    """A simulated transient disk failure (device timeout, bus reset).
+
+    Injected by :mod:`repro.fault`; the disk retries the page transfer
+    with backoff before giving up.
+    """
+
+
+class PageCorruptionError(StorageError, TransientError):
+    """A page failed its checksum on read.
+
+    Transient in this engine's model: the stored copy is good (faults are
+    simulated), so a re-read returns clean bytes — mirroring a torn read
+    or a bad DMA transfer rather than persistent media corruption.
+    """
+
+
+class SpillSpaceError(StorageError, FatalError):
+    """Temp/spill disk space is exhausted (external sort runs, hash
+    partitions).  Fatal: retrying the write cannot free space."""
 
 
 class CatalogError(ReproError):
@@ -51,9 +108,23 @@ class ExecutionError(ReproError):
     """Raised for run-time executor failures."""
 
 
+class QueryTimeoutError(ReproError):
+    """A query exceeded its statement timeout or deadline.
+
+    Raised to the *caller* (``QueryHandle.result()``) after the scheduler
+    watchdog moved the task to its ``timed_out`` terminal state; the
+    query itself was unwound cooperatively (pins released, temp files
+    dropped) rather than killed abruptly.
+    """
+
+
 class ProgressError(ReproError):
     """Raised for invalid progress-indicator configuration or use."""
 
 
 class TraceError(ReproError):
     """Raised for observability failures (non-monotonic events, bad traces)."""
+
+
+class FaultConfigError(ReproError):
+    """Raised for invalid fault-injection plans (bad rates, windows)."""

@@ -1,0 +1,168 @@
+"""The fault injector: turns a :class:`FaultPlan` into per-I/O decisions.
+
+One injector is installed per :class:`~repro.database.Database` (see
+``Database.install_faults``); the disk and buffer pool consult it behind
+``if self.faults is not None`` guards, so the uninstalled path costs one
+attribute load — the same near-zero discipline as tracing.
+
+Decisions are drawn from a private ``random.Random(plan.seed)`` stream,
+one draw per charged I/O with a non-zero rate.  Because execution itself
+is deterministic (virtual clock, deterministic scheduler), the draw
+sequence — and therefore the fault schedule — replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import (
+    PageCorruptionError,
+    SpillSpaceError,
+    StorageError,
+    TransientIOError,
+)
+from repro.fault.plan import FaultPlan
+from repro.sim.clock import VirtualClock
+
+
+@dataclass
+class InjectedFault:
+    """One fault decision on one I/O operation.
+
+    ``failures`` is how many consecutive times this operation fails
+    before succeeding; the disk's retry loop decrements it.
+    """
+
+    #: Fault kind: "transient_io", "page_checksum", "transient_write".
+    fault: str
+    error: StorageError
+    failures: int
+
+
+class FaultInjector:
+    """Stateful decision engine for one installed :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan, clock: VirtualClock):
+        self.plan = plan
+        self._clock = clock
+        self._rng = random.Random(plan.seed)
+        self.installed_at = clock.now
+        #: Temp-file pages written since install (spill budget accounting).
+        self.spill_pages_written = 0
+        # Observability counters (also mirrored as trace events).
+        self.injected: dict[str, int] = {}
+        self.retries = 0
+        self.gave_up = 0
+        # Cached flags keep the per-I/O hooks cheap.
+        self._read_faults = plan.injects_read_faults
+        self._write_rate = plan.transient_write_rate
+        self._slow = plan.slow_windows
+        self._pressure = plan.pressure_windows
+
+    # ------------------------------------------------------------------
+    # error faults (disk read/write paths)
+
+    def on_read(self, file_id: int, page_no: int) -> "InjectedFault | None":
+        """Decide whether this charged page read faults."""
+        if not self._read_faults:
+            return None
+        draw = self._rng.random()
+        plan = self.plan
+        if draw < plan.transient_read_rate:
+            return self._fault(
+                "transient_io",
+                TransientIOError(
+                    f"injected transient read failure: file {file_id} "
+                    f"page {page_no}"
+                ),
+            )
+        if draw < plan.transient_read_rate + plan.corruption_rate:
+            return self._fault(
+                "page_checksum",
+                PageCorruptionError(
+                    f"injected checksum mismatch: file {file_id} page {page_no}"
+                ),
+            )
+        return None
+
+    def on_write(self, file_id: int, page_no: int) -> "InjectedFault | None":
+        """Decide whether this charged page write faults transiently."""
+        if not self._write_rate:
+            return None
+        if self._rng.random() < self._write_rate:
+            return self._fault(
+                "transient_write",
+                TransientIOError(
+                    f"injected transient write failure: file {file_id} "
+                    f"page {page_no}"
+                ),
+            )
+        return None
+
+    def check_spill(self, file_id: int, page_no: int) -> None:
+        """Account one temp-file page write against the spill budget.
+
+        Raises :class:`SpillSpaceError` (fatal, no retry) once the
+        budget is exhausted.
+        """
+        self.spill_pages_written += 1
+        capacity = self.plan.spill_capacity_pages
+        if capacity is not None and self.spill_pages_written > capacity:
+            self.injected["spill_exhausted"] = (
+                self.injected.get("spill_exhausted", 0) + 1
+            )
+            raise SpillSpaceError(
+                f"injected spill-space exhaustion after {capacity} temp pages "
+                f"(file {file_id} page {page_no})"
+            )
+
+    def _fault(self, kind: str, error: StorageError) -> InjectedFault:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        failures = (
+            1
+            if self.plan.max_repeat == 1
+            else self._rng.randint(1, self.plan.max_repeat)
+        )
+        return InjectedFault(fault=kind, error=error, failures=failures)
+
+    # ------------------------------------------------------------------
+    # windowed degradation (no errors)
+
+    def io_factor(self) -> float:
+        """Current I/O cost multiplier (slow-disk windows; 1.0 = healthy)."""
+        if not self._slow:
+            return 1.0
+        t = self._clock.now - self.installed_at
+        factor = 1.0
+        for window in self._slow:
+            if window.active(t):
+                factor = max(factor, window.factor)
+        return factor
+
+    def reserved_frames(self) -> int:
+        """Buffer-pool frames currently reserved by pressure windows."""
+        if not self._pressure:
+            return 0
+        t = self._clock.now - self.installed_at
+        reserved = 0
+        for window in self._pressure:
+            if window.active(t):
+                reserved = max(reserved, window.reserved_frames)
+        return reserved
+
+    # ------------------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of injection/retry counters (tests, chaos report)."""
+        out = dict(self.injected)
+        out["io_retries"] = self.retries
+        out["io_gave_up"] = self.gave_up
+        out["spill_pages_written"] = self.spill_pages_written
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(seed={self.plan.seed}, injected={self.injected}, "
+            f"retries={self.retries}, gave_up={self.gave_up})"
+        )

@@ -1,0 +1,153 @@
+"""Fault plans: deterministic, seeded schedules of storage-layer faults.
+
+A :class:`FaultPlan` is pure data — what can go wrong, how often, and
+when.  The :class:`~repro.fault.injector.FaultInjector` turns it into
+decisions at each charged I/O, drawing from a ``random.Random(seed)``
+stream, so the same plan against the same execution (same query mix, same
+scheduler policy) injects the *same* faults at the same operations: runs
+replay bit-for-bit, which is what lets the chaos harness compare faulted
+results against fault-free baselines.
+
+Fault kinds
+-----------
+
+* **transient_io** — a page read fails as a device timeout
+  (:class:`~repro.errors.TransientIOError`); the disk retries with
+  backoff.
+* **page_checksum** — a page read fails verification
+  (:class:`~repro.errors.PageCorruptionError`); transient here because
+  the stored copy is good (a torn read, not rotted media).
+* **transient_write** — a spill/run page write fails transiently.
+* **slow_disk** — a (possibly periodic) window during which every I/O
+  charge is multiplied; no error is raised, the query just slows down
+  and the indicator must track the dip (paper §4.6's load changes).
+* **buffer_pressure** — a window during which part of the buffer pool is
+  reserved (as if another tenant pinned it), raising miss rates.
+* **spill_exhausted** — cumulative temp-file pages exceed a budget and
+  the write fails fatally (:class:`~repro.errors.SpillSpaceError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import FaultConfigError
+from repro.fault.retry import RetryPolicy
+
+
+@dataclass(frozen=True)
+class SlowDiskWindow:
+    """An interval of degraded I/O speed, relative to injector install time.
+
+    With ``period`` set, the window repeats: it is active whenever
+    ``(t - installed_at) % period`` falls in ``[start, end)``.
+    """
+
+    start: float
+    end: float
+    #: I/O cost multiplier while active (2.0 = disk at half speed).
+    factor: float
+    period: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.end:
+            raise FaultConfigError("slow-disk window needs 0 <= start < end")
+        if self.factor < 1.0:
+            raise FaultConfigError("slow-disk factor must be >= 1")
+        if self.period is not None and self.period < self.end:
+            raise FaultConfigError("slow-disk period must cover the window")
+
+    def active(self, t: float) -> bool:
+        """Whether the window is active ``t`` seconds after install."""
+        if self.period is not None:
+            t = t % self.period
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class BufferPressureWindow:
+    """An interval during which ``reserved_frames`` of the pool are lost.
+
+    Models a co-tenant pinning memory: the pool's effective capacity
+    drops, evictions rise, and queries observe extra misses.  Repeats
+    with ``period`` like :class:`SlowDiskWindow`.
+    """
+
+    start: float
+    end: float
+    reserved_frames: int
+    period: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.end:
+            raise FaultConfigError("pressure window needs 0 <= start < end")
+        if self.reserved_frames < 1:
+            raise FaultConfigError("reserved_frames must be positive")
+        if self.period is not None and self.period < self.end:
+            raise FaultConfigError("pressure period must cover the window")
+
+    def active(self, t: float) -> bool:
+        if self.period is not None:
+            t = t % self.period
+        return self.start <= t < self.end
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise FaultConfigError(f"{name} must be a probability in [0, 1]")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One deterministic fault schedule (pure data; see module docstring)."""
+
+    #: Seed of the fault stream; same seed + same execution = same faults.
+    seed: int = 0
+    #: Probability that one charged page read fails transiently.
+    transient_read_rate: float = 0.0
+    #: Probability that one charged page read fails its checksum.
+    corruption_rate: float = 0.0
+    #: Probability that one charged page write fails transiently.
+    transient_write_rate: float = 0.0
+    #: Consecutive failures one faulted operation produces before it
+    #: succeeds, drawn uniformly from [1, max_repeat].  Values above the
+    #: retry budget make the disk give up (the io_gave_up path).
+    max_repeat: int = 2
+    slow_windows: tuple[SlowDiskWindow, ...] = ()
+    pressure_windows: tuple[BufferPressureWindow, ...] = ()
+    #: Total temp-file pages writable before spill space is exhausted
+    #: (None = unlimited).  Counted across the whole injector lifetime.
+    spill_capacity_pages: Optional[int] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        _check_rate("transient_read_rate", self.transient_read_rate)
+        _check_rate("corruption_rate", self.corruption_rate)
+        _check_rate("transient_write_rate", self.transient_write_rate)
+        if self.transient_read_rate + self.corruption_rate > 1.0:
+            raise FaultConfigError(
+                "transient_read_rate + corruption_rate must not exceed 1"
+            )
+        if self.max_repeat < 1:
+            raise FaultConfigError("max_repeat must be at least 1")
+        if self.spill_capacity_pages is not None and self.spill_capacity_pages < 0:
+            raise FaultConfigError("spill_capacity_pages must be non-negative")
+
+    @property
+    def injects_read_faults(self) -> bool:
+        return self.transient_read_rate > 0 or self.corruption_rate > 0
+
+    @property
+    def injects_write_faults(self) -> bool:
+        return self.transient_write_rate > 0 or self.spill_capacity_pages is not None
+
+    @property
+    def quiet(self) -> bool:
+        """A plan that can never perturb anything (all rates/windows off)."""
+        return (
+            not self.injects_read_faults
+            and not self.injects_write_faults
+            and not self.slow_windows
+            and not self.pressure_windows
+        )

@@ -27,6 +27,14 @@ ExtraPass              §4.5 (multi-stage extra pass bytes)
 ExecutionStarted/
 ExecutionFinished      §5.1 (the monitored run itself)
 QueryFinished          §5 (ground truth for the accuracy audit)
+QueryTimedOut/
+QueryFailed            §3 (terminal outcomes other than completion; the
+                       indicator must report honestly on every path)
+FaultInjected          robustness: a seeded fault fired (repro.fault)
+IoRetried/IoGaveUp     robustness: transient-I/O retry with backoff
+IndicatorDegraded      robustness: monitoring failed, query unaffected —
+                       the indicator serves its last-good / optimizer
+                       fallback estimate ("degrade, don't die")
 =====================  =====================================================
 
 Events are frozen dataclasses with a stable ``kind`` string, a lossless
@@ -110,6 +118,37 @@ class QueryCancelled(TraceEvent):
     fraction_done: float
 
     kind = "query_cancelled"
+
+
+@dataclass(frozen=True)
+class QueryTimedOut(TraceEvent):
+    """The query exceeded its statement timeout/deadline.
+
+    The scheduler watchdog unwound the operator tree cooperatively; the
+    indicator's counters stop wherever execution was interrupted.
+    """
+
+    elapsed: float
+    done_pages: float
+    fraction_done: float
+
+    kind = "query_timed_out"
+
+
+@dataclass(frozen=True)
+class QueryFailed(TraceEvent):
+    """The query raised out of the executor (a fatal or unretryable fault).
+
+    ``error`` is the repr of the terminating exception; the failure was
+    contained to this query — other in-flight queries keep running.
+    """
+
+    elapsed: float
+    done_pages: float
+    fraction_done: float
+    error: str
+
+    kind = "query_failed"
 
 
 @dataclass(frozen=True)
@@ -330,12 +369,89 @@ class PageWritten(TraceEvent):
 
 
 # ----------------------------------------------------------------------
+# fault injection and recovery (repro.fault)
+
+
+@dataclass(frozen=True)
+class FaultInjected(TraceEvent):
+    """A seeded fault from the active :class:`~repro.fault.FaultPlan` fired.
+
+    ``fault`` is the fault kind ("transient_io", "page_checksum",
+    "transient_write", "spill_exhausted"); ``target`` identifies the I/O
+    operation it hit.
+    """
+
+    fault: str
+    file_id: int
+    page_no: int
+
+    kind = "fault_injected"
+
+
+@dataclass(frozen=True)
+class IoRetried(TraceEvent):
+    """One retry of a transient page I/O, after backoff.
+
+    ``attempt`` counts attempts *used so far including this retry* (the
+    original failed attempt is 1, the first retry is 2).  ``backoff`` is
+    the virtual seconds waited before this retry.
+    """
+
+    fault: str
+    file_id: int
+    page_no: int
+    attempt: int
+    backoff: float
+
+    kind = "io_retry"
+
+
+@dataclass(frozen=True)
+class IoGaveUp(TraceEvent):
+    """The retry budget for a transient I/O is exhausted.
+
+    The transient error now propagates and terminates the query (the
+    scheduler contains it to one task).
+    """
+
+    fault: str
+    file_id: int
+    page_no: int
+    attempts: int
+    error: str
+
+    kind = "io_gave_up"
+
+
+@dataclass(frozen=True)
+class IndicatorDegraded(TraceEvent):
+    """Monitoring raised; the indicator degraded instead of dying.
+
+    ``phase`` is where the exception surfaced ("report", "speed",
+    "final"); ``fallback`` is what estimate was served instead
+    ("last_good" or "optimizer").  The query itself is never affected.
+    """
+
+    phase: str
+    fallback: str
+    error: str
+
+    kind = "degraded"
+
+
+# ----------------------------------------------------------------------
 # wire format
 
 _EVENT_TYPES: tuple[Type[TraceEvent], ...] = (
     QueryStarted,
     QueryFinished,
     QueryCancelled,
+    QueryTimedOut,
+    QueryFailed,
+    FaultInjected,
+    IoRetried,
+    IoGaveUp,
+    IndicatorDegraded,
     ExecutionStarted,
     ExecutionFinished,
     SegmentStarted,

@@ -25,6 +25,23 @@ Per-slice bookkeeping routes shared-resource observability to the right
 query: the active task's TraceBus is installed on the disk and buffer
 pool (so PageRead/BufferAccess events land in *its* stream), and the
 disk's I/O owner label is set to the task name (per-owner counters).
+
+Robustness (the :mod:`repro.fault` layer's contract) lives here too:
+
+* **Containment** — an ``Exception`` escaping one task's executor (e.g.
+  an injected :class:`~repro.errors.TransientIOError` whose retry budget
+  ran out) fails *that task only*: its state becomes FAILED, its
+  coroutine is closed so operator ``finally`` blocks release pins and
+  temp files, its indicator is aborted, and the scheduler keeps slicing
+  the other queries.  ``KeyboardInterrupt``/``SystemExit`` still
+  propagate after the same unwind.
+* **Watchdog** — ``submit(timeout=...)`` (relative, from first slice) or
+  ``submit(deadline=...)`` (absolute virtual time) arms a per-task
+  deadline; the task is moved to TIMED_OUT either mid-slice at the next
+  PULSE or, while suspended, by the deadline sweep in :meth:`step`.
+
+Every task therefore ends in exactly one terminal state: FINISHED,
+FAILED, CANCELLED or TIMED_OUT.
 """
 
 from __future__ import annotations
@@ -33,7 +50,7 @@ from typing import Optional, Union
 
 from repro.core.indicator import ProgressIndicator
 from repro.database import Database
-from repro.errors import ProgressError
+from repro.errors import ProgressError, QueryTimeoutError
 from repro.executor.base import PULSE, ExecContext
 from repro.executor.runtime import QueryResult, execute
 from repro.obs.bus import TraceBus
@@ -45,6 +62,7 @@ from repro.sched.task import (
     FINISHED,
     RUNNING,
     SUSPENDED,
+    TIMED_OUT,
     QueryTask,
     SliceRecord,
 )
@@ -87,6 +105,8 @@ class CooperativeScheduler:
         keep_rows: bool = True,
         max_rows: Optional[int] = None,
         on_report=None,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> QueryTask:
         """Register a query as an in-flight task (no work happens yet).
 
@@ -95,7 +115,16 @@ class CooperativeScheduler:
         if given, observes each of its periodic reports).  ``trace`` is a
         :class:`TraceBus` to record into, ``True`` to create one, or
         ``None`` to follow the config/env default (``REPRO_TRACE``).
+
+        ``timeout`` is a statement timeout in virtual seconds, measured
+        from the task's first slice; ``deadline`` is an absolute
+        virtual-clock instant.  Either arms the watchdog: past it, the
+        task is unwound to the TIMED_OUT state and
+        :class:`~repro.errors.QueryTimeoutError` is raised by
+        ``result()``.
         """
+        if timeout is not None and timeout <= 0:
+            raise ProgressError("timeout must be positive")
         if isinstance(query, PlannedQuery):
             planned, sql = query, "<planned>"
         else:
@@ -134,6 +163,8 @@ class CooperativeScheduler:
             keep_rows=keep_rows,
             max_rows=max_rows,
             seq=len(self.tasks),
+            timeout=timeout,
+            deadline=deadline,
         )
         self.tasks[name] = task
         return task
@@ -160,13 +191,31 @@ class CooperativeScheduler:
         return [t for t in self.tasks.values() if t.runnable]
 
     def step(self) -> Optional[QueryTask]:
-        """Grant one slice to the policy's pick; None if nothing runnable."""
+        """Grant one slice to the policy's pick; None if nothing runnable.
+
+        Before picking, the watchdog sweep times out any suspended task
+        whose deadline the shared clock has already passed (time spent in
+        *other* queries' slices counts against a statement timeout —
+        that is what makes it a wall-clock deadline, not a CPU budget).
+        """
+        self._expire_deadlines()
         runnable = self.runnable
         if not runnable:
             return None
         task = self.policy.choose(runnable)
         self._run_slice(task)
         return task
+
+    def _expire_deadlines(self) -> None:
+        now = self.db.clock.now
+        for task in self.tasks.values():
+            if (
+                task.deadline is not None
+                and not task.done
+                and task.state != RUNNING
+                and now >= task.deadline
+            ):
+                self._timeout(task)
 
     def run(self) -> list[QueryTask]:
         """Slice until every task reached a terminal state."""
@@ -184,7 +233,12 @@ class CooperativeScheduler:
         if task.name not in self.tasks:
             raise ProgressError(f"unknown task {task.name!r}")
         while not task.done:
-            if self.step() is None:  # e.g. the target task is suspended
+            if self.step() is None:
+                # The watchdog sweep inside step() may have timed the
+                # target out without granting anyone a slice.
+                if task.done:
+                    break
+                # e.g. the target task is suspended
                 raise ProgressError(
                     f"task {task.name!r} cannot finish: nothing runnable"
                 )
@@ -245,6 +299,8 @@ class CooperativeScheduler:
         started = clock.now
         if task.started_at is None:
             task.started_at = started
+            if task.timeout is not None and task.deadline is None:
+                task.deadline = started + task.timeout
         start_pages = self._done_pages(task)
         pulses = 0
         reason = "quantum"
@@ -267,6 +323,10 @@ class CooperativeScheduler:
                     break
                 if item is PULSE:
                     pulses += 1
+                    if task.deadline is not None and clock.now >= task.deadline:
+                        reason = "timeout"
+                        self._timeout(task)
+                        break
                     if self._quantum_spent(task, start_pages, pulses):
                         task.state = SUSPENDED
                         break
@@ -274,14 +334,17 @@ class CooperativeScheduler:
                     task.row_count += 1
                     if keep and (cap is None or len(task.rows) < cap):
                         task.rows.append(item)
-        except BaseException as exc:
+        except Exception as exc:  # noqa: REPRO007 - containment boundary:
+            # one query's failure (e.g. an injected I/O fault past its
+            # retry budget) must not take down its siblings; the error is
+            # stored and re-raised by QueryHandle.result().
             reason = "failed"
-            task.state = FAILED
-            task.error = exc
-            task.finished_at = clock.now
-            task.gen.close()
-            if task.indicator is not None:
-                task.log = task.indicator.abort()
+            self._fail(task, exc)
+        except BaseException as exc:
+            # Non-Exception escapes (KeyboardInterrupt, SystemExit) still
+            # unwind the task cleanly, then propagate to the caller.
+            reason = "failed"
+            self._fail(task, exc)
             raise
         finally:
             disk.set_owner(prev_owner)
@@ -299,6 +362,35 @@ class CooperativeScheduler:
             self._seq += 1
             task.slices.append(record)
             self.slices.append(record)
+
+    def _fail(self, task: QueryTask, error: Optional[BaseException]) -> None:
+        """Move a task to FAILED: unwind the coroutine (operator
+        ``finally`` blocks release pins and drop temp files), store the
+        error for ``result()``, abort the indicator."""
+        task.state = FAILED
+        task.error = error
+        task.finished_at = self.db.clock.now
+        task.gen.close()
+        if task.indicator is not None:
+            task.log = task.indicator.abort(reason="failed", error=error)
+
+    def _timeout(self, task: QueryTask) -> None:
+        """Move a task to TIMED_OUT: same unwind as cancellation, but the
+        terminal state, stored error and trace event all say timeout."""
+        elapsed = (
+            0.0
+            if task.started_at is None
+            else self.db.clock.now - task.started_at
+        )
+        task.state = TIMED_OUT
+        task.error = QueryTimeoutError(
+            f"query {task.name!r} exceeded its deadline "
+            f"(elapsed {elapsed:.3f}s)"
+        )
+        task.finished_at = self.db.clock.now
+        task.gen.close()
+        if task.indicator is not None:
+            task.log = task.indicator.abort(reason="timeout")
 
     def _finish(self, task: QueryTask) -> None:
         clock = self.db.clock

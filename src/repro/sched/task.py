@@ -25,11 +25,12 @@ SUSPENDED = "suspended"   #: mid-query, waiting for its next slice
 FINISHED = "finished"     #: ran to completion
 CANCELLED = "cancelled"   #: cancelled before completion
 FAILED = "failed"         #: raised out of the executor
+TIMED_OUT = "timed_out"   #: exceeded its statement timeout / deadline
 
 #: States from which a task can still receive slices.
 RUNNABLE_STATES = frozenset({PENDING, SUSPENDED})
-#: Terminal states.
-DONE_STATES = frozenset({FINISHED, CANCELLED, FAILED})
+#: Terminal states — every task ends in exactly one of these.
+DONE_STATES = frozenset({FINISHED, CANCELLED, FAILED, TIMED_OUT})
 
 
 @dataclass(frozen=True)
@@ -46,7 +47,7 @@ class SliceRecord:
     #: Work progress in U (pages) the task's tracker advanced during the
     #: slice; 0.0 for unmonitored tasks.
     pages: float
-    #: Why the slice ended: "quantum", "finished", "failed".
+    #: Why the slice ended: "quantum", "finished", "failed", "timeout".
     reason: str
 
 
@@ -65,6 +66,8 @@ class QueryTask:
         keep_rows: bool = True,
         max_rows: Optional[int] = None,
         seq: int = 0,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> None:
         self.name = name
         self.sql = sql
@@ -77,6 +80,12 @@ class QueryTask:
         self.max_rows = max_rows
         #: Submission order; ties in scheduling policies break on this.
         self.seq = seq
+        #: Statement timeout in virtual seconds, measured from the task's
+        #: first slice; converted to an absolute deadline when it starts.
+        self.timeout = timeout
+        #: Absolute virtual-clock deadline; the scheduler's watchdog moves
+        #: the task to TIMED_OUT once the clock passes it.
+        self.deadline = deadline
 
         self.state = PENDING
         #: DBA load-management block (paper §6): a blocked task keeps its

@@ -16,6 +16,11 @@ query releases its pins on the way out (the operator's cleanup path).
 
 Temp files (spill partitions, sort runs) intentionally bypass the pool so
 multi-stage passes always pay I/O.
+
+A :class:`~repro.fault.FaultInjector` with buffer-pressure windows can
+temporarily reserve frames (as if a co-tenant pinned them): the pool's
+effective capacity drops while the window is active and recovers
+afterwards.  No pages are lost — extra evictions just raise miss rates.
 """
 
 from __future__ import annotations
@@ -23,7 +28,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Optional
 
-if TYPE_CHECKING:  # pragma: no cover - obs is imported lazily at emit time
+if TYPE_CHECKING:  # pragma: no cover - fault/obs are imported lazily
+    from repro.fault.injector import FaultInjector
     from repro.obs.bus import TraceBus
 
 from repro.config import CostModelConfig
@@ -50,10 +56,26 @@ class BufferPool:
         #: Optional repro.obs.TraceBus emitting BufferAccess events.
         #: None (default) is the zero-cost disabled path.
         self.trace: Optional["TraceBus"] = None
+        #: Optional repro.fault.FaultInjector whose pressure windows shrink
+        #: the effective capacity.  None (default) is the zero-cost path.
+        self.faults: Optional["FaultInjector"] = None
 
     @property
     def capacity(self) -> int:
         return self._capacity
+
+    def effective_capacity(self) -> int:
+        """Capacity minus any frames reserved by an active pressure window.
+
+        Never below one frame — the pool stays functional, just badly
+        squeezed (degrade, don't die).
+        """
+        if self.faults is None:
+            return self._capacity
+        reserved = self.faults.reserved_frames()
+        if not reserved:
+            return self._capacity
+        return max(1, self._capacity - reserved)
 
     @property
     def num_cached(self) -> int:
@@ -78,7 +100,8 @@ class BufferPool:
         self.misses += 1
         page = self._disk.read_page(handle, page_no, sequential=sequential)
         self._frames[key] = page
-        if len(self._frames) > self._capacity:
+        limit = self._capacity if self.faults is None else self.effective_capacity()
+        while len(self._frames) > limit:
             self._evict_one()
         if self.trace is not None:
             self._emit_access(handle, page_no, hit=False)

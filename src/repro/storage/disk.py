@@ -5,6 +5,15 @@ cost model.  Sequential reads are cheap, random reads expensive, writes in
 between — the ratio is what makes table scans, index probes and spill
 passes occupy realistic proportions of a query's life, which in turn shapes
 the speed curves in the paper's Figures 5, 10 and 14.
+
+With a :class:`~repro.fault.FaultInjector` installed (``self.faults``),
+charged transfers may fail: transient faults (device timeouts, checksum
+mismatches) are retried here with bounded exponential backoff on the
+virtual clock — emitting ``fault_injected`` / ``io_retry`` /
+``io_gave_up`` trace events — while fatal faults (spill-space
+exhaustion) propagate immediately.  Slow-disk windows multiply the I/O
+cost instead of raising.  ``self.faults is None`` (the default) keeps
+every hook a single identity test, the same near-zero pattern as tracing.
 """
 
 from __future__ import annotations
@@ -12,7 +21,8 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING, Optional
 
-if TYPE_CHECKING:  # pragma: no cover - obs is imported lazily at emit time
+if TYPE_CHECKING:  # pragma: no cover - fault/obs are imported lazily
+    from repro.fault.injector import FaultInjector, InjectedFault
     from repro.obs.bus import TraceBus
 
 from repro.config import CostModelConfig
@@ -61,6 +71,9 @@ class SimulatedDisk:
         #: Optional repro.obs.TraceBus emitting PageRead/PageWritten events
         #: for charged I/O.  None (default) is the zero-cost disabled path.
         self.trace: Optional["TraceBus"] = None
+        #: Optional repro.fault.FaultInjector consulted on every charged
+        #: transfer.  None (default) is the zero-cost disabled path.
+        self.faults: Optional["FaultInjector"] = None
         #: Current I/O owner label (set per scheduler slice); None disables
         #: per-owner attribution entirely (single-query fast path).
         self._owner: Optional[str] = None
@@ -117,6 +130,119 @@ class SimulatedDisk:
         except KeyError:
             raise StorageError(f"no such file id: {file_id}") from None
 
+    def temp_file_count(self) -> int:
+        """Live temp files (spill partitions, sort runs) on the disk.
+
+        Zero once every query reached a terminal state — the chaos
+        harness asserts this on every path (finish, fail, cancel,
+        timeout).
+        """
+        return sum(1 for f in self._files.values() if f.temp)
+
+    # ------------------------------------------------------------------
+    # charging
+
+    def _charge_read(self, sequential: bool) -> None:
+        """Charge one page read: counters, owner attribution, I/O time."""
+        if sequential:
+            self.seq_reads += 1
+            if self._owner is not None:
+                self._charge_owner("seq_reads")
+            cost = self._cost.seq_page_read
+        else:
+            self.random_reads += 1
+            if self._owner is not None:
+                self._charge_owner("random_reads")
+            cost = self._cost.random_page_read
+        if self.faults is not None:
+            cost *= self.faults.io_factor()
+        self._clock.advance(cost, IO)
+
+    def _charge_write(self) -> None:
+        """Charge one page write: counters, owner attribution, I/O time."""
+        self.writes += 1
+        if self._owner is not None:
+            self._charge_owner("writes")
+        cost = self._cost.page_write
+        if self.faults is not None:
+            cost *= self.faults.io_factor()
+        self._clock.advance(cost, IO)
+
+    # ------------------------------------------------------------------
+    # fault recovery (transient I/O retry with backoff)
+
+    def _recover(
+        self,
+        fault: "InjectedFault",
+        handle: FileHandle,
+        page_no: int,
+        is_read: bool,
+        sequential: bool = True,
+    ) -> None:
+        """Retry a faulted transfer with bounded exponential backoff.
+
+        The original attempt already charged its I/O time and then
+        failed; each retry waits its backoff (pure virtual wall time —
+        visible to the speed monitor exactly like a stalled disk), pays
+        the transfer cost again, and either clears the fault or, once the
+        budget is spent, lets the transient error propagate.
+        """
+        injector = self.faults
+        assert injector is not None
+        policy = injector.plan.retry
+        clock = self._clock
+        if self.trace is not None:
+            from repro.obs.events import FaultInjected
+
+            self.trace.emit(FaultInjected(
+                t=clock.now, fault=fault.fault,
+                file_id=handle.file_id, page_no=page_no,
+            ))
+        failures_left = fault.failures - 1  # the original attempt failed once
+        attempts = 1
+        while attempts < policy.max_attempts:
+            backoff = policy.backoff(attempts)
+            clock.advance_wall(backoff)
+            if is_read:
+                self._charge_read(sequential)
+            else:
+                self._charge_write()
+            attempts += 1
+            injector.retries += 1
+            if self.trace is not None:
+                from repro.obs.events import IoRetried
+
+                self.trace.emit(IoRetried(
+                    t=clock.now, fault=fault.fault,
+                    file_id=handle.file_id, page_no=page_no,
+                    attempt=attempts, backoff=backoff,
+                ))
+            if failures_left == 0:
+                return  # the retry went through clean
+            failures_left -= 1
+        injector.gave_up += 1
+        if self.trace is not None:
+            from repro.obs.events import IoGaveUp
+
+            self.trace.emit(IoGaveUp(
+                t=clock.now, fault=fault.fault,
+                file_id=handle.file_id, page_no=page_no,
+                attempts=attempts, error=repr(fault.error),
+            ))
+        raise fault.error
+
+    def _inject_read(self, handle: FileHandle, page_no: int, sequential: bool) -> None:
+        assert self.faults is not None
+        fault = self.faults.on_read(handle.file_id, page_no)
+        if fault is not None:
+            self._recover(fault, handle, page_no, is_read=True, sequential=sequential)
+
+    def _inject_write(self, handle: FileHandle, page_no: int) -> None:
+        assert self.faults is not None
+        fault = self.faults.on_write(handle.file_id, page_no)
+        if fault is not None:
+            self._recover(fault, handle, page_no, is_read=False)
+
     # ------------------------------------------------------------------
     # page transfer
 
@@ -132,16 +258,7 @@ class SimulatedDisk:
                 f"({handle.num_pages} pages)"
             ) from None
         if charge_io:
-            if sequential:
-                self.seq_reads += 1
-                if self._owner is not None:
-                    self._charge_owner("seq_reads")
-                self._clock.advance(self._cost.seq_page_read, IO)
-            else:
-                self.random_reads += 1
-                if self._owner is not None:
-                    self._charge_owner("random_reads")
-                self._clock.advance(self._cost.random_page_read, IO)
+            self._charge_read(sequential)
             if self.trace is not None:
                 from repro.obs.events import PageRead
 
@@ -149,19 +266,25 @@ class SimulatedDisk:
                     t=self._clock.now, file_id=handle.file_id,
                     page_no=page_no, sequential=sequential,
                 ))
+            if self.faults is not None:
+                self._inject_read(handle, page_no, sequential)
         return page
 
     def append_page(self, handle: FileHandle, page: Page, charge_io: bool = True) -> int:
         """Append a full page to a file, charging one page write."""
+        page_no = len(handle.pages)
+        if charge_io and self.faults is not None and handle.temp:
+            # Fatal path first: an exhausted spill budget fails the write
+            # before any time is charged (the device rejected it).
+            self.faults.check_spill(handle.file_id, page_no)
         handle.pages.append(page)
         if charge_io:
-            self.writes += 1
-            if self._owner is not None:
-                self._charge_owner("writes")
-            self._clock.advance(self._cost.page_write, IO)
+            self._charge_write()
             if self.trace is not None:
-                self._emit_write(handle, len(handle.pages) - 1)
-        return len(handle.pages) - 1
+                self._emit_write(handle, page_no)
+            if self.faults is not None:
+                self._inject_write(handle, page_no)
+        return page_no
 
     def write_page(self, handle: FileHandle, page_no: int, page: Page, charge_io: bool = True) -> None:
         """Overwrite an existing page in place (buffer-pool eviction path)."""
@@ -169,12 +292,11 @@ class SimulatedDisk:
             raise StorageError(f"page {page_no} out of range for file {handle.name!r}")
         handle.pages[page_no] = page
         if charge_io:
-            self.writes += 1
-            if self._owner is not None:
-                self._charge_owner("writes")
-            self._clock.advance(self._cost.page_write, IO)
+            self._charge_write()
             if self.trace is not None:
                 self._emit_write(handle, page_no)
+            if self.faults is not None:
+                self._inject_write(handle, page_no)
 
     def _emit_write(self, handle: FileHandle, page_no: int) -> None:
         from repro.obs.events import PageWritten

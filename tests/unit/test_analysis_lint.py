@@ -155,6 +155,74 @@ class TestAdhocLoggingRule:
         assert "REPRO005" not in rules_of(findings)
 
 
+class TestBlanketExceptRule:
+    def test_flags_bare_except_in_core(self):
+        findings = lint_source(
+            "try:\n    f()\nexcept:\n    pass\n", "src/repro/core/x.py"
+        )
+        assert rules_of(findings) == {"REPRO007"}
+
+    def test_flags_except_exception(self):
+        findings = lint_source(
+            "try:\n    f()\nexcept Exception:\n    pass\n",
+            "src/repro/executor/x.py",
+        )
+        assert rules_of(findings) == {"REPRO007"}
+
+    def test_flags_except_base_exception_with_binding(self):
+        findings = lint_source(
+            "try:\n    f()\nexcept BaseException as exc:\n    raise\n",
+            "src/repro/core/x.py",
+        )
+        assert rules_of(findings) == {"REPRO007"}
+
+    def test_flags_blanket_inside_tuple(self):
+        findings = lint_source(
+            "try:\n    f()\nexcept (ValueError, Exception):\n    pass\n",
+            "src/repro/core/x.py",
+        )
+        assert rules_of(findings) == {"REPRO007"}
+
+    def test_flags_dotted_builtins_exception(self):
+        findings = lint_source(
+            "try:\n    f()\nexcept builtins.Exception:\n    pass\n",
+            "src/repro/core/x.py",
+        )
+        assert rules_of(findings) == {"REPRO007"}
+
+    def test_taxonomy_types_are_fine(self):
+        src = (
+            "from repro.errors import TransientIOError, StorageError\n"
+            "try:\n    f()\nexcept (TransientIOError, StorageError):\n"
+            "    pass\n"
+        )
+        assert lint_source(src, "src/repro/core/x.py") == []
+
+    def test_concrete_stdlib_types_are_fine(self):
+        assert lint_source(
+            "try:\n    f()\nexcept (KeyError, StopIteration):\n    pass\n",
+            "src/repro/executor/x.py",
+        ) == []
+
+    def test_other_packages_may_catch_broadly(self):
+        src = "try:\n    f()\nexcept Exception:\n    pass\n"
+        assert lint_source(src, "src/repro/fault/x.py") == []
+        assert lint_source(src, "tools/x.py") == []
+
+    def test_noqa_marks_a_deliberate_boundary(self):
+        src = (
+            "try:\n    f()\n"
+            "except Exception as exc:  # noqa: REPRO007 - degrade boundary\n"
+            "    fallback(exc)\n"
+        )
+        assert lint_source(src, "src/repro/core/x.py") == []
+
+    def test_shipped_core_and_executor_obey_the_taxonomy(self):
+        findings = lint_paths([REPO_SRC / "repro" / "core",
+                               REPO_SRC / "repro" / "executor"])
+        assert "REPRO007" not in rules_of(findings)
+
+
 class TestDriver:
     def test_noqa_suppresses(self):
         assert lint_source(

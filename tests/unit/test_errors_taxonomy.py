@@ -1,0 +1,67 @@
+"""Unit tests: the transient/fatal error taxonomy (repro.errors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    BufferPoolError,
+    FatalError,
+    PageCorruptionError,
+    QueryTimeoutError,
+    ReproError,
+    SpillSpaceError,
+    StorageError,
+    TransientError,
+    TransientIOError,
+    is_transient,
+)
+
+
+class TestTaxonomy:
+    def test_transient_io_is_transient_storage_error(self):
+        err = TransientIOError("boom")
+        assert isinstance(err, StorageError)
+        assert isinstance(err, TransientError)
+        assert is_transient(err)
+
+    def test_page_corruption_is_transient(self):
+        assert is_transient(PageCorruptionError("checksum"))
+
+    def test_spill_space_is_fatal(self):
+        err = SpillSpaceError("full")
+        assert isinstance(err, FatalError)
+        assert not is_transient(err)
+
+    def test_buffer_pool_error_is_fatal(self):
+        err = BufferPoolError("all pinned")
+        assert isinstance(err, FatalError)
+        assert not is_transient(err)
+
+    def test_timeout_is_not_transient(self):
+        assert not is_transient(QueryTimeoutError("deadline"))
+
+    def test_foreign_errors_are_not_transient(self):
+        assert not is_transient(RuntimeError("not ours"))
+
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, ReproError), name
+
+    def test_no_error_is_both_transient_and_fatal(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if not (isinstance(obj, type) and issubclass(obj, ReproError)):
+                continue
+            if obj in (TransientError, FatalError):
+                continue
+            assert not (
+                issubclass(obj, TransientError) and issubclass(obj, FatalError)
+            ), name
+
+    def test_one_boundary_catch(self):
+        with pytest.raises(ReproError):
+            raise TransientIOError("caught at the boundary")

@@ -1,0 +1,127 @@
+"""Unit tests: cancellation/timeout while spilled state is on disk.
+
+External sorts write run files and Grace hash joins write partition
+files; a query unwound mid-pass (cancel or watchdog timeout) must
+discard those temp runs, release every buffer pin, and leave exactly
+one terminal trace event.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ProgressError, QueryTimeoutError
+from repro.sched.task import CANCELLED, TIMED_OUT
+from repro.workloads import queries, tpcr
+
+#: Forces Q2's hash joins to partition and the sort below to spill runs.
+SORT_SQL = "select * from lineitem order by extendedprice"
+
+
+def _db():
+    return tpcr.build_database(
+        scale=0.002,
+        subset_rows=60,
+        config=SystemConfig(work_mem_pages=4, buffer_pool_pages=32),
+    )
+
+
+def _drive_until_spilled(db, session, handle, max_steps=5000):
+    """Step the scheduler until the query has temp files on disk."""
+    for _ in range(max_steps):
+        assert session.step() is not None, "query drained without spilling"
+        if db.disk.temp_file_count() > 0:
+            assert not handle.done
+            return
+    raise AssertionError("never spilled")
+
+
+class TestCancelDuringSpill:
+    def test_cancel_mid_external_sort_discards_runs(self):
+        db = _db()
+        session = db.connect()
+        handle = session.submit(SORT_SQL, name="sorter", trace=True)
+        _drive_until_spilled(db, session, handle)
+
+        handle.cancel()
+
+        assert handle.state == CANCELLED
+        assert db.disk.temp_file_count() == 0
+        assert db.buffer_pool.pinned_count == 0
+        assert handle.trace().counts().get("query_cancelled") == 1
+        with pytest.raises(ProgressError, match="cancelled"):
+            handle.result()
+
+    def test_cancel_mid_hash_partitioning_discards_partitions(self):
+        db = _db()
+        session = db.connect()
+        handle = session.submit(queries.Q2, name="joiner", trace=True)
+        _drive_until_spilled(db, session, handle)
+
+        handle.cancel()
+
+        assert handle.state == CANCELLED
+        assert db.disk.temp_file_count() == 0
+        assert db.buffer_pool.pinned_count == 0
+        counts = handle.trace().counts()
+        assert counts.get("query_cancelled") == 1
+        assert "query_finished" not in counts
+
+    def test_cancelled_spill_leaves_siblings_running(self):
+        db = _db()
+        session = db.connect()
+        spiller = session.submit(queries.Q2, name="spiller", trace=True)
+        scanner = session.submit(queries.Q1, name="scanner", keep_rows=False)
+        _drive_until_spilled(db, session, spiller)
+        spiller.cancel()
+        assert scanner.result().row_count > 0
+        assert db.disk.temp_file_count() == 0
+
+
+class TestTimeoutDuringSpill:
+    def test_timeout_mid_external_sort_discards_runs(self):
+        db = _db()
+        session = db.connect()
+        handle = session.submit(SORT_SQL, name="sorter", trace=True)
+        _drive_until_spilled(db, session, handle)
+
+        # Arm an already-expired deadline; the next slice's PULSE (or the
+        # watchdog sweep) unwinds the query mid-spill.
+        handle.task.deadline = db.clock.now
+        with pytest.raises(QueryTimeoutError):
+            handle.result()
+
+        assert handle.state == TIMED_OUT
+        assert db.disk.temp_file_count() == 0
+        assert db.buffer_pool.pinned_count == 0
+        assert handle.trace().counts().get("query_timed_out") == 1
+
+    def test_timeout_mid_hash_partitioning_discards_partitions(self):
+        db = _db()
+        session = db.connect()
+        handle = session.submit(queries.Q4, name="joiner", trace=True)
+        _drive_until_spilled(db, session, handle)
+
+        handle.task.deadline = db.clock.now
+        with pytest.raises(QueryTimeoutError):
+            handle.result()
+
+        assert handle.state == TIMED_OUT
+        assert db.disk.temp_file_count() == 0
+        assert db.buffer_pool.pinned_count == 0
+        counts = handle.trace().counts()
+        assert counts.get("query_timed_out") == 1
+        assert "query_finished" not in counts
+
+    def test_final_report_keeps_finished_false(self):
+        db = _db()
+        session = db.connect()
+        handle = session.submit(SORT_SQL, name="sorter", trace=True)
+        _drive_until_spilled(db, session, handle)
+        handle.task.deadline = db.clock.now
+        with pytest.raises(QueryTimeoutError):
+            handle.result()
+        log = handle.log
+        assert log is not None
+        assert not log.reports[-1].finished

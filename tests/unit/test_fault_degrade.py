@@ -1,0 +1,140 @@
+"""Unit tests: the indicator's degrade-don't-die boundary.
+
+The acceptance bar: an exception forced inside the refinement machinery
+degrades the *indicator* (trace event, fallback estimate) while the
+*query* completes and returns correct results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads import queries, tpcr
+
+
+def _boom() -> None:
+    raise ReproError("synthetic refinement failure")
+
+
+def _db():
+    return tpcr.build_database(scale=0.002, subset_rows=60)
+
+
+class TestRefinementDegrade:
+    def test_broken_refinement_degrades_but_query_completes(self):
+        db = _db()
+        baseline = db.connect().submit(queries.Q2, trace=False).result().rows
+
+        db.restart()
+        session = db.connect()
+        handle = session.submit(queries.Q2, name="q", trace=True)
+        # Let some honest reports accumulate, then break the estimator.
+        for _ in range(6):
+            session.step()
+        indicator = handle.task.indicator
+        assert indicator is not None
+        indicator.estimator.snapshot = _boom
+
+        result = handle.result()
+        assert result.rows == baseline  # the query never noticed
+
+        assert indicator.degraded_count > 0
+        trace = handle.trace()
+        assert any(True for _ in trace.of_kind("degraded"))
+        assert trace.counts().get("query_finished") == 1
+
+    def test_fallback_serves_last_good_report(self):
+        db = _db()
+        session = db.connect()
+        handle = session.submit(queries.Q2, name="q", trace=True)
+        for _ in range(6):
+            session.step()
+        indicator = handle.task.indicator
+        good = handle.progress()
+        assert good is not None and not good.degraded
+
+        indicator.estimator.snapshot = _boom
+        degraded = handle.progress()
+        assert degraded.degraded
+        assert degraded.done_pages == pytest.approx(good.done_pages)
+        assert degraded.est_cost_pages == pytest.approx(good.est_cost_pages)
+        handle.result()
+
+    def test_fallback_before_first_report_uses_optimizer_estimate(self):
+        db = _db()
+        session = db.connect()
+        handle = session.submit(queries.Q1, name="q", trace=True)
+        indicator = handle.task.indicator
+        indicator.estimator.snapshot = _boom
+
+        report = handle.progress()  # no good report exists yet
+        assert report.degraded
+        assert report.est_cost_pages == pytest.approx(
+            indicator.initial_cost_pages
+        )
+        assert report.speed_pages_per_sec is None
+
+    def test_degrade_event_carries_phase_and_error(self):
+        db = _db()
+        session = db.connect()
+        handle = session.submit(queries.Q1, name="q", trace=True)
+        indicator = handle.task.indicator
+        indicator.estimator.snapshot = _boom
+        handle.result()
+        events = list(handle.trace().of_kind("degraded"))
+        assert events
+        assert {e.phase for e in events} <= {"refine", "report"}
+        assert all("synthetic refinement failure" in e.error for e in events)
+
+    def test_broken_on_report_callback_does_not_kill_query(self):
+        calls = []
+
+        def bad_callback(report):
+            calls.append(report)
+            raise RuntimeError("user callback bug")
+
+        db = _db()
+        handle = db.connect().submit(
+            queries.Q2, name="q", trace=True, on_report=bad_callback
+        )
+        result = handle.result()
+        assert result.row_count > 0
+        assert calls  # the callback did fire (and raise)
+        indicator = handle.task.indicator
+        assert indicator.degraded_count >= len(calls)
+        assert any(
+            e.phase == "on_report"
+            for e in handle.trace().of_kind("degraded")
+        )
+
+    def test_broken_speed_sampler_is_absorbed(self):
+        db = _db()
+        session = db.connect()
+        handle = session.submit(queries.Q1, name="q", trace=True)
+        session.step()
+        indicator = handle.task.indicator
+
+        def bad_record(t, pages):
+            raise ReproError("speed sampler bug")
+
+        indicator._speed.record = bad_record
+        result = handle.result()
+        assert result.row_count > 0
+        assert indicator.degraded_count > 0
+        assert any(
+            e.phase == "speed" for e in handle.trace().of_kind("degraded")
+        )
+
+    def test_degraded_reports_keep_progress_monotone(self):
+        db = _db()
+        session = db.connect()
+        handle = session.submit(queries.Q2, name="q", trace=True)
+        for _ in range(4):
+            session.step()
+        handle.task.indicator.estimator.snapshot = _boom
+        handle.result()
+        log = handle.log
+        pages = [r.done_pages for r in log.reports]
+        assert all(b >= a - 1e-9 for a, b in zip(pages, pages[1:]))
+        assert any(r.degraded for r in log.reports)

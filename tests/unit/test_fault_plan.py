@@ -1,0 +1,161 @@
+"""Unit tests: fault plans, retry policy, and injector determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    FaultConfigError,
+    PageCorruptionError,
+    SpillSpaceError,
+    TransientIOError,
+)
+from repro.fault import (
+    BufferPressureWindow,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    SlowDiskWindow,
+)
+from repro.sim.clock import VirtualClock
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(max_attempts=4, backoff_base=0.1, backoff_factor=2.0)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.4)
+
+    def test_max_retries_excludes_first_attempt(self):
+        assert RetryPolicy(max_attempts=4).max_retries == 3
+
+    def test_validation(self):
+        with pytest.raises(FaultConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(FaultConfigError):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(FaultConfigError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(FaultConfigError):
+            RetryPolicy().backoff(0)
+
+
+class TestWindows:
+    def test_slow_window_one_shot(self):
+        w = SlowDiskWindow(start=1.0, end=3.0, factor=2.0)
+        assert not w.active(0.5)
+        assert w.active(1.0)
+        assert w.active(2.9)
+        assert not w.active(3.0)
+
+    def test_slow_window_periodic(self):
+        w = SlowDiskWindow(start=1.0, end=3.0, factor=2.0, period=10.0)
+        assert w.active(12.0)
+        assert not w.active(15.0)
+        assert w.active(22.5)
+
+    def test_window_validation(self):
+        with pytest.raises(FaultConfigError):
+            SlowDiskWindow(start=3.0, end=1.0, factor=2.0)
+        with pytest.raises(FaultConfigError):
+            SlowDiskWindow(start=0.0, end=1.0, factor=0.5)
+        with pytest.raises(FaultConfigError):
+            SlowDiskWindow(start=0.0, end=5.0, factor=2.0, period=3.0)
+        with pytest.raises(FaultConfigError):
+            BufferPressureWindow(start=0.0, end=1.0, reserved_frames=0)
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(FaultConfigError):
+            FaultPlan(transient_read_rate=1.5)
+        with pytest.raises(FaultConfigError):
+            FaultPlan(corruption_rate=-0.1)
+        with pytest.raises(FaultConfigError):
+            FaultPlan(transient_read_rate=0.7, corruption_rate=0.7)
+        with pytest.raises(FaultConfigError):
+            FaultPlan(max_repeat=0)
+        with pytest.raises(FaultConfigError):
+            FaultPlan(spill_capacity_pages=-1)
+
+    def test_quiet_plan(self):
+        assert FaultPlan().quiet
+        assert not FaultPlan(transient_read_rate=0.1).quiet
+        assert not FaultPlan(spill_capacity_pages=10).quiet
+        assert not FaultPlan(
+            slow_windows=(SlowDiskWindow(0.0, 1.0, 2.0),)
+        ).quiet
+
+
+class TestInjectorDeterminism:
+    def _draws(self, seed: int, n: int = 500):
+        plan = FaultPlan(
+            seed=seed, transient_read_rate=0.05, corruption_rate=0.02
+        )
+        injector = FaultInjector(plan, VirtualClock())
+        out = []
+        for i in range(n):
+            fault = injector.on_read(1, i)
+            out.append(None if fault is None else (fault.fault, fault.failures))
+        return out
+
+    def test_same_seed_same_schedule(self):
+        assert self._draws(7) == self._draws(7)
+
+    def test_different_seed_different_schedule(self):
+        assert self._draws(7) != self._draws(8)
+
+    def test_fault_kinds_and_errors(self):
+        plan = FaultPlan(seed=3, transient_read_rate=0.5, corruption_rate=0.5)
+        injector = FaultInjector(plan, VirtualClock())
+        kinds = set()
+        for i in range(200):
+            fault = injector.on_read(1, i)
+            assert fault is not None
+            kinds.add(fault.fault)
+            if fault.fault == "transient_io":
+                assert isinstance(fault.error, TransientIOError)
+            else:
+                assert isinstance(fault.error, PageCorruptionError)
+            assert 1 <= fault.failures <= plan.max_repeat
+        assert kinds == {"transient_io", "page_checksum"}
+
+    def test_write_faults(self):
+        plan = FaultPlan(seed=3, transient_write_rate=1.0, max_repeat=1)
+        injector = FaultInjector(plan, VirtualClock())
+        fault = injector.on_write(2, 0)
+        assert fault is not None
+        assert fault.fault == "transient_write"
+        assert fault.failures == 1
+
+    def test_quiet_plan_injects_nothing(self):
+        injector = FaultInjector(FaultPlan(), VirtualClock())
+        assert all(injector.on_read(1, i) is None for i in range(100))
+        assert all(injector.on_write(1, i) is None for i in range(100))
+        assert injector.io_factor() == 1.0
+        assert injector.reserved_frames() == 0
+
+    def test_spill_budget(self):
+        plan = FaultPlan(spill_capacity_pages=3)
+        injector = FaultInjector(plan, VirtualClock())
+        for i in range(3):
+            injector.check_spill(9, i)
+        with pytest.raises(SpillSpaceError):
+            injector.check_spill(9, 3)
+        assert injector.counters()["spill_exhausted"] == 1
+
+    def test_windows_consult_clock(self):
+        clock = VirtualClock()
+        plan = FaultPlan(
+            slow_windows=(SlowDiskWindow(1.0, 3.0, factor=4.0),),
+            pressure_windows=(BufferPressureWindow(0.0, 2.0, reserved_frames=6),),
+        )
+        injector = FaultInjector(plan, clock)
+        assert injector.io_factor() == 1.0
+        assert injector.reserved_frames() == 6
+        clock.advance_wall(1.5)
+        assert injector.io_factor() == 4.0
+        clock.advance_wall(2.0)
+        assert injector.io_factor() == 1.0
+        assert injector.reserved_frames() == 0
