@@ -1,6 +1,6 @@
 """Static analysis for the progress-indicator engine.
 
-Two pillars, both dependency-free (stdlib only):
+Three pillars, all dependency-free (stdlib only):
 
 * :mod:`repro.analysis.invariants` — a plan/segment **invariant
   verifier**: given an annotated physical plan and the
@@ -12,12 +12,23 @@ Two pillars, both dependency-free (stdlib only):
 * :mod:`repro.analysis.lint` — a repo-specific **AST lint pass** built
   on :mod:`ast` with rules that encode this codebase's conventions
   (virtual clock only, no float-equality on progress fractions, no
-  mutable default arguments, one-way package layering).
+  mutable default arguments, one-way package layering, no unseeded
+  randomness).
 
-Run both from the command line::
+* :mod:`repro.analysis.flow` — an **interprocedural flow analyzer** for
+  the cooperative engine: a call graph with transitive may-yield
+  summaries, yield-point atomicity diagnostics over the shared-state
+  ownership registry (REPRO10x), a determinism-effect checker for the
+  engine core (REPRO11x), and a hybrid cross-check that validates the
+  static summaries against pulses observed in a real run.
+
+Run them from the command line::
 
     python -m repro.analysis verify        # check Q1-Q5 plans
     python -m repro.analysis lint src      # lint the tree
+    python -m repro.analysis races --strict
+    python -m repro.analysis effects --strict
+    python -m repro.analysis crosscheck --strict
 """
 
 from repro.analysis.gate import (

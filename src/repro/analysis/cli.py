@@ -8,19 +8,33 @@ Subcommands:
   1 otherwise.
 * ``lint`` — run the repo-specific AST lint pass over files/directories
   (default ``src``).  Exit code 0 when no findings, 1 otherwise.
+* ``races`` — interprocedural yield-point atomicity analysis (REPRO10x):
+  shared-state writes outside owner methods, read-modify-write spans
+  crossing a suspension point.  ``--strict`` fails on any finding not
+  covered by the committed baseline (and on stale baseline entries).
+* ``effects`` — determinism-effect checker (REPRO11x): functions in the
+  engine core that reach a nondeterminism source (wall clock, unseeded
+  random, environment, ...).  Same ``--strict`` / baseline contract.
+* ``crosscheck`` — validate the static may-yield summaries against
+  pulses observed in a real run (or a recorded JSONL trace): a class
+  observed originating pulses must be statically an originator.
 
 Examples::
 
-    python -m repro.analysis verify
     python -m repro.analysis verify --query Q2 --scale 0.01
-    python -m repro.analysis lint src tests
     repro-analyze lint --rule REPRO004 src
+    repro-analyze races --strict
+    repro-analyze effects --update-baseline
+    repro-analyze crosscheck --strict
+    repro-analyze crosscheck --record traces/q5.jsonl --query Q5
+    repro-analyze crosscheck --trace traces/q5.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.analysis.invariants import Violation, verify_plan
@@ -30,6 +44,7 @@ from repro.analysis.rules import LINT_RULES
 from repro.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - keeps CLI import light
+    from repro.analysis.flow.findings import FlowFinding
     from repro.database import Database
 
 
@@ -96,6 +111,138 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _run_flow_analysis(args: argparse.Namespace, which: str) -> int:
+    """Shared body of ``races`` and ``effects``: build the call graph,
+    run the pass, apply the baseline, render."""
+    from repro.analysis.flow import (
+        analyze_effects,
+        analyze_races,
+        build_callgraph,
+        find_repo_root,
+    )
+    from repro.analysis.flow.baseline import (
+        BASELINE_FILENAME,
+        Baseline,
+        update_baseline,
+    )
+    from repro.analysis.flow.findings import render_flow_findings
+
+    repo_root = find_repo_root()
+    package_dir = Path(args.package) if args.package else None
+    if package_dir is None:
+        import repro
+
+        package_dir = Path(repro.__file__).resolve().parent
+    graph = build_callgraph(package_dir)
+    root_for_paths = repo_root or Path.cwd()
+    analyzer = analyze_races if which == "races" else analyze_effects
+    findings: "list[FlowFinding]" = analyzer(graph, root_for_paths)
+
+    baseline_path: Optional[Path] = None
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    elif repo_root is not None and (repo_root / BASELINE_FILENAME).is_file():
+        baseline_path = repo_root / BASELINE_FILENAME
+
+    if getattr(args, "update_baseline", False):
+        target = baseline_path or (
+            (repo_root or Path.cwd()) / BASELINE_FILENAME
+        )
+        previous = Baseline.load(target) if target.is_file() else None
+        # Keep the other pass's suppressions: merge by re-reading and only
+        # replacing entries whose rule family this pass owns.
+        own_prefix = "REPRO10" if which == "races" else "REPRO11"
+        kept = [
+            e
+            for e in (previous.entries if previous else [])
+            if not e.rule.startswith(own_prefix)
+        ]
+        n = update_baseline(findings, target, previous)
+        if kept:
+            import json as _json
+
+            doc = _json.loads(target.read_text(encoding="utf-8"))
+            for e in kept:
+                doc["suppressions"].append(
+                    {
+                        "rule": e.rule,
+                        "path": e.path,
+                        "function": e.function,
+                        "count": e.count,
+                        "justification": e.justification,
+                    }
+                )
+            doc["suppressions"].sort(
+                key=lambda s: (s["rule"], s["path"], s["function"])
+            )
+            target.write_text(
+                _json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+            )
+            n = len(doc["suppressions"])
+        print(f"wrote {n} suppression(s) to {target}")
+        return 0
+
+    baseline = (
+        Baseline.load(baseline_path)
+        if baseline_path is not None and baseline_path.is_file()
+        else Baseline.empty()
+    )
+    unsuppressed, suppressed, stale = baseline.filter(findings)
+    print(render_flow_findings(unsuppressed))
+    if suppressed:
+        print(f"({len(suppressed)} finding(s) suppressed by baseline)")
+    failed = bool(unsuppressed)
+    if args.strict:
+        for entry in stale:
+            # Only police entries this pass can re-derive.
+            own_prefix = "REPRO10" if which == "races" else "REPRO11"
+            if entry.rule.startswith(own_prefix):
+                print(
+                    f"stale baseline entry: {entry.rule} {entry.path} "
+                    f"[{entry.function}] matches nothing — remove it"
+                )
+                failed = True
+    return 1 if failed else 0
+
+
+def cmd_races(args: argparse.Namespace) -> int:
+    """Yield-point atomicity analysis (REPRO10x)."""
+    return _run_flow_analysis(args, "races")
+
+
+def cmd_effects(args: argparse.Namespace) -> int:
+    """Determinism-effect analysis (REPRO11x)."""
+    return _run_flow_analysis(args, "effects")
+
+
+def cmd_crosscheck(args: argparse.Namespace) -> int:
+    """Validate static may-yield summaries against observed pulses."""
+    from repro.analysis.flow import crosscheck as cc
+
+    if args.record is not None:
+        n = cc.record_trace(
+            args.record,
+            query=(args.query or "Q5").upper(),
+            scale=args.scale,
+            work_mem=args.work_mem,
+        )
+        print(f"recorded {n} probe event(s) to {args.record}")
+        return 0
+    if args.trace is not None:
+        report = cc.check_trace(args.trace, strict_complete=False)
+    else:
+        queries = [q.upper() for q in args.query.split(",")] if args.query else None
+        report = cc.run_crosscheck(
+            queries=queries,
+            scale=args.scale,
+            work_mem=args.work_mem,
+            strict_complete=args.strict,
+            synthetic=args.query is None,
+        )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-analyze",
@@ -122,6 +269,57 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="REPROxxx",
                       help="restrict to one rule id (repeatable)")
     lint.set_defaults(func=cmd_lint)
+
+    def _flow_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--package", default=None,
+                       help="package directory to analyze "
+                       "(default: the installed repro package)")
+        p.add_argument("--baseline", default=None,
+                       help="baseline file (default: analysis-baseline.json "
+                       "at the repo root, when present)")
+        p.add_argument("--strict", action="store_true",
+                       help="also fail on stale baseline entries")
+        p.add_argument("--update-baseline", action="store_true",
+                       help="rewrite the baseline to cover current findings "
+                       "(preserving existing justifications)")
+
+    races = sub.add_parser(
+        "races",
+        help="interprocedural yield-point atomicity analysis (REPRO10x)",
+    )
+    _flow_args(races)
+    races.set_defaults(func=cmd_races)
+
+    effects = sub.add_parser(
+        "effects",
+        help="determinism-effect analysis for the engine core (REPRO11x)",
+    )
+    _flow_args(effects)
+    effects.set_defaults(func=cmd_effects)
+
+    crosscheck = sub.add_parser(
+        "crosscheck",
+        help="validate static may-yield summaries against observed pulses",
+    )
+    crosscheck.add_argument("--query", default=None,
+                            help="paper queries to run, comma-separated "
+                            "(default: Q1..Q5 plus synthetic coverage "
+                            "queries)")
+    crosscheck.add_argument("--scale", type=float, default=0.005,
+                            help="TPC-R scale factor (default 0.005)")
+    crosscheck.add_argument("--work-mem", type=int, default=4,
+                            help="work_mem in pages (default 4; small values "
+                            "force spilling joins and external sorts)")
+    crosscheck.add_argument("--strict", action="store_true",
+                            help="also fail when a static originator was "
+                            "instantiated but never observed originating")
+    crosscheck.add_argument("--record", default=None, metavar="PATH",
+                            help="record one query's probe events to a JSONL "
+                            "trace instead of validating")
+    crosscheck.add_argument("--trace", default=None, metavar="PATH",
+                            help="validate a previously recorded JSONL trace "
+                            "instead of running queries")
+    crosscheck.set_defaults(func=cmd_crosscheck)
     return parser
 
 

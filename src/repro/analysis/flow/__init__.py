@@ -1,0 +1,63 @@
+"""Interprocedural flow analysis for the cooperative engine.
+
+The per-plan verifier (:mod:`repro.analysis.invariants`) and the per-file
+lint pass (:mod:`repro.analysis.lint`) both reason about one artifact at a
+time.  Since the executor became a coroutine over a cooperative scheduler,
+the correctness story spans *interleavings*: monotone progress and
+deterministic replay hold only if no read-modify-write on shared engine
+state straddles a scheduling point, and nothing reachable from ``core/``
+or ``executor/`` can introduce nondeterminism.  This package proves both
+statically, from the stdlib :mod:`ast` alone:
+
+* :mod:`~repro.analysis.flow.callgraph` — a call graph over ``src/repro``
+  (name/self/alias/unique-method resolution, virtual dispatch over the
+  ``Operator`` hierarchy).
+* :mod:`~repro.analysis.flow.summaries` — transitive **may-yield**
+  summaries: which functions can reach a ``PULSE`` origin, and which
+  merely forward pulses.
+* :mod:`~repro.analysis.flow.shared_state` — the ownership registry of
+  shared mutable engine objects (buffer pool, disk, clock, trace bus,
+  catalog, scheduler task table).
+* :mod:`~repro.analysis.flow.atomicity` — REPRO100..102 hazards with
+  call-path witnesses.
+* :mod:`~repro.analysis.flow.effects` — REPRO110/111: the determinism
+  effect checker for ``core/`` + ``executor/``.
+* :mod:`~repro.analysis.flow.baseline` — the committed suppression file
+  (every entry carries a written justification).
+* :mod:`~repro.analysis.flow.crosscheck` — the hybrid check validating
+  static may-yield summaries against pulse events in a recorded trace.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.flow.atomicity import analyze_races
+from repro.analysis.flow.baseline import Baseline, BaselineEntry, find_repo_root
+from repro.analysis.flow.callgraph import CallGraph, FunctionInfo, build_callgraph
+from repro.analysis.flow.effects import analyze_effects
+from repro.analysis.flow.findings import FlowFinding, render_flow_findings
+from repro.analysis.flow.shared_state import SHARED_STATE_REGISTRY, SharedObject
+from repro.analysis.flow.summaries import (
+    ClassPulseSummary,
+    YieldSummary,
+    class_pulse_summaries,
+    compute_summaries,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "CallGraph",
+    "ClassPulseSummary",
+    "FlowFinding",
+    "FunctionInfo",
+    "SHARED_STATE_REGISTRY",
+    "SharedObject",
+    "YieldSummary",
+    "analyze_effects",
+    "analyze_races",
+    "build_callgraph",
+    "class_pulse_summaries",
+    "compute_summaries",
+    "find_repo_root",
+    "render_flow_findings",
+]

@@ -1,0 +1,411 @@
+"""Hybrid validation: static may-yield summaries vs. observed pulses.
+
+The static side (:mod:`~repro.analysis.flow.summaries`) claims, per
+operator class, whether it *originates* pulses (unguarded ``yield
+PULSE``) or merely forwards them.  The dynamic side instruments a real
+run: the operator factory wraps every operator in a probe wrapper, and
+because one pulse propagates innermost-first through every enclosing
+wrapper, an operator's **origin count** is its own sightings minus its
+children's.  The two sides must agree:
+
+* **soundness** — a class observed originating pulses must be statically
+  an originator (a miss here means the static analysis would let the
+  scheduler story rot silently: a suspension point it cannot see);
+* **consistency** — a class that saw pulses at all must be statically
+  may-pulse;
+* **completeness** — every statically-originating class that was
+  instantiated should be observed originating somewhere in the harness
+  (strict mode; origins can be mode-dependent — a single-batch hash
+  join never spills, a small sort never crosses a CPU chunk — so the
+  harness forces tiny ``work_mem``).
+
+Traces: probe events (``operator_built`` / ``pulse``) are ordinary
+:mod:`repro.obs` events, so a run can be recorded to JSONL with the
+standard exporter and re-validated offline — that is the CI shape
+(record one Q5 trace, check it against the committed source).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional, Union
+
+from repro.analysis.flow.callgraph import build_callgraph
+from repro.analysis.flow.summaries import ClassPulseSummary, operator_pulse_summaries
+
+if TYPE_CHECKING:  # pragma: no cover - runtime imports stay lazy
+    from repro.executor.base import Operator
+    from repro.obs.bus import TraceBus
+    from repro.obs.events import TraceEvent
+    from repro.sim.clock import VirtualClock
+
+#: The default harness: every paper query, at a work_mem small enough to
+#: force multi-batch hash joins and external sorts (mode-dependent
+#: origins must actually fire).
+DEFAULT_QUERIES: tuple[str, ...] = ("Q1", "Q2", "Q3", "Q4", "Q5")
+DEFAULT_WORK_MEM = 4
+
+
+class PulseProbe:
+    """Runtime observer handed to the executor via ``ctx.pulse_probe``."""
+
+    def __init__(
+        self,
+        clock: "VirtualClock",
+        bus: Optional["TraceBus"] = None,
+    ) -> None:
+        self._clock = clock
+        self.bus = bus
+        #: build index -> operator class name.
+        self.builds: dict[int, str] = {}
+        #: build index -> pulses seen by that operator's wrapper.
+        self.pulses: dict[int, int] = {}
+        #: build index -> child build indexes.
+        self.children: dict[int, tuple[int, ...]] = {}
+        self._index_by_node: dict[int, int] = {}
+        self._next = 0
+
+    def on_build(self, op: "Operator") -> None:
+        index = self._next
+        self._next += 1
+        self._index_by_node[id(op.node)] = index
+        name = type(op).__name__
+        self.builds[index] = name
+        self.pulses[index] = 0
+        kids = tuple(
+            self._index_by_node[id(child)]
+            for child in op.node.children
+            if id(child) in self._index_by_node
+        )
+        self.children[index] = kids
+        if self.bus is not None:
+            from repro.obs.events import OperatorInstantiated
+
+            self.bus.emit(
+                OperatorInstantiated(
+                    t=self._clock.now, op=name, node=index, children=kids
+                )
+            )
+
+    def on_pulse(self, op: "Operator") -> None:
+        index = self._index_by_node[id(op.node)]
+        self.pulses[index] += 1
+        if self.bus is not None:
+            from repro.obs.events import PulseObserved
+
+            self.bus.emit(
+                PulseObserved(t=self._clock.now, op=self.builds[index], node=index)
+            )
+
+    # ------------------------------------------------------------------
+
+    def origin_counts(self) -> dict[int, int]:
+        """Per-operator origin pulses: own sightings minus children's."""
+        return {
+            index: self.pulses[index]
+            - sum(self.pulses[child] for child in self.children[index])
+            for index in self.builds
+        }
+
+
+@dataclass
+class ObservedPulses:
+    """Aggregated dynamic facts, per operator class name."""
+
+    instantiated: dict[str, int] = field(default_factory=dict)
+    seen: dict[str, int] = field(default_factory=dict)
+    origin: dict[str, int] = field(default_factory=dict)
+
+    def absorb_probe(self, probe: PulseProbe) -> None:
+        origins = probe.origin_counts()
+        for index, name in probe.builds.items():
+            self.instantiated[name] = self.instantiated.get(name, 0) + 1
+            self.seen[name] = self.seen.get(name, 0) + probe.pulses[index]
+            self.origin[name] = self.origin.get(name, 0) + max(
+                0, origins[index]
+            )
+
+    def absorb_events(self, events: "list[TraceEvent]") -> None:
+        """Rebuild the per-class counts from a recorded (single-run)
+        probe event stream."""
+        builds: dict[int, str] = {}
+        children: dict[int, tuple[int, ...]] = {}
+        pulses: dict[int, int] = {}
+        for event in events:
+            payload: dict[str, Any] = event.to_dict()
+            if event.kind == "operator_built":
+                index = int(payload["node"])
+                builds[index] = str(payload["op"])
+                children[index] = tuple(int(c) for c in payload["children"])
+                pulses.setdefault(index, 0)
+            elif event.kind == "pulse":
+                index = int(payload["node"])
+                pulses[index] = pulses.get(index, 0) + 1
+        for index, name in builds.items():
+            own = pulses.get(index, 0)
+            origin = own - sum(
+                pulses.get(child, 0) for child in children.get(index, ())
+            )
+            self.instantiated[name] = self.instantiated.get(name, 0) + 1
+            self.seen[name] = self.seen.get(name, 0) + own
+            self.origin[name] = self.origin.get(name, 0) + max(0, origin)
+
+
+@dataclass
+class CrosscheckReport:
+    """The static/dynamic agreement verdict."""
+
+    ok: bool
+    errors: list[str]
+    notes: list[str]
+    observed: ObservedPulses
+    static: dict[str, ClassPulseSummary]
+
+    def render(self) -> str:
+        lines: list[str] = []
+        for name in sorted(self.static):
+            summary = self.static[name]
+            built = self.observed.instantiated.get(name, 0)
+            origin = self.observed.origin.get(name, 0)
+            seen = self.observed.seen.get(name, 0)
+            static_kind = (
+                "origin" if summary.origin
+                else ("forward" if summary.may_pulse else "silent")
+            )
+            lines.append(
+                f"  {name:<20} static={static_kind:<8} built={built:<3} "
+                f"pulses={seen:<6} origin={origin}"
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        for error in self.errors:
+            lines.append(f"  ERROR: {error}")
+        verdict = "agree" if self.ok else "DISAGREE"
+        lines.append(
+            f"static may-yield summaries and observed pulses {verdict}"
+        )
+        return "\n".join(lines)
+
+
+def static_operator_summaries(
+    package_dir: Optional[Path] = None,
+) -> dict[str, ClassPulseSummary]:
+    """May-yield summaries for the ``Operator`` hierarchy in the source
+    tree this interpreter is running."""
+    if package_dir is None:
+        import repro
+
+        assert repro.__file__ is not None
+        package_dir = Path(repro.__file__).resolve().parent
+    graph = build_callgraph(package_dir)
+    return operator_pulse_summaries(graph)
+
+
+def validate(
+    observed: ObservedPulses,
+    static: Optional[dict[str, ClassPulseSummary]] = None,
+    strict_complete: bool = False,
+) -> CrosscheckReport:
+    """Compare observed pulse attribution against the static summaries."""
+    if static is None:
+        static = static_operator_summaries()
+    errors: list[str] = []
+    notes: list[str] = []
+    for name in sorted(observed.instantiated):
+        summary = static.get(name)
+        if summary is None:
+            # Probe wrappers themselves, or operators outside the tree.
+            continue
+        if observed.origin.get(name, 0) > 0 and not summary.origin:
+            errors.append(
+                f"{name} was observed originating "
+                f"{observed.origin[name]} pulse(s) but the static summary "
+                f"says it only forwards — the analyzer missed a suspension "
+                f"point"
+            )
+        if observed.seen.get(name, 0) > 0 and not summary.may_pulse:
+            errors.append(
+                f"{name} saw {observed.seen[name]} pulse(s) but is "
+                f"statically pulse-free"
+            )
+    for name in sorted(static):
+        summary = static[name]
+        if not summary.origin:
+            continue
+        built = observed.instantiated.get(name, 0)
+        if built == 0:
+            notes.append(f"{name} is a static originator but was not "
+                         f"instantiated by this run")
+            continue
+        if observed.origin.get(name, 0) == 0:
+            message = (
+                f"{name} is a static pulse originator and was instantiated "
+                f"{built} time(s) but never observed originating"
+            )
+            if strict_complete:
+                errors.append(message)
+            else:
+                notes.append(message)
+    return CrosscheckReport(
+        ok=not errors,
+        errors=errors,
+        notes=notes,
+        observed=observed,
+        static=static,
+    )
+
+
+# ----------------------------------------------------------------------
+# running the harness
+
+
+def _build_database(query: str, scale: float, work_mem: int) -> Any:
+    from repro.config import SystemConfig
+    from repro.workloads import correlated, tpcr
+
+    config = SystemConfig(work_mem_pages=work_mem)
+    builder = correlated if query == "Q3" else tpcr
+    return builder.build_database(scale=scale, config=config)
+
+
+def _probe_query(
+    db: Any, sql: str, record: bool
+) -> tuple[PulseProbe, "list[TraceEvent]"]:
+    """Run one query on ``db`` with the pulse probe installed."""
+    from repro.executor.base import PULSE, ExecContext
+    from repro.executor.runtime import execute
+    from repro.obs.bus import TraceBus
+
+    planned = db.prepare(sql)
+    bus = TraceBus() if record else None
+    probe = PulseProbe(db.clock, bus)
+    ctx = ExecContext(
+        db.clock,
+        db.disk,
+        db.buffer_pool,
+        db.config,
+        tracker=None,
+        pulse_probe=probe,
+    )
+    for item in execute(planned, ctx):
+        if item is PULSE:
+            continue
+    events: "list[TraceEvent]" = list(bus.events) if bus is not None else []
+    return probe, events
+
+
+def _synthetic_database(work_mem: int) -> Any:
+    """A purpose-built instance whose plans cover operators the paper
+    workload skips at small scale: ORDER BY over a 20k-row table at tiny
+    work_mem forces an external sort (SortOp), disabling hash join routes
+    an equi-join through MergeJoinOp, and a fat-row table makes a
+    multi-leaf index *range* scan beat the sequential scan — IndexScanOp
+    pulses once per leaf page (fanout entries), so the range must cross a
+    leaf boundary for its origin claim to be exercised."""
+    from repro.config import SystemConfig
+    from repro.database import Database
+    from repro.storage.schema import Column, Schema
+    from repro.storage.types import INTEGER, string
+
+    config = SystemConfig(work_mem_pages=work_mem).with_planner(
+        enable_hashjoin=False
+    )
+    db = Database(config)
+    db.create_table(
+        "big",
+        Schema([Column("k", INTEGER), Column("pad", string(60))]),
+        [(i, "x" * 50) for i in range(20_000)],
+    )
+    db.create_table(
+        "small",
+        Schema([Column("k", INTEGER), Column("v", INTEGER)]),
+        [(i * 7 % 500, i) for i in range(500)],
+    )
+    db.create_table(
+        "wide",
+        Schema([Column("k", INTEGER), Column("pad", string(1400))]),
+        [(i, "x" * 1400) for i in range(15_000)],
+    )
+    db.analyze()
+    db.create_index("big", "k")
+    db.create_index("wide", "k")
+    return db
+
+
+#: Queries run against :func:`_synthetic_database` in the full harness.
+SYNTHETIC_QUERIES: tuple[str, ...] = (
+    "select k from wide where k >= 0 and k < 600",
+    "select pad from big order by k desc",
+    "select b.k from big b, small s where b.k = s.k",
+)
+
+
+def run_probe(
+    query: str,
+    scale: float = 0.005,
+    work_mem: int = DEFAULT_WORK_MEM,
+    record: bool = False,
+) -> tuple[PulseProbe, "list[TraceEvent]"]:
+    """Run one paper query with the pulse probe installed.
+
+    ``record=True`` also emits the probe's events onto a TraceBus whose
+    event list is returned (for JSONL export).
+    """
+    from repro.workloads import queries as paper_queries
+
+    name = query.upper()
+    sql = paper_queries.PAPER_QUERIES[name]
+    db = _build_database(name, scale, work_mem)
+    return _probe_query(db, sql, record)
+
+
+def run_crosscheck(
+    queries: Optional[list[str]] = None,
+    scale: float = 0.005,
+    work_mem: int = DEFAULT_WORK_MEM,
+    strict_complete: bool = False,
+    synthetic: bool = True,
+) -> CrosscheckReport:
+    """Run the harness queries and validate against the static summaries.
+
+    ``synthetic`` adds the purpose-built queries that exercise operators
+    the paper workload's plans skip (index scan, external sort, merge
+    join); disable it when probing one specific paper query.
+    """
+    observed = ObservedPulses()
+    for query in queries or list(DEFAULT_QUERIES):
+        probe, _events = run_probe(query, scale=scale, work_mem=work_mem)
+        observed.absorb_probe(probe)
+    if synthetic:
+        db = _synthetic_database(work_mem)
+        for sql in SYNTHETIC_QUERIES:
+            probe, _events = _probe_query(db, sql, record=False)
+            observed.absorb_probe(probe)
+    return validate(observed, strict_complete=strict_complete)
+
+
+def record_trace(
+    path: Union[str, Path],
+    query: str = "Q5",
+    scale: float = 0.005,
+    work_mem: int = DEFAULT_WORK_MEM,
+) -> int:
+    """Record one query's probe events to a JSONL trace; returns the
+    number of events written."""
+    from repro.obs.exporters import write_jsonl
+
+    _probe, events = run_probe(query, scale=scale, work_mem=work_mem, record=True)
+    return write_jsonl(events, path)
+
+
+def check_trace(
+    path: Union[str, Path], strict_complete: bool = False
+) -> CrosscheckReport:
+    """Validate a recorded (single-run) probe trace against the current
+    source tree's static summaries."""
+    from repro.obs.exporters import read_jsonl
+
+    observed = ObservedPulses()
+    observed.absorb_events(read_jsonl(path))
+    return validate(observed, strict_complete=strict_complete)

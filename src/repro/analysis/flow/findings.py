@@ -1,0 +1,57 @@
+"""The finding type shared by the interprocedural passes.
+
+Flow findings differ from per-file :class:`~repro.analysis.rules.LintFinding`
+in two ways: they name the *function* they occur in (baseline suppressions
+match on it), and they may carry a call-path **witness** — the chain of
+calls that makes an interprocedural claim checkable by a human.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FlowFinding:
+    """One interprocedural diagnostic at a source location."""
+
+    rule: str
+    #: Repo-relative posix path of the file.
+    path: str
+    #: Qualified name of the containing function ("repro.sched.scheduler.
+    #: CooperativeScheduler._run_slice"), or the module name for
+    #: module-level findings.
+    function: str
+    line: int
+    message: str
+    #: Call chain demonstrating the claim, outermost first.  Empty when
+    #: the finding is self-contained.
+    witness: tuple[str, ...] = field(default=())
+
+    def format(self) -> str:
+        lines = [f"{self.path}:{self.line}: {self.rule} [{self.function}] "
+                 f"{self.message}"]
+        if self.witness:
+            lines.append("    via " + " -> ".join(self.witness))
+        return "\n".join(lines)
+
+
+def sort_findings(findings: list[FlowFinding]) -> list[FlowFinding]:
+    """Deterministic report order (golden tests pin the rendered output)."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.function))
+
+
+def render_flow_findings(findings: list[FlowFinding]) -> str:
+    """Ruff-style report: one block per finding plus a per-rule summary."""
+    ordered = sort_findings(findings)
+    if not ordered:
+        return "no findings"
+    lines = [f.format() for f in ordered]
+    by_rule: dict[str, int] = {}
+    for f in ordered:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    lines.append("")
+    lines.append(f"{len(ordered)} finding(s)")
+    for rule in sorted(by_rule):
+        lines.append(f"  {rule}: {by_rule[rule]}")
+    return "\n".join(lines)

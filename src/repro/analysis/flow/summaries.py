@@ -1,0 +1,137 @@
+"""Transitive may-yield summaries over the call graph.
+
+Generator-coroutine semantics drive every definition here:
+
+* a frame **suspends** only at a ``yield`` / ``yield from`` in its *own*
+  body — a plain call never suspends the caller;
+* a ``yield PULSE`` whose yield sits under an ``if <x> is PULSE:`` guard
+  is the *forwarding* idiom (``pull``, the counting wrapper, every
+  pass-through operator); an unguarded one **originates** a pulse — it is
+  a bounded-work boundary the scheduler may use to suspend the query;
+* a function **may reach** a pulse if its own frame originates one, or if
+  any resolvable callee (plain call, iterated generator, ``yield from``)
+  may — the may-analysis closure the hybrid trace cross-check validates
+  against observed pulse events.
+
+Class-level summaries aggregate a class's methods *and* their nested
+``def``s (a run-merge's inner ``read_run`` belongs to ``SortOp``), which
+is the granularity the dynamic pulse probe attributes at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.flow.callgraph import CallGraph
+
+
+@dataclass(frozen=True)
+class YieldSummary:
+    """Per-function yield/pulse facts."""
+
+    qualname: str
+    is_generator: bool
+    #: Unguarded ``yield PULSE`` in this frame: a pulse origin.
+    origin: bool
+    #: This frame yields the PULSE marker at all (origin or forward).
+    yields_pulse: bool
+    #: May surface the PULSE marker to its consumer: yields it (origin or
+    #: forward) or transitively reaches a function that does.
+    may_pulse: bool
+
+
+@dataclass(frozen=True)
+class ClassPulseSummary:
+    """Per-class aggregate of its methods' yield summaries."""
+
+    class_key: str
+    #: Some method (or nested def) of the class originates pulses.
+    origin: bool
+    #: Some method of the class may transitively reach a pulse origin.
+    may_pulse: bool
+
+
+def compute_summaries(graph: CallGraph) -> dict[str, YieldSummary]:
+    """Fixpoint of may-pulse over the call graph's resolvable edges."""
+    origin = {
+        q: info.has_origin_yield() for q, info in graph.functions.items()
+    }
+    # Seed from every pulse yield — origins AND forwards (``pull``, the
+    # pass-through operators): a forwarder surfaces pulses to whoever
+    # iterates it, so its callers are may-pulse too.
+    may_pulse = {
+        q: origin[q] or any(y.yields_pulse for y in info.yields)
+        for q, info in graph.functions.items()
+    }
+    # Propagate reachability backwards until stable.  The graph is small
+    # (one pass per edge level); a worklist keeps it near-linear.
+    worklist = [q for q, seeded in may_pulse.items() if seeded]
+    seen_in_list = set(worklist)
+    while worklist:
+        target = worklist.pop()
+        seen_in_list.discard(target)
+        for caller in graph.callers(target):
+            if not may_pulse.get(caller, False):
+                may_pulse[caller] = True
+                if caller not in seen_in_list:
+                    worklist.append(caller)
+                    seen_in_list.add(caller)
+    return {
+        q: YieldSummary(
+            qualname=q,
+            is_generator=info.is_generator,
+            origin=origin[q],
+            yields_pulse=any(y.yields_pulse for y in info.yields),
+            may_pulse=may_pulse[q],
+        )
+        for q, info in graph.functions.items()
+    }
+
+
+def class_pulse_summaries(
+    graph: CallGraph,
+    summaries: "dict[str, YieldSummary] | None" = None,
+) -> dict[str, ClassPulseSummary]:
+    """Aggregate function summaries per class (nested defs included)."""
+    if summaries is None:
+        summaries = compute_summaries(graph)
+    out: dict[str, ClassPulseSummary] = {}
+    for key in graph.classes:
+        origin = False
+        may_pulse = False
+        for info in graph.methods_of(key):
+            s = summaries[info.qualname]
+            origin = origin or s.origin
+            may_pulse = may_pulse or s.may_pulse
+        out[key] = ClassPulseSummary(
+            class_key=key, origin=origin, may_pulse=may_pulse
+        )
+    return out
+
+
+def operator_pulse_summaries(
+    graph: CallGraph, base: str = "repro.executor.base.Operator"
+) -> dict[str, ClassPulseSummary]:
+    """Class summaries restricted to the ``Operator`` hierarchy, keyed by
+    bare class name (the granularity the runtime pulse probe records)."""
+    per_class = class_pulse_summaries(graph)
+    out: dict[str, ClassPulseSummary] = {}
+    for key, cls in graph.classes.items():
+        # Walk the resolvable base chain to check hierarchy membership.
+        seen: set[str] = set()
+        stack = [key]
+        in_hierarchy = False
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current == base:
+                in_hierarchy = True
+                break
+            info = graph.classes.get(current)
+            if info is not None:
+                stack.extend(info.resolved_bases)
+        if in_hierarchy:
+            out[cls.name] = per_class[key]
+    return out

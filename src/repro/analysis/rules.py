@@ -56,6 +56,16 @@ machinery, the scheduler's containment boundary, or a test harness
 needed to see.  The few *deliberate* boundaries (the indicator's
 degrade-don't-die wrappers, the scheduler-adjacent worker-thread edge)
 carry an explanatory ``# noqa: REPRO007``.
+
+``REPRO008`` **no-unseeded-random** — outside ``sim/``, ``fault/`` and
+test code, no unseeded randomness: zero-argument ``random.Random()``
+(seeded from the OS), ``random.SystemRandom`` (always OS entropy), and
+module-level ``random.*`` calls (the hidden global stream, including
+``random.seed``).  Every stochastic component takes an explicit
+``random.Random(seed)`` so the same configuration replays the identical
+run — the determinism contract the effect checker
+(:mod:`repro.analysis.flow.effects`) enforces transitively for the
+engine core.  ``random.Random(seed)`` with an argument is fine anywhere.
 """
 
 from __future__ import annotations
@@ -515,4 +525,75 @@ def _check_blanket_except(tree: ast.AST, ctx: LintContext) -> list[LintFinding]:
             name = _blanket_name(clause)
             if name is not None:
                 flag(node, f"'except {name}'")
+    return out
+
+
+# ----------------------------------------------------------------------
+# REPRO008 — no unseeded randomness outside sim/, fault/ and tests
+
+#: Packages allowed to own randomness (always behind explicit seeds).
+_RANDOM_EXEMPT_PACKAGES = frozenset({"sim", "fault"})
+
+
+def _random_exempt(ctx: LintContext) -> bool:
+    if any(p in _RANDOM_EXEMPT_PACKAGES for p in ctx.packages):
+        return True
+    path = ctx.path.replace("\\", "/")
+    parts = path.split("/")
+    return any(p in ("tests", "test") for p in parts) or parts[-1].startswith(
+        "test_"
+    )
+
+
+@_rule("REPRO008", "no-unseeded-random")
+def _check_unseeded_random(tree: ast.AST, ctx: LintContext) -> list[LintFinding]:
+    if _random_exempt(ctx):
+        return []
+    out = []
+
+    def flag(node: ast.AST, what: str) -> None:
+        out.append(
+            LintFinding(
+                rule="REPRO008",
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=f"unseeded randomness {what!r}; draw from an "
+                f"explicitly seeded random.Random(seed) so runs replay "
+                f"deterministically",
+            )
+        )
+
+    #: local name -> original name, for ``from random import ...``.
+    from_random: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.ImportFrom)
+            and node.level == 0
+            and node.module == "random"
+        ):
+            for alias in node.names:
+                if alias.name != "*":
+                    from_random[alias.asname or alias.name] = alias.name
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        head, _, tail = dotted.rpartition(".")
+        if head == "random":
+            origin = tail
+        elif head == "" and tail in from_random:
+            origin = from_random[tail]
+        else:
+            continue
+        if origin == "Random":
+            if not node.args and not node.keywords:
+                flag(node, f"{dotted}() with no seed")
+        elif origin == "SystemRandom":
+            flag(node, dotted)
+        else:
+            flag(node, f"{dotted}() on the global stream")
     return out

@@ -204,7 +204,7 @@ class ConcurrentWorkload:
     def __init__(self, db: Database, quantum: float = 0.25) -> None:
         self._db = db
         self._gate = _ClockGate(db.clock, quantum)
-        db.clock.gate = self._gate
+        db.clock.set_gate(self._gate)
         self.queries: dict[str, QueryRun] = {}
         self._started = False
         #: Workers block on this until every thread is registered with the

@@ -117,14 +117,14 @@ class Database:
         from repro.fault.injector import FaultInjector
 
         injector = FaultInjector(plan, self.clock)
-        self.disk.faults = injector
-        self.buffer_pool.faults = injector
+        self.disk.set_faults(injector)
+        self.buffer_pool.set_faults(injector)
         return injector
 
     def clear_faults(self) -> None:
         """Disarm fault injection; storage hooks return to the ~zero path."""
-        self.disk.faults = None
-        self.buffer_pool.faults = None
+        self.disk.set_faults(None)
+        self.buffer_pool.set_faults(None)
 
     @property
     def faults(self) -> "Optional[FaultInjector]":

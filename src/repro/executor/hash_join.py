@@ -18,6 +18,8 @@ plan node):
 
 from __future__ import annotations
 
+import struct
+import zlib
 from typing import Iterator, Optional
 
 from repro.errors import ExecutionError
@@ -36,6 +38,34 @@ def _key_fn(columns: list[PlanColumn], keys: list[tuple[int, int]]):
         slot = slots[0]
         return lambda row: row[slot]
     return lambda row: tuple(row[i] for i in slots)
+
+
+def _stable_hash(value) -> int:
+    """``PYTHONHASHSEED``-independent hash for partition routing.
+
+    The builtin ``hash()`` salts ``str`` per process, so partition
+    contents — and with them spill sizes, I/O counts, and the progress
+    curves derived from both — would differ between otherwise identical
+    runs (REPRO110 salted-hash).  Integers map to themselves, which for
+    the workload's small positive keys reproduces ``hash(int)`` exactly.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    if isinstance(value, float):
+        return zlib.crc32(struct.pack(">d", value))
+    if isinstance(value, tuple):
+        acc = 0x811C9DC5
+        for item in value:
+            acc = ((acc * 0x01000193) ^ (_stable_hash(item) & 0xFFFFFFFF))
+            acc &= 0xFFFFFFFF
+        return acc
+    if value is None:
+        return 0
+    return zlib.crc32(repr(value).encode("utf-8"))
 
 
 def _spill_schema(columns: list[PlanColumn]) -> Schema:
@@ -255,7 +285,7 @@ class HashJoinOp(Operator):
                 continue
             ctx.clock.advance(cost.cpu_hash, CPU)
             key = key_fn(row)
-            batch = hash(key) % nbatches if key is not None else 0
+            batch = _stable_hash(key) % nbatches if key is not None else 0
             parts[batch].append(row)
             if tracker is not None and segment is not None:
                 tracker.output_rows(segment, 1, width_fn(row))

@@ -440,6 +440,44 @@ class IndicatorDegraded(TraceEvent):
 
 
 # ----------------------------------------------------------------------
+# cooperative-execution probes (the static/dynamic pulse cross-check)
+
+
+@dataclass(frozen=True)
+class OperatorInstantiated(TraceEvent):
+    """The operator factory built one operator (pulse-probe runs only).
+
+    ``node`` is the probe's build index for the operator's plan node;
+    ``children`` are the build indexes of its child operators (children
+    are constructed before their parent), so a trace consumer can
+    re-derive the operator tree from the event stream alone.
+    """
+
+    op: str
+    node: int
+    children: tuple[int, ...]
+
+    kind = "operator_built"
+
+
+@dataclass(frozen=True)
+class PulseObserved(TraceEvent):
+    """A PULSE marker passed one operator's probe wrapper.
+
+    Every wrapper between the originating operator and the driver sees
+    the same pulse (innermost first), so an operator's *origin* count is
+    ``seen(node) - sum(seen(child) for child in children)`` — which is
+    what :mod:`repro.analysis.flow.crosscheck` compares against the
+    static may-yield summaries.
+    """
+
+    op: str
+    node: int
+
+    kind = "pulse"
+
+
+# ----------------------------------------------------------------------
 # wire format
 
 _EVENT_TYPES: tuple[Type[TraceEvent], ...] = (
@@ -467,6 +505,8 @@ _EVENT_TYPES: tuple[Type[TraceEvent], ...] = (
     BufferAccess,
     PageRead,
     PageWritten,
+    OperatorInstantiated,
+    PulseObserved,
 )
 
 #: kind string -> event class, for deserialization.
@@ -504,4 +544,6 @@ def event_from_dict(payload: dict[str, Any]) -> TraceEvent:
         raise ValueError(f"unknown trace event kind {kind!r}") from None
     for name, inner in _NESTED.get(kind, {}).items():
         data[name] = tuple(_rebuild(inner, v) for v in data[name])
+    if kind == "operator_built":
+        data["children"] = tuple(data["children"])
     return cls(**data)

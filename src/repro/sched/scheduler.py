@@ -309,10 +309,12 @@ class CooperativeScheduler:
 
         task.state = RUNNING
         prev_owner = disk.set_owner(task.name)
-        prev_traces = (disk.trace, pool.trace)
+        prev_traces = None
         if task.trace_bus is not None:
-            disk.trace = task.trace_bus
-            pool.trace = task.trace_bus
+            prev_traces = (
+                disk.set_trace(task.trace_bus),
+                pool.set_trace(task.trace_bus),
+            )
         try:
             while True:
                 try:
@@ -348,7 +350,9 @@ class CooperativeScheduler:
             raise
         finally:
             disk.set_owner(prev_owner)
-            disk.trace, pool.trace = prev_traces
+            if prev_traces is not None:
+                disk.set_trace(prev_traces[0])
+                pool.set_trace(prev_traces[1])
             record = SliceRecord(
                 seq=self._seq,
                 task=task.name,

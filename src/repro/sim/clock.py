@@ -77,6 +77,16 @@ class VirtualClock:
         self._load = load
         self._refresh_factors()
 
+    def set_gate(self, gate):
+        """Install (or clear) the charge arbiter; returns the prior gate.
+
+        The mediating API for the ``gate`` attribute (concurrent
+        workloads install a :class:`repro.core.concurrent._ClockGate`).
+        """
+        previous = self.gate
+        self.gate = gate
+        return previous
+
     def add_ticker(
         self,
         interval: float,

@@ -60,6 +60,21 @@ class BufferPool:
         #: the effective capacity.  None (default) is the zero-cost path.
         self.faults: Optional["FaultInjector"] = None
 
+    def set_trace(self, trace: Optional["TraceBus"]) -> Optional["TraceBus"]:
+        """Install (or clear) the trace bus; returns the prior bus so
+        callers can restore it (the scheduler brackets each slice)."""
+        previous = self.trace
+        self.trace = trace
+        return previous
+
+    def set_faults(
+        self, faults: Optional["FaultInjector"]
+    ) -> Optional["FaultInjector"]:
+        """Install (or clear) the fault injector; returns the prior one."""
+        previous = self.faults
+        self.faults = faults
+        return previous
+
     @property
     def capacity(self) -> int:
         return self._capacity

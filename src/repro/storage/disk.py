@@ -95,6 +95,23 @@ class SimulatedDisk:
         self._owner = owner
         return previous
 
+    def set_trace(self, trace: Optional["TraceBus"]) -> Optional["TraceBus"]:
+        """Install (or clear) the trace bus; returns the prior bus so
+        callers can restore it.  The mediating API for a shared-state
+        attribute (see the ownership registry in repro.analysis.flow):
+        the scheduler brackets each slice with ``set_trace``/restore."""
+        previous = self.trace
+        self.trace = trace
+        return previous
+
+    def set_faults(
+        self, faults: Optional["FaultInjector"]
+    ) -> Optional["FaultInjector"]:
+        """Install (or clear) the fault injector; returns the prior one."""
+        previous = self.faults
+        self.faults = faults
+        return previous
+
     def owner_counters(self, owner: str) -> dict[str, int]:
         """Copy of one owner's I/O counters (zeros if it never did I/O)."""
         counters = self._owner_counters.get(owner)

@@ -258,6 +258,65 @@ class TestDriver:
         assert rules_of(lint_file(bad)) == {"REPRO003"}
 
 
+class TestUnseededRandomRule:
+    def test_flags_module_level_call(self):
+        findings = lint_source(
+            "import random\n\ndef f():\n    return random.randint(0, 9)\n",
+            "src/repro/workloads/x.py",
+        )
+        assert rules_of(findings) == {"REPRO008"}
+
+    def test_flags_zero_arg_random(self):
+        findings = lint_source(
+            "import random\n\nrng = random.Random()\n",
+            "src/repro/core/x.py",
+        )
+        assert "REPRO008" in rules_of(findings)
+
+    def test_seeded_random_is_fine(self):
+        findings = lint_source(
+            "import random\n\nrng = random.Random(42)\n",
+            "src/repro/core/x.py",
+        )
+        assert "REPRO008" not in rules_of(findings)
+
+    def test_flags_system_random_even_seeded(self):
+        findings = lint_source(
+            "import random\n\nrng = random.SystemRandom(1)\n",
+            "src/repro/obs/x.py",
+        )
+        assert rules_of(findings) == {"REPRO008"}
+
+    def test_flags_from_import_calls(self):
+        findings = lint_source(
+            "from random import randint\n\ndef f():\n    return randint(0, 9)\n",
+            "src/repro/planner/x.py",
+        )
+        assert rules_of(findings) == {"REPRO008"}
+
+    def test_flags_global_seed(self):
+        findings = lint_source(
+            "import random\n\nrandom.seed(7)\n", "src/repro/obs/x.py"
+        )
+        assert rules_of(findings) == {"REPRO008"}
+
+    def test_sim_and_fault_are_exempt(self):
+        source = "import random\n\ndef f():\n    return random.random()\n"
+        assert lint_source(source, "src/repro/sim/x.py") == []
+        assert lint_source(source, "src/repro/fault/x.py") == []
+
+    def test_tests_are_exempt(self):
+        source = "import random\n\nv = random.random()\n"
+        assert lint_source(source, "tests/unit/test_x.py") == []
+
+    def test_unrelated_receiver_not_flagged(self):
+        findings = lint_source(
+            "def f(self):\n    return self.random.draw()\n",
+            "src/repro/core/x.py",
+        )
+        assert "REPRO008" not in rules_of(findings)
+
+
 def test_shipped_tree_is_clean():
     """The lint pass lands green on the repo's own source tree."""
     assert lint_paths([REPO_SRC]) == []

@@ -1,0 +1,170 @@
+"""Unit tests: the static/dynamic pulse cross-check (analysis.flow)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.flow.crosscheck import (
+    ObservedPulses,
+    check_trace,
+    record_trace,
+    run_probe,
+    static_operator_summaries,
+    validate,
+)
+from repro.analysis.flow.summaries import ClassPulseSummary
+from repro.obs.events import OperatorInstantiated, PulseObserved
+
+
+def summary(name: str, origin: bool, may_pulse: bool) -> ClassPulseSummary:
+    return ClassPulseSummary(
+        class_key=f"repro.executor.x.{name}", origin=origin, may_pulse=may_pulse
+    )
+
+
+STATIC = {
+    "ScanOp": summary("ScanOp", origin=True, may_pulse=True),
+    "MapOp": summary("MapOp", origin=False, may_pulse=True),
+    "QuietOp": summary("QuietOp", origin=False, may_pulse=False),
+}
+
+
+def observed(**per_class) -> ObservedPulses:
+    """``observed(ScanOp=(built, seen, origin), ...)``"""
+    out = ObservedPulses()
+    for name, (built, seen, origin) in per_class.items():
+        out.instantiated[name] = built
+        out.seen[name] = seen
+        out.origin[name] = origin
+    return out
+
+
+class TestValidate:
+    def test_agreement(self):
+        report = validate(
+            observed(ScanOp=(1, 10, 10), MapOp=(1, 10, 0)), STATIC
+        )
+        assert report.ok
+        assert report.errors == []
+
+    def test_soundness_observed_origin_must_be_static_origin(self):
+        report = validate(observed(MapOp=(1, 5, 5)), STATIC)
+        assert not report.ok
+        [error] = report.errors
+        assert "MapOp" in error and "missed a suspension point" in error
+
+    def test_consistency_seen_requires_may_pulse(self):
+        report = validate(observed(QuietOp=(1, 3, 0)), STATIC)
+        assert not report.ok
+        [error] = report.errors
+        assert "QuietOp" in error and "statically pulse-free" in error
+
+    def test_completeness_is_a_note_by_default(self):
+        report = validate(observed(ScanOp=(2, 0, 0)), STATIC)
+        assert report.ok
+        [note] = [n for n in report.notes if "ScanOp" in n]
+        assert "never observed originating" in note
+
+    def test_completeness_is_an_error_under_strict(self):
+        report = validate(
+            observed(ScanOp=(2, 0, 0)), STATIC, strict_complete=True
+        )
+        assert not report.ok
+
+    def test_uninstantiated_originator_is_only_a_note(self):
+        report = validate(
+            observed(MapOp=(1, 0, 0)), STATIC, strict_complete=True
+        )
+        assert report.ok
+        assert any("not instantiated" in n for n in report.notes)
+
+    def test_unknown_class_is_ignored(self):
+        # Probe wrappers and harness helpers are not in the static map.
+        report = validate(observed(_WrapperOp=(1, 7, 7)), STATIC)
+        assert report.ok
+
+    def test_render_shows_kinds_and_verdict(self):
+        report = validate(
+            observed(ScanOp=(1, 10, 10), MapOp=(1, 10, 0)), STATIC
+        )
+        text = report.render()
+        assert "static=origin" in text
+        assert "static=forward" in text
+        assert "static=silent" in text
+        assert text.endswith("agree")
+
+    def test_render_disagreement(self):
+        text = validate(observed(QuietOp=(1, 3, 0)), STATIC).render()
+        assert "ERROR:" in text
+        assert text.endswith("DISAGREE")
+
+
+class TestAbsorbEvents:
+    def test_rebuilds_origin_attribution_from_a_stream(self):
+        # scan(node 0) originates 3 pulses; map(node 1) wraps it and sees
+        # all 3 plus nothing of its own.
+        events = [
+            OperatorInstantiated(t=0.0, op="ScanOp", node=0, children=()),
+            OperatorInstantiated(t=0.0, op="MapOp", node=1, children=(0,)),
+        ]
+        events += [PulseObserved(t=1.0, op="ScanOp", node=0)] * 3
+        events += [PulseObserved(t=1.0, op="MapOp", node=1)] * 3
+        obs = ObservedPulses()
+        obs.absorb_events(events)
+        assert obs.instantiated == {"ScanOp": 1, "MapOp": 1}
+        assert obs.seen == {"ScanOp": 3, "MapOp": 3}
+        assert obs.origin == {"ScanOp": 3, "MapOp": 0}
+
+    def test_non_probe_events_are_ignored(self):
+        from repro.obs.events import SegmentStarted
+
+        obs = ObservedPulses()
+        obs.absorb_events([SegmentStarted(t=0.0, segment_id=0)])
+        assert obs.instantiated == {}
+
+
+class TestRealRun:
+    @pytest.fixture(scope="class")
+    def q1(self):
+        probe, _ = run_probe("Q1", scale=0.005, work_mem=4)
+        return probe
+
+    def test_probe_wraps_every_operator(self, q1):
+        assert len(q1.builds) > 0
+        assert set(q1.pulses) == set(q1.builds)
+
+    def test_origin_counts_are_nonnegative_for_real_plans(self, q1):
+        # Wrapping is innermost-first, so a parent sees at least its
+        # children's pulses; origins must come out >= 0.
+        assert all(count >= 0 for count in q1.origin_counts().values())
+
+    def test_q1_validates_against_the_shipped_tree(self, q1):
+        obs = ObservedPulses()
+        obs.absorb_probe(q1)
+        report = validate(obs)
+        assert report.ok, "\n" + report.render()
+
+    def test_static_operator_summaries_cover_the_executor(self):
+        static = static_operator_summaries()
+        assert "SeqScanOp" in static
+        assert static["SeqScanOp"].origin
+
+
+class TestTraceRoundTrip:
+    def test_record_then_check(self, tmp_path):
+        path = tmp_path / "probe.jsonl"
+        written = record_trace(path, query="Q1", scale=0.005)
+        assert written > 0
+        report = check_trace(path)
+        assert report.ok, "\n" + report.render()
+        assert report.observed.instantiated  # stream really had builds
+
+    def test_recorded_stream_matches_live_probe(self, tmp_path):
+        probe, events = run_probe("Q1", scale=0.005, record=True)
+        live = ObservedPulses()
+        live.absorb_probe(probe)
+        replayed = ObservedPulses()
+        replayed.absorb_events(events)
+        assert replayed.instantiated == live.instantiated
+        assert replayed.seen == live.seen
+        assert replayed.origin == live.origin

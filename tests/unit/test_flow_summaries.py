@@ -1,0 +1,163 @@
+"""Unit tests: transitive may-yield summaries (analysis.flow)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flow.callgraph import build_callgraph
+from repro.analysis.flow.summaries import (
+    class_pulse_summaries,
+    compute_summaries,
+    operator_pulse_summaries,
+)
+
+from tests.unit.test_flow_callgraph import build_pkg
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+PULSE_CHAIN = (
+    "PULSE = object()\n"
+    "def origin():\n"
+    "    yield 1\n"
+    "    yield PULSE\n"
+    "def forwarder(src):\n"
+    "    for item in origin():\n"
+    "        if item is PULSE:\n"
+    "            yield PULSE\n"
+    "        else:\n"
+    "            yield item\n"
+    "def driver():\n"
+    "    return list(forwarder(None))\n"
+    "def bystander():\n"
+    "    yield 2\n"
+)
+
+
+class TestFixpoint:
+    @pytest.fixture()
+    def summaries(self, tmp_path):
+        return compute_summaries(build_pkg(tmp_path, {"m": PULSE_CHAIN}))
+
+    def test_origin_is_origin_and_may_pulse(self, summaries):
+        s = summaries["pkg.m.origin"]
+        assert s.origin
+        assert s.may_pulse
+
+    def test_forwarder_may_pulse_without_originating(self, summaries):
+        s = summaries["pkg.m.forwarder"]
+        assert not s.origin
+        assert s.may_pulse
+
+    def test_caller_inherits_may_pulse_transitively(self, summaries):
+        s = summaries["pkg.m.driver"]
+        assert not s.origin
+        assert s.may_pulse
+
+    def test_bystander_generator_stays_silent(self, summaries):
+        s = summaries["pkg.m.bystander"]
+        assert not s.origin
+        assert not s.may_pulse
+
+    def test_yields_pulse_distinguishes_callers_from_yielders(self, summaries):
+        # origin and forwarder put PULSE on the wire themselves; driver
+        # only reaches one through a call.
+        assert summaries["pkg.m.origin"].yields_pulse
+        assert summaries["pkg.m.forwarder"].yields_pulse
+        assert not summaries["pkg.m.driver"].yields_pulse
+
+    def test_guard_only_forwarder_seeds_may_pulse(self, tmp_path):
+        # A frame whose only pulse yield is the name-forward idiom must
+        # still be may_pulse: its consumer does see PULSE markers.
+        summaries = compute_summaries(build_pkg(tmp_path, {"m": (
+            "PULSE = object()\n"
+            "def fwd(src):\n"
+            "    for item in src:\n"
+            "        if item is PULSE:\n"
+            "            pass\n"
+            "        yield item\n"
+        )}))
+        s = summaries["pkg.m.fwd"]
+        assert s.may_pulse
+        assert not s.origin
+
+
+class TestClassSummaries:
+    def test_class_rollup_covers_methods(self, tmp_path):
+        graph = build_pkg(tmp_path, {"m": (
+            "PULSE = object()\n"
+            "class Scan:\n"
+            "    def rows(self):\n"
+            "        yield PULSE\n"
+            "    def close(self):\n"
+            "        pass\n"
+            "class Plain:\n"
+            "    def rows(self):\n"
+            "        yield 1\n"
+        )})
+        by_class = class_pulse_summaries(graph, compute_summaries(graph))
+        scan = by_class["pkg.m.Scan"]
+        assert scan.may_pulse and scan.origin
+        plain = by_class["pkg.m.Plain"]
+        assert not plain.may_pulse and not plain.origin
+
+
+class TestRealTree:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_callgraph(REPO_SRC / "repro")
+
+    @pytest.fixture(scope="class")
+    def summaries(self, graph):
+        return compute_summaries(graph)
+
+    @pytest.fixture(scope="class")
+    def operators(self, graph):
+        return operator_pulse_summaries(graph)
+
+    def test_pull_helper_forwards_pulses(self, summaries):
+        s = summaries["repro.executor.base.pull"]
+        assert s.may_pulse
+        assert not s.origin
+
+    def test_seq_scan_originates(self, operators):
+        s = operators["SeqScanOp"]
+        assert s.origin and s.may_pulse
+
+    def test_index_scan_originates(self, operators):
+        s = operators["IndexScanOp"]
+        assert s.origin and s.may_pulse
+
+    def test_sort_originates(self, operators):
+        assert operators["SortOp"].origin
+
+    def test_hash_join_originates(self, operators):
+        assert operators["HashJoinOp"].origin
+
+    def test_project_forwards_only(self, operators):
+        s = operators["ProjectOp"]
+        assert s.may_pulse and not s.origin
+
+    def test_merge_join_forwards_via_pull(self, operators):
+        s = operators["MergeJoinOp"]
+        assert s.may_pulse and not s.origin
+
+    def test_nest_loop_forwards_only(self, operators):
+        s = operators["NestLoopOp"]
+        assert s.may_pulse and not s.origin
+
+    def test_every_executor_operator_is_covered(self, operators):
+        expected = {
+            "SeqScanOp", "IndexScanOp", "SortOp", "HashJoinOp",
+            "MergeJoinOp", "NestLoopOp", "ProjectOp", "FilterOp",
+            "DistinctOp", "LimitOp", "HashAggregateOp",
+        }
+        assert expected <= set(operators)
+
+    def test_every_operator_rows_method_may_pulse(self, operators):
+        silent = {
+            name for name, s in operators.items()
+            if not s.may_pulse and name != "Operator"
+        }
+        assert silent == set()

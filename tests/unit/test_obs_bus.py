@@ -114,7 +114,7 @@ class TestBusSubscribers:
 
 class TestEventWireFormat:
     def test_every_kind_is_registered_and_unique(self):
-        assert len(EVENT_KINDS) == 24
+        assert len(EVENT_KINDS) == 26
         assert "event" not in EVENT_KINDS  # base class is not wire-visible
 
     def test_round_trip_flat_event(self):
