@@ -13,7 +13,7 @@ and the reason the paper's Figure 19 works at all.
 
 from __future__ import annotations
 
-from common import SCALE, experiment_config, run_once
+from common import SCALE, experiment_config, run_once, write_bench_json
 
 from repro.bench import metrics, run_experiment
 from repro.workloads import queries, tpcr
@@ -67,6 +67,18 @@ def test_ablation_scan_granularity(benchmark, record_figure):
             f"{query:<6} {granularity:<12} {mean_text:>15} {undefined:>10}"
         )
     record_figure("ablation_granularity", "\n".join(lines))
+    write_bench_json(
+        "ablation_granularity",
+        scalars={
+            f"{query.lower()}_{granularity}_{field}": value
+            for (query, granularity), (mean, undefined) in stats.items()
+            for field, value in (
+                ("mean_error_s", mean),
+                ("undefined_reports", undefined),
+            )
+        },
+        meta={"scale": SCALE, "cutoff_s": 20.0},
+    )
 
     # CPU-bound Q5: tuple granularity must be far more accurate (or page
     # granularity mostly undefined).

@@ -19,7 +19,7 @@ either alone.
 
 from __future__ import annotations
 
-from common import SCALE, experiment_config, run_once
+from common import SCALE, experiment_config, run_once, write_bench_json
 
 from repro.bench import run_experiment
 from repro.database import Database
@@ -82,6 +82,12 @@ def test_ablation_refinement_formula(benchmark, record_figure):
             f"{mode:<14} {uniform_err[mode]:>14.1f} {skewed_err[mode]:>14.1f}"
         )
     record_figure("ablation_refine", "\n".join(lines))
+    write_bench_json(
+        "ablation_refine",
+        scalars={f"uniform_{m}_err_pages": uniform_err[m] for m in MODES}
+        | {f"skewed_{m}_err_pages": skewed_err[m] for m in MODES},
+        meta={"scale": SCALE, "modes": list(MODES), "skew_rows": SKEW_ROWS},
+    )
 
     # Learning from observed outputs beats never learning (both loads).
     assert uniform_err["paper"] < uniform_err["optimizer"]

@@ -22,7 +22,7 @@ same rows:
 
 from __future__ import annotations
 
-from common import experiment_config, run_once
+from common import experiment_config, run_once, write_bench_json
 
 from repro.bench import metrics, run_experiment
 from repro.database import Database
@@ -97,6 +97,20 @@ def test_ablation_skew(benchmark, record_figure):
             f"{conv:>14} {r.total_elapsed:>9.0f}"
         )
     record_figure("ablation_skew", "\n".join(lines))
+    write_bench_json(
+        "ablation_skew",
+        scalars={
+            f"{layout}_{field}": value
+            for layout in results
+            for field, value in (
+                ("max_overshoot", overshoot[layout]),
+                ("max_undershoot", undershoot[layout]),
+                ("convergence_s", convergence[layout]),
+                ("elapsed_s", results[layout].total_elapsed),
+            )
+        },
+        meta={"rows": ROWS, "sql": SQL},
+    )
 
     # Front-loaded matches inflate early extrapolation: the estimate
     # overshoots beyond the initial (already too-high) E1 level.

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 
-from common import SCALE, experiment_config, run_once
+from common import SCALE, experiment_config, run_once, write_bench_json
 
 from repro.bench import metrics, run_experiment
 from repro.sim.load import InterferenceWindow, LoadProfile
@@ -83,6 +83,15 @@ def test_ablation_speed_estimators(benchmark, record_figure):
         "cannot predict load switches)"
     )
     record_figure("ablation_speed", "\n".join(lines))
+    write_bench_json(
+        "ablation_speed",
+        scalars={
+            f"{scenario}_{kind}_err_s": errors[scenario][kind]
+            for scenario in errors
+            for kind in ESTIMATORS
+        },
+        meta={"scale": SCALE, "query": "Q2", "estimators": list(ESTIMATORS)},
+    )
 
     # Persistent shift: adapting beats averaging forever.
     assert errors["persistent"]["window"] < errors["persistent"]["global"]

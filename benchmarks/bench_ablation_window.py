@@ -10,7 +10,7 @@ and end.
 
 from __future__ import annotations
 
-from common import SCALE, experiment_config, run_once
+from common import SCALE, experiment_config, run_once, write_bench_json
 
 from repro.bench import metrics, run_experiment
 from repro.sim.load import LoadProfile
@@ -48,6 +48,11 @@ def test_ablation_window_length(benchmark, record_figure):
     for w in WINDOWS:
         lines.append(f"{w:>8.0f} {errors[w]:>34.1f}")
     record_figure("ablation_window", "\n".join(lines))
+    write_bench_json(
+        "ablation_window",
+        scalars={f"t{w:g}_err_s": errors[w] for w in WINDOWS},
+        meta={"scale": SCALE, "query": "Q2", "windows_s": list(WINDOWS)},
+    )
 
     # A huge window reacts too slowly to the interference boundaries: the
     # paper's T=10 must beat T=120.

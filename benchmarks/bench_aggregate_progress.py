@@ -11,7 +11,14 @@ breakdown view attributing work to the aggregate segment.
 
 from __future__ import annotations
 
-from common import SCALE, experiment_config, run_once
+from common import (
+    SCALE,
+    experiment_config,
+    experiment_scalars,
+    experiment_series,
+    run_once,
+    write_bench_json,
+)
 
 from repro.bench import metrics, render_table, run_experiment
 from repro.workloads import tpcr
@@ -44,6 +51,13 @@ def test_grouped_query_progress(benchmark, record_figure):
             },
             title="Extension A8: progress of a grouped (GROUP BY/HAVING) query",
         ),
+    )
+
+    write_bench_json(
+        "aggregate_progress",
+        series=experiment_series(result),
+        scalars=experiment_scalars(result),
+        meta={"scale": SCALE, "query": "group-by/having over customer-orders"},
     )
 
     # The plan contains an aggregate segment in addition to the join's.

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 
-from common import experiment_config, run_once
+from common import experiment_config, run_once, write_bench_json
 
 from repro.bench import metrics, render_table
 from repro.core.indicator import ProgressIndicator
@@ -146,6 +146,17 @@ def test_scheduler_concurrency(benchmark, record_figure):
             f"  {n:>12} {slices:>8} {clock:>10.1f} {accuracy[n]:>20.3f}"
         )
     record_figure("concurrent_scheduler", "\n".join(lines))
+    write_bench_json(
+        "concurrent_scheduler",
+        scalars={
+            "direct_real_s": direct_real,
+            "scheduled_real_s": sched_real,
+            "scheduler_overhead": overhead,
+        }
+        | {f"solo_{q.lower()}_err": e for q, e in baselines.items()}
+        | {f"c{n}_mean_err": accuracy[n] for n in per_level},
+        meta={"scale": SCALE, "levels": list(LEVELS), "mix": list(MIX)},
+    )
 
     # Slicing the executor must not blow up real run time (the quantum
     # check is one comparison per PULSE; pulses exist on both paths).
@@ -192,6 +203,22 @@ def test_contention_emerges_without_interference(benchmark, record_figure):
                 f"concurrent Q1: {q1.result.elapsed:.1f}s)"
             ),
         ),
+    )
+
+    write_bench_json(
+        "concurrent_q1_remaining",
+        series={
+            "remaining_s": q1.log.remaining_series(),
+            "actual_remaining_s": [
+                (t, max(0.0, q1.result.elapsed - t))
+                for t, _ in q1.log.remaining_series()
+            ],
+        },
+        scalars={
+            "solo_elapsed_s": solo.elapsed,
+            "concurrent_elapsed_s": q1.result.elapsed,
+        },
+        meta={"scale": SCALE, "mix": ["Q1", "Q2"]},
     )
 
     # Contention stretches the scan.

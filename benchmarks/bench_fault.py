@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 
-from common import experiment_config, run_once
+from common import experiment_config, run_once, write_bench_json
 
 from repro.bench import metrics
 from repro.fault import FaultPlan, RetryPolicy
@@ -115,6 +115,27 @@ def test_fault_injection_overhead_and_accuracy(benchmark, record_figure):
         f"  |err|/elapsed, under faults    : {faulty_err:8.3f}",
     ]
     record_figure("fault_injection", "\n".join(lines))
+    write_bench_json(
+        "fault_injection",
+        scalars={
+            "clean_real_s": clean_real,
+            "quiet_real_s": quiet_real,
+            "quiet_overhead": quiet_overhead,
+            "faulty_real_s": faulty_real,
+            "faults_injected": sum(injector.injected.values()),
+            "retries": injector.retries,
+            "clean_elapsed_s": clean_result.elapsed,
+            "faulty_elapsed_s": faulty_result.elapsed,
+            "clean_err": clean_err,
+            "faulty_err": faulty_err,
+        },
+        meta={
+            "scale": SCALE,
+            "query": "Q2",
+            "transient_read_rate": FAULTY_PLAN.transient_read_rate,
+            "transient_write_rate": FAULTY_PLAN.transient_write_rate,
+        },
+    )
 
     # The faulty run recovered everything: identical row counts.
     assert faulty_result.row_count == clean_result.row_count

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 
-from common import experiment_config
+from common import experiment_config, write_bench_json
 
 from repro.workloads import queries, tpcr
 
@@ -86,6 +86,18 @@ def test_overhead_monitored_vs_plain(benchmark, record_figure):
         ),
     )
 
+    write_bench_json(
+        "overhead",
+        scalars={
+            "plain_real_s": plain_real,
+            "monitored_real_s": monitored_real,
+            "real_overhead": overhead,
+            "simulated_elapsed_s": monitored.result.elapsed,
+            "reports_emitted": len(monitored.log),
+        },
+        meta={"query": "Q2", "scale": SCALE, "rounds": 3},
+    )
+
     # Simulated time is exactly unchanged by monitoring.
     assert monitored.result.elapsed == plain.elapsed
     # Real-time penalty of the counting hot path stays modest even in
@@ -141,6 +153,18 @@ def test_overhead_tracing_on_vs_off(benchmark, record_figure):
                 f"{off.result.elapsed:.2f} untraced)",
             ]
         ),
+    )
+
+    write_bench_json(
+        "overhead_tracing",
+        scalars={
+            "tracing_off_real_s": off_real,
+            "tracing_on_real_s": on_real,
+            "real_overhead": overhead,
+            "events_recorded": len(traced.trace.events),
+            "simulated_elapsed_s": on.result.elapsed,
+        },
+        meta={"query": "Q2", "scale": SCALE, "rounds": 3},
     )
 
     # Tracing charges no virtual time: the simulation is bit-identical.

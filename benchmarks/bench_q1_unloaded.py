@@ -10,7 +10,14 @@ optimizer's estimate (Fig 6), and the completed percentage is linear
 
 from __future__ import annotations
 
-from common import SCALE, experiment_config, run_once
+from common import (
+    SCALE,
+    experiment_config,
+    experiment_scalars,
+    experiment_series,
+    run_once,
+    write_bench_json,
+)
 
 from repro.bench import metrics, render_table, run_experiment
 from repro.workloads import queries, tpcr
@@ -55,6 +62,12 @@ def test_fig4_to_7_q1_unloaded(benchmark, record_figure):
             {"completed %": result.percent_series()},
             title="Figure 7: completed percentage over time (unloaded, Q1)",
         ),
+    )
+    write_bench_json(
+        "q1_unloaded",
+        series=experiment_series(result),
+        scalars=experiment_scalars(result),
+        meta={"query": "Q1", "scale": SCALE, "figures": [4, 5, 6, 7]},
     )
 
     # Figure 4: "almost a straight line".

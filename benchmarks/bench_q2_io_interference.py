@@ -12,7 +12,14 @@ imprint visible (Fig 16).
 
 from __future__ import annotations
 
-from common import SCALE, experiment_config, run_once
+from common import (
+    SCALE,
+    experiment_config,
+    experiment_scalars,
+    experiment_series,
+    run_once,
+    write_bench_json,
+)
 
 from repro.bench import metrics, render_table, run_experiment
 from repro.sim.load import LoadProfile
@@ -76,6 +83,21 @@ def test_fig13_to_16_q2_io_interference(benchmark, record_figure):
             {"completed %": result.percent_series()},
             title=f"Figure 16: completed percentage, I/O interference {header}",
         ),
+    )
+
+    write_bench_json(
+        "q2_io_interference",
+        series=experiment_series(result),
+        scalars=experiment_scalars(result)
+        | {"unloaded_elapsed_s": unloaded.total_elapsed},
+        meta={
+            "query": "Q2",
+            "scale": SCALE,
+            "figures": [13, 14, 15, 16],
+            "copy_start_s": COPY_START,
+            "copy_end_s": COPY_END,
+            "io_slowdown": SLOWDOWN,
+        },
     )
 
     # The copy stretches the query (paper: 510s -> 1027s).

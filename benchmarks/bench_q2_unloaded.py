@@ -11,7 +11,14 @@ better than the optimizer's (Fig 11); percent-done keeps rising (Fig 12).
 
 from __future__ import annotations
 
-from common import SCALE, experiment_config, run_once
+from common import (
+    SCALE,
+    experiment_config,
+    experiment_scalars,
+    experiment_series,
+    run_once,
+    write_bench_json,
+)
 
 from repro.bench import metrics, render_table, run_experiment
 from repro.workloads import queries, tpcr
@@ -62,6 +69,13 @@ def test_fig9_to_12_q2_unloaded(benchmark, record_figure):
             {"completed %": result.percent_series()},
             title="Figure 12: completed percentage over time (unloaded, Q2)",
         ),
+    )
+
+    write_bench_json(
+        "q2_unloaded",
+        series=experiment_series(result),
+        scalars=experiment_scalars(result),
+        meta={"query": "Q2", "scale": SCALE, "figures": [9, 10, 11, 12]},
     )
 
     cost = result.estimated_cost_series()

@@ -12,7 +12,14 @@ the exact cost and stays constant.
 
 from __future__ import annotations
 
-from common import SCALE, experiment_config, run_once
+from common import (
+    SCALE,
+    experiment_config,
+    experiment_scalars,
+    experiment_series,
+    run_once,
+    write_bench_json,
+)
 
 from repro.bench import metrics, render_table, run_experiment
 from repro.workloads import correlated, queries
@@ -39,6 +46,14 @@ def test_fig17_q3_correlation(benchmark, record_figure):
             title="Figure 17: query cost estimated over time (unloaded, Q3, "
             "correlated data)",
         ),
+    )
+
+    write_bench_json(
+        "q3_correlation",
+        series=experiment_series(result),
+        scalars=experiment_scalars(result),
+        meta={"query": "Q3", "scale": SCALE, "figures": [17],
+              "generator": "correlated"},
     )
 
     cost = result.estimated_cost_series()

@@ -11,7 +11,14 @@ orders predicate's true selectivity) and again during the second join
 
 from __future__ import annotations
 
-from common import SCALE, experiment_config, run_once
+from common import (
+    SCALE,
+    experiment_config,
+    experiment_scalars,
+    experiment_series,
+    run_once,
+    write_bench_json,
+)
 
 from repro.bench import metrics, render_table, run_experiment
 from repro.workloads import queries, tpcr
@@ -40,6 +47,13 @@ def test_fig18_q4_two_adjustments(benchmark, record_figure):
         ),
     )
     record_figure("fig18_q4_cost", text)
+    write_bench_json(
+        "q4_two_errors",
+        series=experiment_series(result),
+        scalars=experiment_scalars(result)
+        | {"first_join_end_s": first_join_end},
+        meta={"query": "Q4", "scale": SCALE, "figures": [18]},
+    )
 
     series = result.estimated_cost_series()
     rises_before = rises_after = 0

@@ -8,7 +8,14 @@ then coincides with the actual line within a couple of speed windows.
 
 from __future__ import annotations
 
-from common import SCALE, experiment_config, run_once
+from common import (
+    SCALE,
+    experiment_config,
+    experiment_scalars,
+    experiment_series,
+    run_once,
+    write_bench_json,
+)
 
 from repro.bench import metrics, render_table, run_experiment
 from repro.sim.load import LoadProfile
@@ -47,6 +54,20 @@ def test_fig20_q5_cpu_interference(benchmark, record_figure):
                 f"{SLOWDOWN:.1f}x slowdown, Q5)"
             ),
         ),
+    )
+
+    write_bench_json(
+        "q5_cpu_interference",
+        series=experiment_series(result),
+        scalars=experiment_scalars(result)
+        | {"unloaded_elapsed_s": unloaded.total_elapsed},
+        meta={
+            "query": "Q5",
+            "scale": SCALE,
+            "figures": [20],
+            "hog_start_s": HOG_START,
+            "cpu_slowdown": SLOWDOWN,
+        },
     )
 
     # The hog stretches the query (paper: 211s -> 463s).

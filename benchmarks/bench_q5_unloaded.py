@@ -10,7 +10,14 @@ estimate should coincide with the actual line.
 
 from __future__ import annotations
 
-from common import SCALE, experiment_config, run_once
+from common import (
+    SCALE,
+    experiment_config,
+    experiment_scalars,
+    experiment_series,
+    run_once,
+    write_bench_json,
+)
 
 from repro.bench import render_table, run_experiment
 from repro.workloads import queries, tpcr
@@ -33,6 +40,13 @@ def test_fig19_q5_unloaded(benchmark, record_figure):
             },
             title="Figure 19: remaining execution time over time (unloaded, Q5)",
         ),
+    )
+
+    write_bench_json(
+        "q5_unloaded",
+        series=experiment_series(result),
+        scalars=experiment_scalars(result),
+        meta={"query": "Q5", "scale": SCALE, "figures": [19]},
     )
 
     # One segment, dominant input = the outer relation.

@@ -11,7 +11,14 @@ paper's PostgreSQL prototype left out.
 
 from __future__ import annotations
 
-from common import SCALE, experiment_config, run_once
+from common import (
+    SCALE,
+    experiment_config,
+    experiment_scalars,
+    experiment_series,
+    run_once,
+    write_bench_json,
+)
 
 from repro.bench import metrics, render_table, run_experiment
 from repro.workloads import tpcr
@@ -45,6 +52,13 @@ def test_sort_merge_join_progress(benchmark, record_figure):
                 "(two dominant inputs, p = max(qA, qB))"
             ),
         ),
+    )
+
+    write_bench_json(
+        "sort_merge",
+        series=experiment_series(result),
+        scalars=experiment_scalars(result),
+        meta={"scale": SCALE, "plan": "forced merge join"},
     )
 
     # Three segments: two run-generation sorts + the merge pipeline.

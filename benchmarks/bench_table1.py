@@ -7,7 +7,7 @@ paper's row counts and megabyte sizes.
 
 from __future__ import annotations
 
-from common import SCALE, run_once
+from common import SCALE, run_once, write_bench_json
 
 from repro.workloads import tpcr
 
@@ -35,6 +35,7 @@ def test_table1_data_set(benchmark, record_figure):
         f"{'paper tuples':>13} {'paper MB':>9}   {'proj. MB @1.0':>13}",
         "-" * 82,
     ]
+    relations = {}
     for name, (paper_rows, paper_mb) in PAPER_TABLE1.items():
         table = db.catalog.get_table(name)
         size_mb = table.heap.total_bytes / 1e6
@@ -42,11 +43,23 @@ def test_table1_data_set(benchmark, record_figure):
             projected = size_mb  # subsets are fixed-size in the paper
         else:
             projected = size_mb / SCALE
+        relations[name] = {
+            "tuples": table.num_tuples,
+            "size_mb": size_mb,
+            "paper_tuples": paper_rows,
+            "paper_mb": paper_mb,
+            "projected_mb_at_scale_1": projected,
+        }
         lines.append(
             f"{name:<18} {table.num_tuples:>10} {size_mb:>10.2f}   "
             f"{paper_rows:>13} {paper_mb:>9.2f}   {projected:>13.1f}"
         )
     record_figure("table1_data_set", "\n".join(lines))
+    write_bench_json(
+        "table1_data_set",
+        scalars={"scale": SCALE},
+        meta={"relations": relations},
+    )
 
     # Shape assertions: cardinality ratios are the paper's exactly.
     customer = db.catalog.get_table("customer")

@@ -13,7 +13,7 @@ observes a higher U/s.
 from __future__ import annotations
 
 import pytest
-from common import SCALE, experiment_config, run_once
+from common import SCALE, experiment_config, run_once, write_bench_json
 
 from repro.bench import metrics, render_table, run_experiment
 from repro.workloads import queries, tpcr
@@ -44,6 +44,20 @@ def test_warm_buffer_pool(benchmark, record_figure):
                 f"{warm_log.total_elapsed:.0f}s of virtual time)"
             ),
         ),
+    )
+
+    write_bench_json(
+        "warm_cache",
+        series={
+            "cold_cost_pages": cold.estimated_cost_series(),
+            "warm_cost_pages": warm_log.estimated_cost_series(),
+        },
+        scalars={
+            "cold_elapsed_s": cold.total_elapsed,
+            "warm_elapsed_s": warm_log.total_elapsed,
+            "exact_cost_pages": cold.exact_cost_pages,
+        },
+        meta={"query": "Q2", "scale": SCALE},
     )
 
     # Warm run is faster in time (base-table reads become pool hits; the

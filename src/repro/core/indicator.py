@@ -250,7 +250,13 @@ class ProgressIndicator:
         try:
             return self._record_report(t, finished)
         except Exception as exc:  # noqa: REPRO007 - degrade boundary
-            return self._degrade(t, finished, phase="refine", error=exc)
+            report = self._degrade(t, finished, phase="refine", error=exc)
+            try:
+                self._emit_report(t, report)
+            except Exception:  # noqa: REPRO007 - last-ditch: tracing the
+                # fallback report must not endanger the query either.
+                pass
+            return report
 
     def _degrade(
         self, t: float, finished: bool, phase: str, error: Exception
@@ -310,19 +316,30 @@ class ProgressIndicator:
         if self._trace is not None:
             self._emit_refinement(t, snapshot)
         report = self._build_report(t, snapshot, finished)
-        if self._trace is not None:
-            self._trace.emit(ReportEmitted(
-                t=t,
-                elapsed=report.elapsed,
-                done_pages=report.done_pages,
-                est_cost_pages=report.est_cost_pages,
-                fraction_done=report.fraction_done,
-                speed_pages_per_sec=report.speed_pages_per_sec,
-                est_remaining_seconds=report.est_remaining_seconds,
-                current_segment=report.current_segment,
-                finished=report.finished,
-            ))
+        self._emit_report(t, report)
         return report
+
+    def _emit_report(self, t: float, report: ProgressReport) -> None:
+        """Trace one displayed report (fresh or degraded fallback).
+
+        Degraded fallbacks are emitted too — the trace must record exactly
+        what the indicator displayed, and the accuracy scorer relies on the
+        ``degraded`` flag to exclude them from error metrics.
+        """
+        if self._trace is None:
+            return
+        self._trace.emit(ReportEmitted(
+            t=t,
+            elapsed=report.elapsed,
+            done_pages=report.done_pages,
+            est_cost_pages=report.est_cost_pages,
+            fraction_done=report.fraction_done,
+            speed_pages_per_sec=report.speed_pages_per_sec,
+            est_remaining_seconds=report.est_remaining_seconds,
+            current_segment=report.current_segment,
+            finished=report.finished,
+            degraded=report.degraded,
+        ))
 
     def _emit_refinement(self, t: float, snapshot: EstimateSnapshot) -> None:
         """Emit the per-tick §4.5 provenance and §4.3 transitions."""

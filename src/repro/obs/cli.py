@@ -1,4 +1,4 @@
-"""``python -m repro.obs`` — run, export, and audit traces from the CLI.
+"""``python -m repro.obs`` — run, export, audit, and score from the CLI.
 
 Subcommands:
 
@@ -9,6 +9,10 @@ Subcommands:
 * ``audit`` — replay a trace (fresh run or ``--input trace.jsonl``) and
   print the per-tick |estimated − actual| remaining-time error table.
 * ``metrics`` — run one monitored query and print the flat metrics dump.
+* ``leaderboard`` — run the workload grid (tier-1 subset by default),
+  score every variant's progress accuracy from its sealed trace, persist
+  the schema-versioned JSON leaderboard under ``benchmarks/results/``,
+  and (with ``--check``) gate against the committed baseline.
 
 Examples::
 
@@ -17,6 +21,9 @@ Examples::
     python -m repro.obs audit --query q2 --interference io
     python -m repro.obs audit --input traces/q1.trace.jsonl
     python -m repro.obs metrics --query q5
+    python -m repro.obs leaderboard --list
+    python -m repro.obs leaderboard --grid tier1
+    python -m repro.obs leaderboard --check          # the per-PR gate
 """
 
 from __future__ import annotations
@@ -146,10 +153,62 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_leaderboard(args: argparse.Namespace) -> int:
+    """Run/score the workload grid; optionally gate against the baseline."""
+    from repro.obs.observatory import (
+        BASELINE_PATH,
+        check_regression,
+        load_leaderboard,
+        render_aggregates,
+        run_leaderboard,
+        write_leaderboard,
+    )
+    from repro.workloads.grid import resolve_grid
+
+    try:
+        variants = resolve_grid(args.grid)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.list:
+        for v in variants:
+            print(f"{v.name:<28} scale={v.scale:<6} {v.sql}")
+        print(f"\n{len(variants)} variant(s) in grid {args.grid!r}")
+        return 0
+
+    if args.current is not None:
+        board = load_leaderboard(args.current)
+        print(f"loaded leaderboard: {args.current}")
+    else:
+        echo = None if args.quiet else print
+        board = run_leaderboard(variants, args.grid, echo=echo)
+        out = args.out
+        if out is None:
+            out = Path("benchmarks/results") / f"leaderboard_{args.grid}.json"
+        write_leaderboard(board, out)
+        print(f"\nleaderboard written: {out}")
+    print(render_aggregates(board))
+
+    if not args.check:
+        return 0
+    baseline_path = Path(args.baseline) if args.baseline else BASELINE_PATH
+    if not baseline_path.exists():
+        print(f"baseline not found: {baseline_path}", file=sys.stderr)
+        return 2
+    baseline = load_leaderboard(baseline_path)
+    report = check_regression(baseline, board, tolerance=args.tolerance)
+    print(f"\nregression gate vs {baseline_path} "
+          f"(tolerance {args.tolerance:.0%}):")
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="Tracing, metrics, and estimator-accuracy audits",
+        description="Tracing, metrics, accuracy audits, and the "
+                    "workload-grid leaderboard",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -179,6 +238,33 @@ def build_parser() -> argparse.ArgumentParser:
     metrics = sub.add_parser("metrics", help="flat metrics dump for one run")
     common(metrics)
     metrics.set_defaults(func=cmd_metrics)
+
+    board = sub.add_parser(
+        "leaderboard",
+        help="run + score the workload grid; --check gates vs the baseline",
+    )
+    board.add_argument("--grid", choices=["tier1", "full"], default="tier1",
+                       help="which variant set to run (default tier1)")
+    board.add_argument("--out", default=None, metavar="JSON",
+                       help="output path (default: benchmarks/results/"
+                            "leaderboard_<grid>.json)")
+    board.add_argument("--check", action="store_true",
+                       help="compare against the committed baseline; "
+                            "exit 1 on regression")
+    board.add_argument("--baseline", default=None, metavar="JSON",
+                       help="baseline to gate against (default: "
+                            "benchmarks/results/leaderboard_baseline.json)")
+    board.add_argument("--current", default=None, metavar="JSON",
+                       help="score an already-persisted leaderboard "
+                            "instead of running the grid")
+    board.add_argument("--tolerance", type=float, default=0.05,
+                       help="relative worsening allowed per aggregate "
+                            "(default 0.05)")
+    board.add_argument("--list", action="store_true",
+                       help="list the grid's variants and exit")
+    board.add_argument("--quiet", action="store_true",
+                       help="suppress per-cell progress lines")
+    board.set_defaults(func=cmd_leaderboard)
     return parser
 
 

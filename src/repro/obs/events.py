@@ -318,7 +318,15 @@ class SpeedEstimated(TraceEvent):
 
 @dataclass(frozen=True)
 class ReportEmitted(TraceEvent):
-    """One user-facing progress report (the paper's Figure 2 fields)."""
+    """One user-facing progress report (the paper's Figure 2 fields).
+
+    ``degraded`` mirrors :attr:`repro.core.report.ProgressReport.degraded`:
+    True when this report is a fallback served from behind the
+    degrade-don't-die boundary (last good report or optimizer initial
+    estimate) rather than a fresh refinement snapshot.  Accuracy scoring
+    (:mod:`repro.obs.observatory.scoring`) excludes degraded reports from
+    the error metrics but counts them in coverage statistics.
+    """
 
     elapsed: float
     done_pages: float
@@ -328,6 +336,7 @@ class ReportEmitted(TraceEvent):
     est_remaining_seconds: Optional[float]
     current_segment: Optional[int]
     finished: bool
+    degraded: bool = False
 
     kind = "report_emitted"
 

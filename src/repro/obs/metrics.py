@@ -87,6 +87,32 @@ class Histogram:
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (0 < q <= 1) from the buckets.
+
+        Linear interpolation inside the bucket containing the target
+        rank, the standard Prometheus-style estimate: exact only at
+        bucket boundaries, deterministic everywhere.  The first bucket
+        interpolates from 0 (all bounds are non-negative in practice);
+        the open-ended last bucket is clamped to its lower bound.
+        Returns None for an empty histogram.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if cumulative + bucket_count >= rank and bucket_count > 0:
+                within = (rank - cumulative) / bucket_count
+                if i >= len(self.bounds):  # open-ended overflow bucket
+                    return self.bounds[-1] if self.bounds else None
+                lower = 0.0 if i == 0 else self.bounds[i - 1]
+                return lower + within * (self.bounds[i] - lower)
+            cumulative += bucket_count
+        return self.bounds[-1] if self.bounds else None
+
 
 class MetricsRegistry:
     """Flat name -> instrument registry with a text dump."""
@@ -132,6 +158,8 @@ class MetricsRegistry:
             lines.append(f"{name}{{bucket={_fmt(lower)}..}} {hist.bucket_counts[-1]}")
             lines.append(f"{name}_count {hist.count}")
             lines.append(f"{name}_sum {_fmt(hist.total)}")
+            for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+                lines.append(f"{name}_{label} {_fmt(hist.quantile(q))}")
         return "\n".join(lines)
 
 

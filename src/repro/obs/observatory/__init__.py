@@ -1,0 +1,54 @@
+"""The progress-accuracy observatory: grid scoring, leaderboards, gates.
+
+Built on the trace machinery of :mod:`repro.obs`: every workload-grid
+variant (:mod:`repro.workloads.grid`) executes under the Session API with
+tracing on, the sealed trace is replayed into exact per-query accuracy
+metrics (:mod:`.scoring`), the per-cell scores aggregate into a
+schema-versioned JSON leaderboard persisted under ``benchmarks/results/``
+(:mod:`.leaderboard`), and a regression gate compares a fresh run against
+the committed baseline (:mod:`.regression`) so every estimator or
+re-optimization PR gets an automatic accuracy trial:
+
+    python -m repro.obs leaderboard                  # run tier-1, persist
+    python -m repro.obs leaderboard --check          # gate vs. baseline
+"""
+
+from repro.obs.observatory.leaderboard import (
+    LEADERBOARD_SCHEMA,
+    BASELINE_PATH,
+    Leaderboard,
+    LeaderboardCell,
+    load_leaderboard,
+    render_aggregates,
+    run_leaderboard,
+    write_leaderboard,
+)
+from repro.obs.observatory.regression import (
+    DEFAULT_TOLERANCE,
+    AggregateCheck,
+    RegressionReport,
+    check_regression,
+)
+from repro.obs.observatory.scoring import (
+    QERROR_FLOOR_SECONDS,
+    QueryScore,
+    score_events,
+)
+
+__all__ = [
+    "LEADERBOARD_SCHEMA",
+    "BASELINE_PATH",
+    "Leaderboard",
+    "LeaderboardCell",
+    "load_leaderboard",
+    "render_aggregates",
+    "run_leaderboard",
+    "write_leaderboard",
+    "DEFAULT_TOLERANCE",
+    "AggregateCheck",
+    "RegressionReport",
+    "check_regression",
+    "QERROR_FLOOR_SECONDS",
+    "QueryScore",
+    "score_events",
+]

@@ -1,0 +1,140 @@
+"""The per-PR accuracy regression gate.
+
+``python -m repro.obs leaderboard --check`` runs the tier-1 grid, then
+compares the fresh aggregates against the committed baseline
+(``benchmarks/results/leaderboard_baseline.json``) with this module.  A
+gated aggregate that worsens past its tolerance fails the gate (exit
+code 1 in the CLI), giving every estimator-ensemble or re-optimization
+PR an automatic accuracy trial.
+
+Gate rules:
+
+* Each gated aggregate has a direction.  For lower-is-better metrics the
+  limit is ``baseline * (1 + tolerance) + slack``; for higher-is-better
+  (coverage) it is ``baseline * (1 - tolerance) - slack``.  The small
+  absolute ``slack`` keeps near-zero baselines from rejecting noise-free
+  improvements' neighbours (e.g. a progress error of 0.002 vs. 0.0019).
+* ``monotonicity_violations`` gates absolutely: with the committed
+  baseline at zero, any new violation fails regardless of tolerance.
+* Every cell named in the baseline must be present in the current run —
+  a grid that silently shrank is a coverage regression, not a win.
+* Aggregates present in the baseline but absent from the current run
+  fail; new aggregates in the current run are ignored (forward
+  compatible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.observatory.leaderboard import Leaderboard
+
+DEFAULT_TOLERANCE = 0.05
+
+#: metric -> (direction, absolute slack).  Directions: "lower" = lower is
+#: better, "higher" = higher is better.
+GATED_AGGREGATES: dict[str, tuple[str, float]] = {
+    "qerror_geomean": ("lower", 0.02),
+    "qerror_p50": ("lower", 0.02),
+    "qerror_p95": ("lower", 0.05),
+    "qerror_p99": ("lower", 0.05),
+    "progress_err_mean": ("lower", 0.002),
+    "progress_err_max": ("lower", 0.005),
+    "tt10_mean": ("lower", 0.01),
+    "monotonicity_violations": ("lower", 0.0),
+    "coverage": ("higher", 0.0),
+}
+
+
+@dataclass(frozen=True)
+class AggregateCheck:
+    """One gated aggregate compared against the baseline."""
+
+    metric: str
+    direction: str
+    baseline: float
+    current: float
+    limit: float
+    ok: bool
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """The gate's full verdict."""
+
+    checks: tuple[AggregateCheck, ...]
+    #: Baseline cells absent from the current run.
+    missing_cells: tuple[str, ...]
+    #: Baseline aggregates absent from the current run.
+    missing_aggregates: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return (
+            all(c.ok for c in self.checks)
+            and not self.missing_cells
+            and not self.missing_aggregates
+        )
+
+    def render(self) -> str:
+        header = (
+            f"{'aggregate':<24} {'baseline':>10} {'current':>10} "
+            f"{'limit':>10}  verdict"
+        )
+        lines = [header, "-" * len(header)]
+        for c in self.checks:
+            verdict = "ok" if c.ok else "REGRESSED"
+            lines.append(
+                f"{c.metric:<24} {c.baseline:>10.4g} {c.current:>10.4g} "
+                f"{c.limit:>10.4g}  {verdict}"
+            )
+        for name in self.missing_aggregates:
+            lines.append(f"{name:<24} {'?':>10} {'missing':>10} {'':>10}  "
+                         "REGRESSED")
+        if self.missing_cells:
+            lines.append(
+                f"missing cells ({len(self.missing_cells)}): "
+                + ", ".join(self.missing_cells)
+            )
+        lines.append("")
+        lines.append("gate: PASS" if self.ok else "gate: FAIL")
+        return "\n".join(lines)
+
+
+def check_regression(
+    baseline: Leaderboard,
+    current: Leaderboard,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> RegressionReport:
+    """Compare a fresh run against the committed baseline."""
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    checks: list[AggregateCheck] = []
+    missing_aggregates: list[str] = []
+    for metric, (direction, slack) in GATED_AGGREGATES.items():
+        if metric not in baseline.aggregates:
+            continue  # older baseline without this aggregate: nothing to gate
+        base = float(baseline.aggregates[metric])
+        if metric not in current.aggregates:
+            missing_aggregates.append(metric)
+            continue
+        cur = float(current.aggregates[metric])
+        if direction == "lower":
+            limit = base * (1.0 + tolerance) + slack
+            ok = cur <= limit
+        else:
+            limit = base * (1.0 - tolerance) - slack
+            ok = cur >= limit
+        checks.append(AggregateCheck(
+            metric=metric, direction=direction,
+            baseline=base, current=cur, limit=limit, ok=ok,
+        ))
+    current_names = {c.name for c in current.cells}
+    missing_cells = tuple(
+        c.name for c in baseline.cells if c.name not in current_names
+    )
+    return RegressionReport(
+        checks=tuple(checks),
+        missing_cells=missing_cells,
+        missing_aggregates=tuple(missing_aggregates),
+    )

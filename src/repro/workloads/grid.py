@@ -1,0 +1,378 @@
+"""The parameterized workload grid: hundreds of named scenario variants.
+
+The paper evaluates its estimator on five hand-picked queries; König et
+al. ("A Statistical Approach Towards Robust Progress Estimation") show
+that estimator quality is workload-dependent and must be measured across
+a broad query population.  This module is that population: a
+deterministic cross product of four axes —
+
+* **scale** — TPC-R scale factor (``xs``/``s``/``m``), sized so the full
+  tier-1 subset runs in CI time on the simulated engine;
+* **skew** — the orders-per-customer fan-out as a function of
+  ``customer.nationkey``, extending :mod:`repro.workloads.correlated`:
+  ``uniform`` (the paper's flat 10), ``paper`` (the Figure 17
+  correlation, 20/0/10), ``mild`` (14/6/10), and ``hot`` (one nation
+  holds ~40% of all orders).  Every profile keeps the *expected*
+  fan-out at 10, so table-level statistics look identical and only the
+  run-time refinement can tell the datasets apart;
+* **shape** — join shape, from a single scan through TPC-DS-style
+  multi-join variants: ``scan``, ``sort`` (external sort), ``agg``
+  (blocking aggregation over a join), ``join2``, ``join3`` (the Q2
+  shape), ``selfjoin`` (the Q3 shape), and ``multi4`` (a 4-relation
+  star-ish join);
+* **selectivity** — the parameterized predicate each shape carries:
+  ``full`` (~1.0), ``half`` (~0.5), ``tenth`` (~0.1), and ``unknown``
+  (an ``absolute(...) > 0`` predicate that is always true but
+  unestimatable, forcing the optimizer's 1/3 default — the paper's
+  Section 5.3.1 error injection).
+
+Axis values multiply to :func:`enumerate_grid`'s 336 variants, each with
+a stable name like ``s-paper-join3-tenth``.  :func:`tier1_grid` is the
+curated ~40-variant subset that CI scores on every PR (every axis value
+appears; biased toward the small scales).  Variants sharing a dataset
+cell (scale × skew) report the same :attr:`Variant.dataset_key` so a
+runner can build each database once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.config import SystemConfig
+from repro.database import Database
+from repro.workloads import tpcr
+from repro.workloads.correlated import correlated_orders_per_customer
+
+#: Deterministic data-generation seed shared by every grid dataset (the
+#: axes, not the seed, are what distinguish cells).
+GRID_SEED = 42
+
+# ----------------------------------------------------------------------
+# axis: scale
+
+#: Scale-factor axis.  Sized for the simulated engine: ``xs`` runs a
+#: variant in well under a second, ``m`` in a few seconds.
+SCALES: dict[str, float] = {
+    "xs": 0.002,
+    "s": 0.004,
+    "m": 0.008,
+}
+
+# ----------------------------------------------------------------------
+# axis: skew (orders-per-customer as a function of nationkey)
+
+
+def _uniform(row: tuple) -> int:
+    return tpcr.ORDERS_PER_CUSTOMER
+
+
+def _mild(row: tuple) -> int:
+    # E = 0.4*14 + 0.4*6 + 0.2*10 = 10: statistics-identical to uniform.
+    nationkey = row[3]
+    if nationkey < 10:
+        return 14
+    if nationkey < 20:
+        return 6
+    return 10
+
+
+def _hot(row: tuple) -> int:
+    # One hot nation holds ~40% of all orders; E = (106 + 24*6)/25 = 10.
+    return 106 if row[3] == 0 else 6
+
+
+#: Skew axis: profile name -> orders_per_customer_fn.  Every profile has
+#: expected fan-out 10, so ANALYZE sees identical table cardinalities.
+SKEWS: dict[str, Callable[[tuple], int]] = {
+    "uniform": _uniform,
+    "paper": correlated_orders_per_customer,
+    "mild": _mild,
+    "hot": _hot,
+}
+
+# ----------------------------------------------------------------------
+# axis: selectivity
+
+#: Selectivity axis: level name -> target selectivity (None = the
+#: unestimatable ``absolute(...)`` predicate, actual ~1.0, estimated 1/3).
+SELECTIVITIES: dict[str, Optional[float]] = {
+    "full": 1.0,
+    "half": 0.5,
+    "tenth": 0.1,
+    "unknown": None,
+}
+
+#: Predicate families, one per column a shape filters on.  Values were
+#: chosen against the generators: ``lineitem.quantity`` is uniform on
+#: [1, 50], ``orders.orderdate`` uniform on [8000, 11000], and
+#: ``customer.nationkey`` uniform on [0, 24].
+_PREDICATES: dict[str, dict[str, str]] = {
+    "quantity": {
+        "full": "l.quantity <= 50.0",
+        "half": "l.quantity <= 25.0",
+        "tenth": "l.quantity <= 5.0",
+        "unknown": "absolute(l.quantity) > 0",
+    },
+    "orderdate": {
+        "full": "o.orderdate <= 11000",
+        "half": "o.orderdate < 9500",
+        "tenth": "o.orderdate < 8300",
+        "unknown": "absolute(o.orderdate) > 0",
+    },
+    "nationkey": {
+        "full": "c.nationkey < 25",
+        "half": "c.nationkey < 13",
+        "tenth": "c.nationkey < 3",
+        # nationkey can be 0 (absolute(0) > 0 is false); custkey starts at 1.
+        "unknown": "absolute(c.custkey) > 0",
+    },
+}
+
+# ----------------------------------------------------------------------
+# axis: join shape
+
+
+@dataclass(frozen=True)
+class ShapeSpec:
+    """One join shape: a SQL template with a ``{pred}`` slot."""
+
+    key: str
+    #: Number of relation instances in the FROM list.
+    relations: int
+    #: Whether the plan contains a blocking operator (sort/aggregate).
+    blocking: bool
+    #: SQL template; ``{pred}`` is replaced by the selectivity predicate.
+    template: str
+    #: Which predicate family the ``{pred}`` slot draws from.
+    pred_family: str
+
+
+SHAPES: dict[str, ShapeSpec] = {
+    spec.key: spec
+    for spec in (
+        ShapeSpec(
+            key="scan",
+            relations=1,
+            blocking=False,
+            template="select * from lineitem l where {pred}",
+            pred_family="quantity",
+        ),
+        ShapeSpec(
+            key="sort",
+            relations=1,
+            blocking=True,
+            template=(
+                "select * from orders o where {pred} order by o.totalprice"
+            ),
+            pred_family="orderdate",
+        ),
+        ShapeSpec(
+            key="agg",
+            relations=2,
+            blocking=True,
+            template=(
+                "select o.custkey, count(*) from orders o, lineitem l "
+                "where o.orderkey = l.orderkey and {pred} "
+                "group by o.custkey"
+            ),
+            pred_family="orderdate",
+        ),
+        ShapeSpec(
+            key="join2",
+            relations=2,
+            blocking=False,
+            template=(
+                "select c.custkey, c.acctbal, o.orderkey, o.totalprice "
+                "from customer c, orders o "
+                "where c.custkey = o.custkey and {pred}"
+            ),
+            pred_family="orderdate",
+        ),
+        ShapeSpec(
+            key="join3",
+            relations=3,
+            blocking=False,
+            template=(
+                "select c.custkey, c.acctbal, o.orderkey, o.totalprice, "
+                "l.discount, l.extendedprice "
+                "from customer c, orders o, lineitem l "
+                "where c.custkey = o.custkey and o.orderkey = l.orderkey "
+                "and {pred}"
+            ),
+            pred_family="orderdate",
+        ),
+        ShapeSpec(
+            key="selfjoin",
+            relations=3,
+            blocking=False,
+            template=(
+                "select c.custkey, c.acctbal, o1.orderkey, o1.totalprice, "
+                "o2.totalprice "
+                "from customer c, orders o1, orders o2 "
+                "where c.custkey = o1.custkey "
+                "and o1.orderkey = o2.orderkey and {pred}"
+            ),
+            pred_family="nationkey",
+        ),
+        ShapeSpec(
+            key="multi4",
+            relations=4,
+            blocking=False,
+            template=(
+                "select c.custkey, o.orderkey, l.extendedprice, c2.custkey "
+                "from customer c, orders o, lineitem l, customer c2 "
+                "where c.custkey = o.custkey and o.orderkey = l.orderkey "
+                "and c.nationkey = c2.nationkey and c2.acctbal > 9000.0 "
+                "and {pred}"
+            ),
+            pred_family="orderdate",
+        ),
+    )
+}
+
+# ----------------------------------------------------------------------
+# variants
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One fully-specified grid cell: axes + the concrete SQL."""
+
+    name: str
+    scale_key: str
+    scale: float
+    skew: str
+    shape: str
+    selectivity_key: str
+    #: Target predicate selectivity; None for the ``unknown`` level.
+    selectivity: Optional[float]
+    sql: str
+
+    @property
+    def dataset_key(self) -> tuple[str, str]:
+        """Variants sharing this key run against the same database."""
+        return (self.scale_key, self.skew)
+
+    def build_database(self, config: Optional[SystemConfig] = None) -> Database:
+        """Build this variant's dataset (see also :func:`build_dataset`)."""
+        return build_dataset(self.scale_key, self.skew, config=config)
+
+
+def build_dataset(
+    scale_key: str,
+    skew: str,
+    config: Optional[SystemConfig] = None,
+) -> Database:
+    """Build the (scale × skew) dataset one grid cell group shares."""
+    return tpcr.build_database(
+        scale=SCALES[scale_key],
+        config=config,
+        seed=GRID_SEED,
+        orders_per_customer_fn=SKEWS[skew],
+    )
+
+
+def _make_variant(
+    scale_key: str, skew: str, shape_key: str, sel_key: str
+) -> Variant:
+    shape = SHAPES[shape_key]
+    pred = _PREDICATES[shape.pred_family][sel_key]
+    return Variant(
+        name=f"{scale_key}-{skew}-{shape_key}-{sel_key}",
+        scale_key=scale_key,
+        scale=SCALES[scale_key],
+        skew=skew,
+        shape=shape_key,
+        selectivity_key=sel_key,
+        selectivity=SELECTIVITIES[sel_key],
+        sql=shape.template.format(pred=pred),
+    )
+
+
+def enumerate_grid() -> list[Variant]:
+    """Every grid variant, in deterministic axis order (336 cells)."""
+    return [
+        _make_variant(scale_key, skew, shape_key, sel_key)
+        for scale_key in SCALES
+        for skew in SKEWS
+        for shape_key in SHAPES
+        for sel_key in SELECTIVITIES
+    ]
+
+
+def variants_by_name() -> dict[str, Variant]:
+    """Name -> variant for the full grid."""
+    return {v.name: v for v in enumerate_grid()}
+
+
+# ----------------------------------------------------------------------
+# the curated tier-1 subset
+
+#: The ~40-cell subset CI runs on every PR.  Curated, not sampled: every
+#: shape × selectivity pair appears once at (xs, uniform); every skew
+#: profile and every scale appears in several cells; the slow ``m``-scale
+#: cells are limited to cheap shapes.  Order is the scoring order.
+TIER1_NAMES: tuple[str, ...] = (
+    # full shape × selectivity coverage at the smallest uniform dataset
+    "xs-uniform-scan-full",
+    "xs-uniform-scan-half",
+    "xs-uniform-scan-tenth",
+    "xs-uniform-scan-unknown",
+    "xs-uniform-sort-full",
+    "xs-uniform-sort-half",
+    "xs-uniform-sort-tenth",
+    "xs-uniform-sort-unknown",
+    "xs-uniform-agg-full",
+    "xs-uniform-agg-half",
+    "xs-uniform-agg-tenth",
+    "xs-uniform-agg-unknown",
+    "xs-uniform-join2-full",
+    "xs-uniform-join2-half",
+    "xs-uniform-join2-tenth",
+    "xs-uniform-join2-unknown",
+    "xs-uniform-join3-full",
+    "xs-uniform-join3-half",
+    "xs-uniform-join3-tenth",
+    "xs-uniform-join3-unknown",
+    "xs-uniform-selfjoin-full",
+    "xs-uniform-selfjoin-half",
+    "xs-uniform-selfjoin-tenth",
+    "xs-uniform-selfjoin-unknown",
+    "xs-uniform-multi4-full",
+    "xs-uniform-multi4-half",
+    "xs-uniform-multi4-tenth",
+    "xs-uniform-multi4-unknown",
+    # skew coverage (the correlation the refinement must detect)
+    "xs-paper-selfjoin-tenth",
+    "xs-paper-join3-unknown",
+    "xs-mild-selfjoin-half",
+    "xs-mild-join3-tenth",
+    "xs-hot-join2-half",
+    "xs-hot-agg-full",
+    # scale coverage
+    "s-uniform-scan-full",
+    "s-uniform-join3-unknown",
+    "s-paper-selfjoin-tenth",
+    "s-hot-sort-full",
+    "m-uniform-join2-half",
+    "m-paper-agg-tenth",
+)
+
+
+def tier1_grid() -> list[Variant]:
+    """The curated tier-1 subset, resolved against the full grid."""
+    by_name = variants_by_name()
+    missing = [n for n in TIER1_NAMES if n not in by_name]
+    if missing:
+        raise ValueError(f"tier-1 names not in the grid: {missing}")
+    return [by_name[n] for n in TIER1_NAMES]
+
+
+def resolve_grid(grid: str) -> list[Variant]:
+    """Resolve a grid selector (``tier1`` or ``full``) to its variants."""
+    if grid == "tier1":
+        return tier1_grid()
+    if grid == "full":
+        return enumerate_grid()
+    raise ValueError(f"unknown grid {grid!r}; choose 'tier1' or 'full'")

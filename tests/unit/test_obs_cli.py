@@ -56,3 +56,57 @@ class TestMetricsCommand:
         assert "io.reads.seq" in out
         assert "reports.emitted" in out
         assert "Segment spans" in out
+
+
+class TestLeaderboardCommand:
+    def test_help_lists_every_subcommand(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for sub in ("trace", "audit", "metrics", "leaderboard"):
+            assert sub in out, sub
+
+    def test_list_prints_the_grid(self, capsys):
+        assert main(["leaderboard", "--grid", "tier1", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "40 variant(s)" in out
+        assert "xs-uniform-scan-full" in out
+        capsys.readouterr()
+        assert main(["leaderboard", "--grid", "full", "--list"]) == 0
+        assert "336 variant(s)" in capsys.readouterr().out
+
+    def test_check_against_explicit_baseline(self, tmp_path, capsys, monkeypatch):
+        # Score a persisted board against itself: always a PASS.
+        from repro.obs.observatory import run_leaderboard, write_leaderboard
+        from repro.workloads.grid import variants_by_name
+
+        variants = [variants_by_name()["xs-uniform-scan-half"]]
+        board = run_leaderboard(variants, "small")
+        path = tmp_path / "board.json"
+        write_leaderboard(board, path)
+
+        code = main([
+            "leaderboard", "--current", str(path),
+            "--check", "--baseline", str(path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "gate: PASS" in out
+
+    def test_check_without_baseline_exits_two(self, tmp_path, capsys):
+        from repro.obs.observatory import run_leaderboard, write_leaderboard
+        from repro.workloads.grid import variants_by_name
+
+        variants = [variants_by_name()["xs-uniform-scan-half"]]
+        write_leaderboard(
+            run_leaderboard(variants, "small"), tmp_path / "board.json"
+        )
+        code = main([
+            "leaderboard", "--current", str(tmp_path / "board.json"),
+            "--check", "--baseline", str(tmp_path / "missing.json"),
+        ])
+        assert code == 2
+        assert "baseline not found" in capsys.readouterr().err

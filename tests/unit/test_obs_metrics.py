@@ -48,6 +48,43 @@ class TestInstruments:
         with pytest.raises(ValueError):
             Histogram("h", (2.0, 1.0))
 
+    def test_quantile_interpolates_within_buckets(self):
+        h = Histogram("h", (10.0, 20.0))
+        for v in (2, 4, 6, 8, 12, 14, 16, 18, 22, 24):
+            h.observe(v)
+        # 4 obs in [0,10), 4 in [10,20), 2 overflow.  p50 sits one
+        # observation into the second bucket: 10 + (5-4)/4 * 10 = 12.5.
+        assert h.quantile(0.5) == pytest.approx(12.5)
+        # p25 interpolates the first bucket from 0: 0 + 2.5/4 * 10.
+        assert h.quantile(0.25) == pytest.approx(6.25)
+
+    def test_quantile_overflow_bucket_clamps_to_last_bound(self):
+        h = Histogram("h", (10.0,))
+        for v in (50, 60, 70):
+            h.observe(v)
+        # The open-ended bucket has no upper edge: clamp to the bound.
+        assert h.quantile(0.99) == pytest.approx(10.0)
+
+    def test_quantile_edge_cases(self):
+        h = Histogram("h", (10.0,))
+        assert h.quantile(0.5) is None  # empty histogram
+        h.observe(5.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            h.quantile(0.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_render_includes_quantile_summary_lines(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", (1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0):
+            h.observe(v)
+        out = reg.render()
+        assert "lat_count 3" in out
+        for label in ("lat_p50", "lat_p95", "lat_p99"):
+            assert label in out, label
+
     def test_registry_is_idempotent_per_name(self):
         reg = MetricsRegistry()
         assert reg.counter("a") is reg.counter("a")

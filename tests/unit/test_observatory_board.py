@@ -1,0 +1,240 @@
+"""Unit tests: leaderboard runs, persistence, and the regression gate."""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+
+import pytest
+
+from repro.core.indicator import ProgressIndicator
+from repro.obs.observatory import (
+    LEADERBOARD_SCHEMA,
+    Leaderboard,
+    LeaderboardCell,
+    check_regression,
+    load_leaderboard,
+    render_aggregates,
+    run_leaderboard,
+    write_leaderboard,
+)
+from repro.obs.observatory.regression import GATED_AGGREGATES
+from repro.workloads.grid import Variant, variants_by_name
+
+#: A small, fast slice of the grid exercising scans, blocking operators,
+#: and joins — enough for real aggregates in well under a second each.
+SMALL_GRID = (
+    "xs-uniform-scan-half",
+    "xs-uniform-sort-tenth",
+    "xs-uniform-join2-unknown",
+)
+
+
+@pytest.fixture(scope="module")
+def small_board() -> Leaderboard:
+    by_name = variants_by_name()
+    return run_leaderboard([by_name[n] for n in SMALL_GRID], "small")
+
+
+class TestRunLeaderboard:
+    def test_every_cell_scores(self, small_board):
+        assert [c.name for c in small_board.cells] == list(SMALL_GRID)
+        for cell in small_board.cells:
+            assert cell.terminal == "finished"
+            assert cell.scored
+            assert cell.qerror_geomean >= 1.0
+            assert cell.row_count > 0
+        assert small_board.aggregates["coverage"] == 1.0
+        assert small_board.aggregates["cells_total"] == len(SMALL_GRID)
+
+    def test_aggregates_carry_the_gated_metrics(self, small_board):
+        for metric in GATED_AGGREGATES:
+            assert metric in small_board.aggregates, metric
+
+    def test_runs_are_deterministic(self, small_board):
+        by_name = variants_by_name()
+        again = run_leaderboard([by_name[n] for n in SMALL_GRID], "small")
+        first, second = io.StringIO(), io.StringIO()
+        write_leaderboard(small_board, first)
+        write_leaderboard(again, second)
+        assert first.getvalue() == second.getvalue()
+
+    def test_failing_cell_counts_against_coverage(self):
+        by_name = variants_by_name()
+        good = by_name["xs-uniform-scan-half"]
+        bad = dataclasses.replace(
+            good,
+            name="xs-uniform-scan-broken",
+            sql="select * from no_such_table",
+        )
+        board = run_leaderboard([good, bad], "small")
+        assert board.aggregates["cells_total"] == 2.0
+        assert board.aggregates["cells_scored"] == 1.0
+        assert board.aggregates["coverage"] == 0.5
+        broken = board.cell("xs-uniform-scan-broken")
+        assert broken is not None and not broken.scored
+
+
+class TestPersistence:
+    def test_round_trip(self, small_board):
+        buf = io.StringIO()
+        doc = write_leaderboard(small_board, buf)
+        assert doc["schema"] == LEADERBOARD_SCHEMA
+        loaded = load_leaderboard(io.StringIO(buf.getvalue()))
+        assert loaded == small_board
+
+    def test_file_round_trip(self, small_board, tmp_path):
+        path = tmp_path / "board.json"
+        write_leaderboard(small_board, path)
+        assert load_leaderboard(path) == small_board
+
+    def test_schema_version_is_validated(self, small_board):
+        buf = io.StringIO()
+        doc = write_leaderboard(small_board, buf)
+        doc["schema"] = "repro.leaderboard/999"
+        with pytest.raises(ValueError, match="unsupported leaderboard schema"):
+            load_leaderboard(io.StringIO(json.dumps(doc)))
+
+    def test_unknown_cell_keys_are_ignored(self, small_board):
+        buf = io.StringIO()
+        doc = write_leaderboard(small_board, buf)
+        doc["cells"][0]["novel_future_field"] = 42
+        loaded = load_leaderboard(io.StringIO(json.dumps(doc)))
+        assert loaded == small_board
+
+    def test_render_aggregates(self, small_board):
+        text = render_aggregates(small_board)
+        assert "qerror_geomean" in text and "coverage" in text
+
+
+def _mutated(board: Leaderboard, **aggregates) -> Leaderboard:
+    return Leaderboard(
+        schema=board.schema,
+        grid=board.grid,
+        cells=board.cells,
+        aggregates=board.aggregates | aggregates,
+    )
+
+
+class TestRegressionGate:
+    def test_identical_boards_pass(self, small_board):
+        report = check_regression(small_board, small_board)
+        assert report.ok
+        assert "gate: PASS" in report.render()
+
+    def test_improvement_passes(self, small_board):
+        better = _mutated(
+            small_board,
+            qerror_geomean=1.0,
+            progress_err_mean=0.0,
+        )
+        assert check_regression(small_board, better).ok
+
+    def test_worsened_qerror_fails(self, small_board):
+        worse = _mutated(
+            small_board,
+            qerror_geomean=small_board.aggregates["qerror_geomean"] * 1.5,
+        )
+        report = check_regression(small_board, worse)
+        assert not report.ok
+        assert "gate: FAIL" in report.render()
+        bad = [c for c in report.checks if not c.ok]
+        assert [c.metric for c in bad] == ["qerror_geomean"]
+
+    def test_monotonicity_gates_absolutely(self, small_board):
+        assert small_board.aggregates["monotonicity_violations"] == 0.0
+        # Even a single new violation fails, regardless of tolerance.
+        worse = _mutated(small_board, monotonicity_violations=1.0)
+        assert not check_regression(small_board, worse, tolerance=10.0).ok
+
+    def test_coverage_drop_fails(self, small_board):
+        worse = _mutated(small_board, coverage=0.5)
+        report = check_regression(small_board, worse)
+        assert not report.ok
+
+    def test_missing_cell_fails(self, small_board):
+        shrunk = Leaderboard(
+            schema=small_board.schema,
+            grid=small_board.grid,
+            cells=small_board.cells[:-1],
+            aggregates=small_board.aggregates,
+        )
+        report = check_regression(small_board, shrunk)
+        assert not report.ok
+        assert report.missing_cells == (SMALL_GRID[-1],)
+
+    def test_missing_aggregate_fails(self, small_board):
+        aggregates = dict(small_board.aggregates)
+        del aggregates["qerror_p95"]
+        shrunk = Leaderboard(
+            schema=small_board.schema,
+            grid=small_board.grid,
+            cells=small_board.cells,
+            aggregates=aggregates,
+        )
+        report = check_regression(small_board, shrunk)
+        assert not report.ok
+        assert report.missing_aggregates == ("qerror_p95",)
+
+    def test_aggregate_absent_from_baseline_is_skipped(self, small_board):
+        aggregates = dict(small_board.aggregates)
+        del aggregates["tt10_mean"]
+        old_baseline = Leaderboard(
+            schema=small_board.schema,
+            grid=small_board.grid,
+            cells=small_board.cells,
+            aggregates=aggregates,
+        )
+        report = check_regression(old_baseline, small_board)
+        assert report.ok
+        assert "tt10_mean" not in {c.metric for c in report.checks}
+
+    def test_negative_tolerance_rejected(self, small_board):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_regression(small_board, small_board, tolerance=-0.1)
+
+
+class TestSabotage:
+    """The gate demonstrably fails on an injected accuracy regression."""
+
+    def test_skewed_estimates_fail_the_gate(self, small_board, monkeypatch):
+        original = ProgressIndicator._build_report
+
+        def sabotaged(self, t, snapshot, finished):
+            report = original(self, t, snapshot, finished)
+            if report.est_remaining_seconds is None:
+                return report
+            # A quietly-introduced 4x overestimate: exactly the class of
+            # estimator bug the observatory exists to catch.
+            return dataclasses.replace(
+                report,
+                est_remaining_seconds=report.est_remaining_seconds * 4.0,
+            )
+
+        monkeypatch.setattr(ProgressIndicator, "_build_report", sabotaged)
+        by_name = variants_by_name()
+        skewed = run_leaderboard([by_name[n] for n in SMALL_GRID], "small")
+
+        assert skewed.aggregates["qerror_geomean"] > (
+            small_board.aggregates["qerror_geomean"] * 1.2
+        )
+        report = check_regression(small_board, skewed)
+        assert not report.ok
+        regressed = {c.metric for c in report.checks if not c.ok}
+        assert "qerror_geomean" in regressed
+
+
+class TestCellHelpers:
+    def test_cell_lookup(self, small_board):
+        assert small_board.cell(SMALL_GRID[0]).name == SMALL_GRID[0]
+        assert small_board.cell("nope") is None
+
+    def test_cell_axes_match_variant(self, small_board):
+        by_name = variants_by_name()
+        for cell in small_board.cells:
+            v: Variant = by_name[cell.name]
+            assert isinstance(cell, LeaderboardCell)
+            assert (cell.scale, cell.skew, cell.shape, cell.selectivity) == (
+                v.scale_key, v.skew, v.shape, v.selectivity_key
+            )

@@ -1,0 +1,133 @@
+"""Unit tests: the parameterized workload grid (repro.workloads.grid)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import grid
+from repro.workloads.grid import (
+    SCALES,
+    SELECTIVITIES,
+    SHAPES,
+    SKEWS,
+    TIER1_NAMES,
+    enumerate_grid,
+    resolve_grid,
+    tier1_grid,
+    variants_by_name,
+)
+
+
+class TestEnumeration:
+    def test_grid_is_the_full_cross_product(self):
+        variants = enumerate_grid()
+        expected = len(SCALES) * len(SKEWS) * len(SHAPES) * len(SELECTIVITIES)
+        assert len(variants) == expected
+        # The ISSUE's floor: a genuinely broad workload population.
+        assert len(variants) >= 200
+
+    def test_names_are_unique_and_structured(self):
+        variants = enumerate_grid()
+        names = [v.name for v in variants]
+        assert len(set(names)) == len(names)
+        for v in variants:
+            assert v.name == f"{v.scale_key}-{v.skew}-{v.shape}-{v.selectivity_key}"
+
+    def test_enumeration_is_deterministic(self):
+        assert enumerate_grid() == enumerate_grid()
+
+    def test_every_axis_value_appears(self):
+        variants = enumerate_grid()
+        assert {v.scale_key for v in variants} == set(SCALES)
+        assert {v.skew for v in variants} == set(SKEWS)
+        assert {v.shape for v in variants} == set(SHAPES)
+        assert {v.selectivity_key for v in variants} == set(SELECTIVITIES)
+
+    def test_sql_has_predicate_substituted(self):
+        for v in enumerate_grid():
+            assert "{pred}" not in v.sql
+            assert v.sql.strip()
+
+    def test_dataset_key_groups_scale_and_skew(self):
+        variants = enumerate_grid()
+        keys = {v.dataset_key for v in variants}
+        assert keys == {(s, k) for s in SCALES for k in SKEWS}
+
+
+class TestTier1:
+    def test_tier1_is_curated_and_resolvable(self):
+        variants = tier1_grid()
+        assert len(variants) == len(TIER1_NAMES) == 40
+        assert [v.name for v in variants] == list(TIER1_NAMES)
+
+    def test_tier1_covers_every_axis_value(self):
+        variants = tier1_grid()
+        assert {v.skew for v in variants} == set(SKEWS)
+        assert {v.scale_key for v in variants} == set(SCALES)
+        assert {v.shape for v in variants} == set(SHAPES)
+        assert {v.selectivity_key for v in variants} == set(SELECTIVITIES)
+
+    def test_tier1_names_validate_against_grid(self, monkeypatch):
+        monkeypatch.setattr(
+            grid, "TIER1_NAMES", TIER1_NAMES + ("xs-uniform-bogus-full",)
+        )
+        with pytest.raises(ValueError, match="bogus"):
+            tier1_grid()
+
+    def test_resolve_grid(self):
+        assert resolve_grid("tier1") == tier1_grid()
+        assert resolve_grid("full") == enumerate_grid()
+        with pytest.raises(ValueError, match="unknown grid"):
+            resolve_grid("tier2")
+
+
+class TestSkewProfiles:
+    def test_every_profile_keeps_expected_fanout_10(self):
+        # Statistics-identical datasets: E[orders per customer] == 10 when
+        # nationkey is uniform on 0..24.
+        for name, fn in SKEWS.items():
+            fanouts = [fn((1, "x", "y", nationkey)) for nationkey in range(25)]
+            assert sum(fanouts) / len(fanouts) == pytest.approx(10.0), name
+
+    def test_hot_profile_concentrates_orders(self):
+        fn = SKEWS["hot"]
+        hot = fn((1, "x", "y", 0))
+        rest = sum(fn((1, "x", "y", n)) for n in range(1, 25))
+        assert hot / (hot + rest) > 0.35
+
+
+class TestDatasets:
+    def test_build_dataset_is_deterministic_and_runs(self):
+        by_name = variants_by_name()
+        variant = by_name["xs-uniform-scan-tenth"]
+        db = variant.build_database()
+        rows_a = db.connect().execute(variant.sql, keep_rows=False).row_count
+        db2 = variant.build_database()
+        rows_b = db2.connect().execute(variant.sql, keep_rows=False).row_count
+        assert rows_a == rows_b > 0
+
+    def test_selectivity_levels_order_row_counts(self):
+        by_name = variants_by_name()
+        counts = {}
+        db = by_name["xs-uniform-scan-full"].build_database()
+        for level in ("full", "half", "tenth"):
+            v = by_name[f"xs-uniform-scan-{level}"]
+            counts[level] = db.connect().execute(
+                v.sql, keep_rows=False
+            ).row_count
+        assert counts["full"] > counts["half"] > counts["tenth"] > 0
+        # The targets are approximate but the full scan is exact.
+        assert counts["half"] / counts["full"] == pytest.approx(0.5, abs=0.1)
+        assert counts["tenth"] / counts["full"] == pytest.approx(0.1, abs=0.05)
+
+    def test_unknown_predicates_are_always_true(self):
+        by_name = variants_by_name()
+        db = by_name["xs-uniform-scan-full"].build_database()
+        for shape in SHAPES:
+            full = by_name[f"xs-uniform-{shape}-full"]
+            unknown = by_name[f"xs-uniform-{shape}-unknown"]
+            n_full = db.connect().execute(full.sql, keep_rows=False).row_count
+            n_unknown = db.connect().execute(
+                unknown.sql, keep_rows=False
+            ).row_count
+            assert n_unknown == n_full, shape
