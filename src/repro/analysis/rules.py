@@ -66,6 +66,17 @@ module-level ``random.*`` calls (the hidden global stream, including
 run — the determinism contract the effect checker
 (:mod:`repro.analysis.flow.effects`) enforces transitively for the
 engine core.  ``random.Random(seed)`` with an argument is fine anywhere.
+
+``REPRO009`` **no-per-row-dispatch** — inside the *known-hot* driver
+loops (an explicit allowlist of functions that run once per output row:
+the single-query driver, the scheduler's slice loop, the concurrent
+worker loop), no ``isinstance(...)`` dispatch and no deep
+(three-or-more-component) attribute-chain calls inside a loop body.
+Item-kind dispatch in these loops is by identity (``item is PULSE``,
+``type(item) is Batch``), and loop-invariant bound methods are hoisted
+to locals before the loop — the idiom that keeps the batch engine's
+real-time win from leaking back out through the drivers.  Deliberate
+exceptions carry ``# noqa: REPRO009``.
 """
 
 from __future__ import annotations
@@ -596,4 +607,96 @@ def _check_unseeded_random(tree: ast.AST, ctx: LintContext) -> list[LintFinding]
             flag(node, dotted)
         else:
             flag(node, f"{dotted}() on the global stream")
+    return out
+
+
+# ----------------------------------------------------------------------
+# REPRO009 — no per-row dispatch overhead in known-hot driver loops
+
+#: The allowlist of known-hot functions: (path suffix, function name).
+#: These are the loops that execute once per output row / batch across
+#: every engine — the places where one stray isinstance() or repeated
+#: deep attribute lookup costs a measurable slice of the batch engine's
+#: real-time win.  Extend this list when a new per-row driver loop is
+#: added; the rule deliberately checks nothing outside it.
+HOT_LOOP_FUNCTIONS: frozenset[tuple[str, str]] = frozenset(
+    {
+        # single-query drivers: the result-collection loops
+        ("executor/runtime.py", "run_query"),
+        ("executor/runtime.py", "execute"),
+        # cooperative scheduler: the per-slice item loop
+        ("sched/scheduler.py", "_run_slice"),
+        # concurrent workload: the per-worker drain loop
+        ("core/concurrent.py", "work"),
+    }
+)
+
+#: Attribute-chain call depth from which REPRO009 demands hoisting
+#: (``a.b(...)`` is fine, ``a.b.c(...)`` re-resolves two lookups per row).
+_HOT_LOOP_CHAIN_DEPTH = 3
+
+
+def _hot_loop_functions(tree: ast.AST, ctx: LintContext):
+    """The allowlisted function bodies present in this file."""
+    path = ctx.path.replace("\\", "/")
+    names = {
+        fn for suffix, fn in HOT_LOOP_FUNCTIONS if path.endswith(suffix)
+    }
+    if not names:
+        return
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name in names
+        ):
+            yield node
+
+
+@_rule("REPRO009", "no-per-row-dispatch")
+def _check_hot_loop_dispatch(
+    tree: ast.AST, ctx: LintContext
+) -> list[LintFinding]:
+    out = []
+
+    def flag(node: ast.AST, message: str) -> None:
+        out.append(
+            LintFinding(
+                rule="REPRO009",
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=message,
+            )
+        )
+
+    for fn in _hot_loop_functions(tree, ctx):
+        loops = [
+            n for n in ast.walk(fn) if isinstance(n, (ast.For, ast.While))
+        ]
+        for loop in loops:
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Call):
+                    continue
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "isinstance"
+                ):
+                    flag(
+                        node,
+                        f"isinstance() in the hot loop of {fn.name}(); "
+                        f"dispatch on identity instead "
+                        f"(item is PULSE / type(item) is Batch)",
+                    )
+                    continue
+                dotted = _dotted(node.func)
+                if (
+                    dotted is not None
+                    and dotted.count(".") >= _HOT_LOOP_CHAIN_DEPTH - 1
+                ):
+                    flag(
+                        node,
+                        f"per-row attribute chain {dotted!r} in the hot "
+                        f"loop of {fn.name}(); hoist the bound method to "
+                        f"a local before the loop",
+                    )
     return out

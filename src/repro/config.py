@@ -114,6 +114,22 @@ class ProgressConfig:
     #: "strict" (raise before executing).  The REPRO_VERIFY environment
     #: variable overrides this; tests/CI run strict.
     verify_mode: str = "warn"
+    #: Which executor engine runs queries: "batch" (default — the fused
+    #: batch-at-a-time engine: each query plan is compiled into tight
+    #: per-pipeline loops that move :class:`repro.executor.batch.Batch`
+    #: objects to the driver) or "row" (the reference volcano engine,
+    #: one tuple per generator hop).  Both engines charge the identical
+    #: sequence of virtual-clock costs and tracker updates, so results,
+    #: ProgressLog and U totals are bit-identical; "batch" only changes
+    #: real (wall-clock) time.  Paths that must observe individual
+    #: operator pulses (the analysis cross-check probe, EXPLAIN ANALYZE
+    #: row counting) always use the row engine regardless of this knob.
+    engine: str = "batch"
+    #: Rows per :class:`~repro.executor.batch.Batch` handed to the driver
+    #: by the batch engine.  Batches also flush at every PULSE boundary
+    #: (flushing is clock-silent), so any value produces bit-identical
+    #: results; 1 degenerates to row-at-a-time transport.
+    batch_rows: int = 256
     #: Structured tracing (repro.obs): when True, every monitored run
     #: records typed TraceBus events (segment spans, refinement
     #: provenance, speed samples, page counters).  Off by default — the

@@ -37,6 +37,7 @@ from repro.core.report import ProgressReport
 from repro.database import Database
 from repro.errors import ProgressError
 from repro.executor.base import PULSE, ExecContext
+from repro.executor.batch import Batch
 from repro.executor.runtime import execute
 from repro.sim.clock import VirtualClock
 
@@ -240,8 +241,9 @@ class ConcurrentWorkload:
             self._go.wait()
             try:
                 for _row in execute(planned, ctx):
-                    if _row is not PULSE:
-                        run.row_count += 1
+                    if _row is PULSE:
+                        continue
+                    run.row_count += len(_row) if type(_row) is Batch else 1
             except Exception as exc:  # noqa: REPRO007 - worker-thread
                 # boundary: the failure is stored and re-raised on the
                 # driving thread by _raise_worker_errors.  Interpreter

@@ -1,0 +1,1546 @@
+"""The fused batch-at-a-time engine: one compiled loop nest per query.
+
+The volcano engine (the ``"row"`` engine) moves one tuple per Python-level
+``next()``/``yield`` hop through a chain of generator operators.  That hop
+is the dominant *real-time* cost of every query — while the *virtual-time*
+cost model (clock charges, tracker bytes, PULSE scheduling points) is
+completely independent of how tuples are transported.  This module
+exploits that: it compiles a physical plan into a single Python generator
+whose loop nest runs every pipelined stage's per-row work in one frame,
+and hands rows to the driver in :class:`~repro.executor.batch.Batch`
+containers instead of one at a time.
+
+Bit-identity contract
+---------------------
+The fused program must be observationally identical to the volcano
+engine — same result rows in the same order, the same ProgressLog, the
+same final clock and tracker state.  Because the virtual clock fires
+ticker callbacks (progress reports, speed samples) *inside*
+``clock.advance``, identity requires preserving the exact ordered
+sequence of charges and the tracker state visible at each one.  The
+compiler therefore follows three rules:
+
+* every per-row ``clock.advance`` and tracker update is emitted at the
+  same point in the row stream as the volcano operator performs it —
+  never merged, split, or reordered (float addition is not associative);
+* every storage call (buffer-pool page get/pin/unpin, disk read, temp
+  write) keeps its exact order, because fault injection draws one RNG
+  value per charged I/O;
+* only *silent* computation (predicate evaluation, tuple construction,
+  width arithmetic) is restructured into straight-line code.
+
+``PULSE`` placement is likewise preserved: the generated code yields
+:data:`~repro.executor.base.PULSE` at exactly the volcano engine's
+boundaries, flushing any pending output batch first (flushing is
+clock-silent, so batch size never affects results — it only trades
+Python-level hops against latency of row delivery to the driver).
+
+Merge join is the one operator the compiler does not fuse: it is a
+pull-based two-cursor streamer whose volcano implementation is already
+dominated by its children; the compiler embeds the volcano operator as a
+row source and fuses everything above it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterator, List, Optional
+
+from repro.errors import ExecutionError
+from repro.executor.base import PULSE, ExecContext
+from repro.executor.batch import Batch
+from repro.executor.hash_join import _spill_schema, _stable_hash
+from repro.executor.rowops import layout_of
+from repro.executor.scans import _projector, _scan_layout
+from repro.executor.sort import _CPU_CHUNK, make_sort_key
+from repro.expr.bound import (
+    AggregateExpr,
+    ArithmeticExpr,
+    ColumnExpr,
+    ComparisonExpr,
+    LiteralExpr,
+    LogicalExpr,
+    NegativeExpr,
+    NotExpr,
+)
+from repro.expr.compiler import compile_expr, compile_predicate
+from repro.planner.physical import (
+    DistinctNode,
+    FilterNode,
+    HashAggregateNode,
+    HashJoinNode,
+    IndexScanNode,
+    LimitNode,
+    MergeJoinNode,
+    NestLoopNode,
+    PhysicalNode,
+    ProjectNode,
+    SeqScanNode,
+    SortNode,
+)
+from repro.sim.load import CPU, IO
+from repro.storage.heap import HeapFile
+from repro.storage.schema import TUPLE_HEADER_BYTES, Column, Schema
+from repro.storage.types import StringType
+
+#: Pulse cadence of sort stream/merge phases (mirrors repro.executor.sort).
+_MERGE_PULSE_ROWS = 256
+
+#: Comparison / arithmetic operator spellings for fused expression source.
+_CMP_SRC = {"=": "==", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+_ARITH_SRC = {"+": "+", "-": "-", "*": "*", "/": "/"}
+#: Literal types whose ``repr`` round-trips exactly in generated source.
+_SAFE_LITERALS = (int, float, str, bool, type(None))
+
+
+def _nonnull_literal(expr) -> bool:
+    """True when ``expr`` is a literal that can never evaluate to NULL."""
+    return isinstance(expr, LiteralExpr) and expr.value is not None
+
+
+class _StopPipeline(Exception):
+    """Raised by a fused LIMIT stage to unwind its source loops.
+
+    The volcano LimitOp simply stops pulling its child; in fused code the
+    source loops are *below* the limit stage in the same frame, so the
+    stage raises instead.  ``try/finally`` blocks on the unwind path
+    release pins exactly as generator finalization does for the volcano
+    engine (both are clock-silent).
+    """
+
+
+def _lit(value) -> str:
+    """A source literal that round-trips ``value`` exactly (repr)."""
+    return repr(value)
+
+
+def _tuple_display(parts: List[str]) -> str:
+    if not parts:
+        return "()"
+    if len(parts) == 1:
+        return f"({parts[0]},)"
+    return "(" + ", ".join(parts) + ")"
+
+
+class _FusedSort:
+    """Run-time state of one fused sort: spill runs and their helpers.
+
+    The generator methods replicate ``repro.executor.sort.SortOp``'s
+    private phases verbatim (same charges, same PULSE cadence, same temp
+    file handling); the fused absorb/stream loops live in generated code
+    and call into these only for the cold spill paths.
+    """
+
+    def __init__(self, node: SortNode, ctx: ExecContext):
+        self.node = node
+        self.ctx = ctx
+        self.key = make_sort_key(node)
+        self.segment = getattr(node, "pi_sort_segment", None)
+        self.merge_ref = getattr(node, "pi_merge_input_ref", None)
+        self.runs: List[HeapFile] = []
+
+    def sort_buffer(self, buffer: list) -> Iterator[tuple]:
+        n = len(buffer)
+        if n <= 1:
+            return
+        comparisons = n * max(1.0, (n).bit_length() - 1)
+        cost = self.ctx.config.cost.cpu_compare
+        remaining = comparisons
+        while remaining > 0:
+            step = min(remaining, _CPU_CHUNK)
+            self.ctx.clock.advance(step * cost, CPU)
+            remaining -= step
+            yield PULSE
+        buffer.sort(key=self.key)
+
+    def spill(self, buffer: list) -> Iterator[tuple]:
+        yield from self.sort_buffer(buffer)
+        ctx = self.ctx
+        schema = Schema(
+            Column(f"s{i}_{c.name.replace('.', '_')}", c.type)
+            for i, c in enumerate(self.node.columns)
+        )
+        run = HeapFile(
+            f"sortrun_{id(self)}_{len(self.runs)}",
+            schema,
+            ctx.disk,
+            ctx.config.page_size,
+            temp=True,
+        )
+        run.extend(buffer)
+        run.flush()
+        self.runs.append(run)
+
+    def collapse(self) -> Iterator[tuple]:
+        ctx = self.ctx
+        segment = self.segment
+        fanout = max(2, ctx.config.work_mem_pages)
+        while len(self.runs) > fanout:
+            group = self.runs[:fanout]
+            merged_rows = list(
+                heapq.merge(*(run.iter_rows() for run in group), key=self.key)
+            )
+            nbytes = sum(run.total_bytes for run in group)
+            npages = sum(run.handle.num_pages for run in group)
+            cost = ctx.config.cost
+            ctx.clock.advance(npages * (cost.seq_page_read + cost.page_write), "io")
+            if ctx.tracker is not None and segment is not None:
+                ctx.tracker.extra_pass(segment, 2.0 * nbytes)
+            schema = group[0].schema
+            merged = HeapFile(
+                f"sortrun_{id(self)}_m{len(self.runs)}",
+                schema,
+                ctx.disk,
+                ctx.config.page_size,
+                temp=True,
+            )
+            previous = merged.charge_io
+            merged.charge_io = False  # I/O charged in bulk above
+            merged.extend(merged_rows)
+            merged.flush()
+            merged.charge_io = previous
+            for run in group:
+                run.drop()
+            self.runs = self.runs[fanout:] + [merged]
+            yield PULSE
+
+    def read_run(self, run: HeapFile) -> Iterator[tuple]:
+        ctx = self.ctx
+        tracker = ctx.tracker
+        ref = self.merge_ref
+        cost = ctx.config.cost
+        for page_no in range(run.handle.num_pages):
+            page = ctx.disk.read_page(run.handle, page_no, sequential=True)
+            n = len(page.rows)
+            if n:
+                ctx.clock.advance(n * cost.cpu_tuple, CPU)
+            if tracker is not None and ref is not None:
+                tracker.input_rows(ref[0], ref[1], n, page.bytes_used)
+            yield from page.rows
+
+    def drop(self) -> None:
+        for run in self.runs:
+            run.drop()
+        self.runs.clear()
+
+
+def _make_partitions(
+    ctx: ExecContext, temps: List[HeapFile], columns, nbatches: int, name: str
+) -> List[HeapFile]:
+    """Create one temp partition file per batch (registered for cleanup)."""
+    schema = _spill_schema(columns)
+    parts = [
+        HeapFile(f"{name}_p{b}", schema, ctx.disk, ctx.config.page_size, temp=True)
+        for b in range(nbatches)
+    ]
+    temps.extend(parts)
+    return parts
+
+
+class _Compiler:
+    """Produce/consume compiler: physical plan -> one generator's source.
+
+    ``_node(node, consume)`` emits the code that produces ``node``'s rows,
+    invoking the ``consume`` callback to emit the per-row code of the
+    parent stage at every production site.  Sources own the loops;
+    pipeline breakers (sort, hash build, aggregation) emit a sink for
+    their child followed by a new production phase for their output.
+    """
+
+    def __init__(self, ctx: ExecContext, batch_rows: int):
+        self.ctx = ctx
+        self.cost = ctx.config.cost
+        self.tracker = ctx.tracker
+        self.batch_rows = max(1, batch_rows)
+        self.env: dict = {
+            "PULSE": PULSE,
+            "_B": Batch,
+            "_Stop": _StopPipeline,
+            "_CPU": CPU,
+            "_IO": IO,
+            "_ONE": (0,),
+            "heapq": heapq,
+        }
+        self.pre: List[str] = []
+        self.body: List[str] = []
+        self.depth = 1
+        #: Embedded volcano operators (merge join) to close with the query.
+        self.ops: list = []
+        #: Fused sort states whose spill runs need dropping.
+        self.sorts: List[_FusedSort] = []
+        #: Temp files the generated code creates (hash partitions).
+        self.temps: List[HeapFile] = []
+        self._n = 0
+        self._seg_names: dict[int, str] = {}
+        self._seg_list_names: dict[int, tuple[str, str]] = {}
+        self._adv_name: Optional[str] = None
+        self._clk_name: Optional[str] = None
+        self._cch_name: Optional[str] = None
+        self._slow_name: Optional[str] = None
+        self._tracker_name: Optional[str] = None
+        self._start_name: Optional[str] = None
+        self._segfin_name: Optional[str] = None
+        self._trin_name: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # emission helpers
+
+    def fresh(self, hint: str) -> str:
+        self._n += 1
+        return f"{hint}{self._n}"
+
+    def local(self, value, hint: str) -> str:
+        """Bind ``value`` as a function-local name (hoisted in the preamble)."""
+        name = self.fresh(hint)
+        self.env[f"_g_{name}"] = value
+        self.pre.append(f"{name} = _g_{name}")
+        return name
+
+    def line(self, text: str) -> None:
+        self.body.append("    " * self.depth + text)
+
+    def block(self, header: str) -> "_Block":
+        self.line(header)
+        return _Block(self)
+
+    # cached hot bindings ------------------------------------------------
+
+    def _adv(self) -> str:
+        if self._adv_name is None:
+            self._adv_name = self.local(self.ctx.clock.advance, "adv")
+        return self._adv_name
+
+    def _clk(self) -> str:
+        if self._clk_name is None:
+            self._clk_name = self.local(self.ctx.clock, "clk")
+        return self._clk_name
+
+    def _cch(self) -> str:
+        """The clock's ``cost_charged`` dict (mutated in place, never rebound)."""
+        if self._cch_name is None:
+            self._cch_name = self.local(self.ctx.clock.cost_charged, "cch")
+        return self._cch_name
+
+    def _slow(self) -> str:
+        if self._slow_name is None:
+            self._slow_name = self.local(self.ctx.clock._advance_slow, "slow")
+        return self._slow_name
+
+    def _tr(self) -> str:
+        if self._tracker_name is None:
+            self._tracker_name = self.local(self.tracker, "tr")
+        return self._tracker_name
+
+    def _tr_start(self) -> str:
+        if self._start_name is None:
+            self._start_name = self.local(self.tracker._start, "trst")
+        return self._start_name
+
+    def _tr_segfin(self) -> str:
+        if self._segfin_name is None:
+            self._segfin_name = self.local(
+                self.tracker.segment_finished, "segfin"
+            )
+        return self._segfin_name
+
+    def _tr_input(self) -> str:
+        """The bound ``input_rows`` method, for cold per-page call sites."""
+        if self._trin_name is None:
+            self._trin_name = self.local(self.tracker.input_rows, "trin")
+        return self._trin_name
+
+    def _seg(self, seg_id: int) -> str:
+        name = self._seg_names.get(seg_id)
+        if name is None:
+            name = self._seg_names[seg_id] = self.local(
+                self.tracker.segments[seg_id], f"seg{seg_id}_"
+            )
+        return name
+
+    def _seg_lists(self, seg_id: int) -> tuple[str, str]:
+        """Hoisted ``input_rows`` / ``input_bytes`` lists of one segment.
+
+        The lists are mutated in place and never rebound, so per-row code
+        can index hoisted locals instead of re-reading two attributes.
+        """
+        names = self._seg_list_names.get(seg_id)
+        if names is None:
+            seg = self._seg(seg_id)
+            ir = self.fresh(f"seg{seg_id}ir")
+            ib = self.fresh(f"seg{seg_id}ib")
+            self.pre.append(f"{ir} = {seg}.input_rows")
+            self.pre.append(f"{ib} = {seg}.input_bytes")
+            names = self._seg_list_names[seg_id] = (ir, ib)
+        return names
+
+    # inlined clock charge (must mirror VirtualClock.advance exactly) ----
+
+    def _emit_advance(self, cost, res: str, maybe_zero: bool = True) -> None:
+        """Inline ``clock.advance(cost, res)``'s fast path.
+
+        ``cost`` is either a float (compile-time constant) or a source
+        expression.  The emitted sequence is ``VirtualClock.advance``
+        minus the function call: same gate check, same ``cost_charged``
+        update, same fast-path float arithmetic, and the bound
+        ``_advance_slow`` for the event-crossing path (which fires
+        tickers exactly as the real method does).  ``advance(0)`` is a
+        no-op before the gate check, so zero constants emit nothing and
+        runtime expressions guard with ``if cost:`` unless the caller
+        proves them nonzero.
+        """
+        if isinstance(cost, (int, float)):
+            if cost == 0:
+                return
+            if cost < 0:
+                # Invalid config: keep the real method's ValueError.
+                self.line(f"{self._adv()}({_lit(cost)}, {res})")
+                return
+            c = _lit(cost)
+            guard = False
+        elif cost.isidentifier():
+            c = cost
+            guard = maybe_zero
+        else:
+            c = self.fresh("c")
+            self.line(f"{c} = {cost}")
+            guard = maybe_zero
+        clk = self._clk()
+        cch = self._cch()
+        slow = self._slow()
+        rloc = "_rcpu" if res == "_CPU" else "_rio"
+
+        def emit_body() -> None:
+            # The gate check is specialized away when no gate is installed
+            # at compile time: gates are installed by ConcurrentWorkload
+            # before its workers compile their queries, and before_charge
+            # is a no-op for every thread the gate has not registered, so
+            # a query compiled gate-less can never owe a gate a charge.
+            if self.ctx.clock.gate is not None:
+                with self.block(f"if {clk}.gate is not None:"):
+                    self.line(f"{clk}.gate.before_charge({c})")
+            self.line(f"{cch}[{rloc}] += {c}")
+            self.line(f"_end = {clk}.now + {c} * {clk}._factors[{rloc}]")
+            with self.block(f"if _end < {clk}._next_event:"):
+                self.line(f"{clk}.now = _end")
+            with self.block("else:"):
+                self.line(f"{slow}({c}, {rloc})")
+
+        if guard:
+            with self.block(f"if {c}:"):
+                emit_body()
+        else:
+            emit_body()
+
+    # tracker arithmetic, inlined (must mirror WorkTracker exactly) ------
+
+    def _emit_input_rows(
+        self, seg_id: int, idx: int, rows_expr: str, bytes_name: str
+    ) -> None:
+        """Inline ``tracker.input_rows(seg_id, idx, rows, bytes)``.
+
+        ``bytes_name`` must be a variable name or literal (it is evaluated
+        three times).  The float additions run in the method's exact
+        order: input_bytes, done_bytes, total_done_bytes.
+        """
+        seg = self._seg(seg_id)
+        ir, ib = self._seg_lists(seg_id)
+        with self.block(f"if not {seg}.started:"):
+            self.line(f"{self._tr_start()}({seg})")
+        self.line(f"{ir}[{idx}] += {rows_expr}")
+        self.line(f"{ib}[{idx}] += {bytes_name}")
+        self.line(f"{seg}.done_bytes += {bytes_name}")
+        self.line(f"{self._tr()}.total_done_bytes += {bytes_name}")
+
+    def _emit_output_rows(self, seg_id: int, bytes_name: str) -> None:
+        """Inline ``tracker.output_rows(seg_id, 1, bytes)``."""
+        seg = self._seg(seg_id)
+        with self.block(f"if not {seg}.started:"):
+            self.line(f"{self._tr_start()}({seg})")
+        self.line(f"{seg}.output_rows += 1")
+        self.line(f"{seg}.output_bytes += {bytes_name}")
+        if seg_id != self.tracker.final_segment:
+            self.line(f"{seg}.done_bytes += {bytes_name}")
+            self.line(f"{self._tr()}.total_done_bytes += {bytes_name}")
+
+    # batch / pulse plumbing ---------------------------------------------
+
+    def _emit_pulse(self) -> None:
+        """Yield PULSE, flushing any pending output batch first."""
+        with self.block("if nout:"):
+            self.line("yield _B(out)")
+            self.line("out = []")
+            self.line("out_append = out.append")
+            self.line("nout = 0")
+        self.line("yield PULSE")
+
+    def _driver(self, rowvar: str) -> None:
+        self.line(f"out_append({rowvar})")
+        self.line("nout += 1")
+        with self.block(f"if nout >= {self.batch_rows}:"):
+            self.line("yield _B(out)")
+            self.line("out = []")
+            self.line("out_append = out.append")
+            self.line("nout = 0")
+
+    # width arithmetic ----------------------------------------------------
+
+    @staticmethod
+    def _width_parts(types) -> tuple[float, List[int]]:
+        """Split a row shape into (fixed width, variable string slots)."""
+        fixed = float(TUPLE_HEADER_BYTES)
+        var_slots: List[int] = []
+        for i, t in enumerate(types):
+            if isinstance(t, StringType):
+                var_slots.append(i)
+            else:
+                fixed += t.width(None)
+        return fixed, var_slots
+
+    def _emit_width(self, rowvar: str, fixed: float, var_slots: List[int]) -> str:
+        """Emit the exact row-width computation; return its value's name."""
+        if not var_slots:
+            return _lit(fixed)
+        w = self.fresh("w")
+        self.line(f"{w} = {_lit(fixed)}")
+        for i in var_slots:
+            v = self.fresh("v")
+            self.line(f"{v} = {rowvar}[{i}]")
+            self.line(f"{w} += 1.0 if {v} is None else 1.0 + len({v})")
+        return w
+
+    # expression helpers --------------------------------------------------
+
+    def _key_expr(self, columns, keys, rowvar: str) -> str:
+        slots = [layout_of(columns)[k] for k in keys]
+        if len(slots) == 1:
+            return f"{rowvar}[{slots[0]}]"
+        return _tuple_display([f"{rowvar}[{s}]" for s in slots])
+
+    def _combine_expr(self, left_cols, right_cols, out_cols, lvar, rvar) -> str:
+        left_slots = layout_of(left_cols)
+        right_slots = layout_of(right_cols)
+        parts = []
+        for col in out_cols:
+            if col.coordinate in left_slots:
+                parts.append(f"{lvar}[{left_slots[col.coordinate]}]")
+            else:
+                parts.append(f"{rvar}[{right_slots[col.coordinate]}]")
+        return _tuple_display(parts)
+
+    # fused expression source ---------------------------------------------
+    #
+    # Expression evaluation is *silent* computation (no clock, no tracker),
+    # so the compiler is free to replace the nested-closure evaluators of
+    # repro.expr.compiler with inline source — as long as the produced
+    # value (including SQL NULL propagation) is identical.  Shapes the
+    # source compiler does not cover fall back to the compiled closures.
+
+    def _value_src(self, expr, slot: Callable[[int], str], layout) -> Optional[str]:
+        """Source computing ``compile_expr(expr, layout)(row)``, or None.
+
+        ``slot`` maps a layout slot index to the source of that slot's
+        value.  NULL propagation matches the closures exactly: any NULL
+        operand of a comparison/arithmetic node yields None.
+        """
+        if isinstance(expr, ColumnExpr):
+            s = layout.get(expr.coordinate)
+            if s is None:
+                return None  # closure fallback raises the standard error
+            return slot(s)
+        if isinstance(expr, LiteralExpr):
+            if type(expr.value) in _SAFE_LITERALS:
+                return _lit(expr.value)
+            return None
+        if isinstance(expr, (ComparisonExpr, ArithmeticExpr)):
+            table = _CMP_SRC if isinstance(expr, ComparisonExpr) else _ARITH_SRC
+            op = table[expr.op]
+            left = self._value_src(expr.left, slot, layout)
+            right = self._value_src(expr.right, slot, layout)
+            if left is None or right is None:
+                return None
+            checks = []
+            if not _nonnull_literal(expr.left):
+                t = self.fresh("t")
+                checks.append(f"({t} := {left}) is None")
+                left = t
+            if not _nonnull_literal(expr.right):
+                t = self.fresh("t")
+                checks.append(f"({t} := {right}) is None")
+                right = t
+            if not checks:
+                return f"({left} {op} {right})"
+            return f"(None if {' or '.join(checks)} else {left} {op} {right})"
+        if isinstance(expr, NegativeExpr):
+            inner = self._value_src(expr.operand, slot, layout)
+            if inner is None:
+                return None
+            if _nonnull_literal(expr.operand):
+                return f"(-{inner})"
+            t = self.fresh("t")
+            return f"(None if ({t} := {inner}) is None else -{t})"
+        return None
+
+    def _pred_src(self, expr, slot: Callable[[int], str], layout) -> Optional[str]:
+        """Boolean source equal to ``compile_predicate(expr, layout)(row)``.
+
+        The predicate boundary collapses three-valued logic: the source
+        is True exactly when the expression evaluates to True (NULL and
+        False both reject the row), mirroring ``fn(row) is True``.
+        """
+        if isinstance(expr, ComparisonExpr):
+            left = self._value_src(expr.left, slot, layout)
+            right = self._value_src(expr.right, slot, layout)
+            if left is None or right is None:
+                return None
+            op = _CMP_SRC[expr.op]
+            conds = []
+            if not _nonnull_literal(expr.left):
+                t = self.fresh("t")
+                conds.append(f"({t} := {left}) is not None")
+                left = t
+            if not _nonnull_literal(expr.right):
+                t = self.fresh("t")
+                conds.append(f"({t} := {right}) is not None")
+                right = t
+            conds.append(f"{left} {op} {right}")
+            return "(" + " and ".join(conds) + ")"
+        if isinstance(expr, LogicalExpr):
+            # Conjunction is True iff every arg is True; disjunction iff
+            # any is (NULL args only matter for the non-True outcomes,
+            # which all reject the row).  Short-circuiting is fine: the
+            # skipped evaluation is silent.
+            parts = [self._pred_src(a, slot, layout) for a in expr.args]
+            if any(p is None for p in parts):
+                return None
+            joiner = " and " if expr.op == "and" else " or "
+            return "(" + joiner.join(parts) + ")"
+        if isinstance(expr, NotExpr):
+            inner = self._value_src(expr.operand, slot, layout)
+            if inner is None:
+                return None
+            t = self.fresh("t")
+            return f"(({t} := {inner}) is not None and not {t})"
+        value = self._value_src(expr, slot, layout)
+        if value is None:
+            return None
+        return f"({value} is True)"
+
+    def _emit_predicates(
+        self,
+        filters,
+        layout,
+        rowvar: Optional[str],
+        split: Optional[tuple[str, str, int]] = None,
+    ) -> None:
+        """Short-circuit predicate chain; skips the row via ``continue``.
+
+        ``split=(left, right, nleft)`` evaluates predicates over the
+        *virtual* concatenation of two row variables (join filter
+        position) without materializing it; the concatenated tuple is
+        built only if some predicate needs the closure fallback.
+        Predicates run in plan order, exactly like the volcano chain.
+        """
+        if split is not None:
+            lvar, rvar, nleft = split
+
+            def slot(s: int) -> str:
+                return f"{lvar}[{s}]" if s < nleft else f"{rvar}[{s - nleft}]"
+
+            mvar = None
+        else:
+
+            def slot(s: int) -> str:
+                return f"{rowvar}[{s}]"
+
+            mvar = rowvar
+        for f in filters:
+            src = self._pred_src(f, slot, layout)
+            if src is not None:
+                with self.block(f"if not {src}:"):
+                    self.line("continue")
+                continue
+            if mvar is None:
+                mvar = self.fresh("m")
+                self.line(f"{mvar} = {split[0]} + {split[1]}")
+            pv = self.local(compile_predicate(f, layout), "p")
+            with self.block(f"if not {pv}({mvar}):"):
+                self.line("continue")
+
+    # ------------------------------------------------------------------
+    # top-level
+
+    def compile(self, root: PhysicalNode) -> str:
+        self._node(root, self._driver)
+        lines = ["def _fused_run():"]
+        lines.append("    out = []")
+        lines.append("    out_append = out.append")
+        lines.append("    nout = 0")
+        lines.append("    _rcpu = _CPU")
+        lines.append("    _rio = _IO")
+        lines.extend("    " + p for p in self.pre)
+        lines.extend(self.body)
+        lines.append("    if out:")
+        lines.append("        yield _B(out)")
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # dispatch
+
+    def _node(self, node: PhysicalNode, consume: Callable[[str], None]) -> None:
+        if isinstance(node, HashAggregateNode):
+            self._aggregate(node, consume)
+        elif isinstance(node, DistinctNode):
+            self._distinct(node, consume)
+        elif isinstance(node, FilterNode):
+            self._filter(node, consume)
+        elif isinstance(node, SeqScanNode):
+            self._seq_scan(node, consume)
+        elif isinstance(node, IndexScanNode):
+            self._index_scan(node, consume)
+        elif isinstance(node, HashJoinNode):
+            self._hash_join(node, consume)
+        elif isinstance(node, NestLoopNode):
+            self._nest_loop(node, consume)
+        elif isinstance(node, MergeJoinNode):
+            self._merge_join(node, consume)
+        elif isinstance(node, SortNode):
+            self._sort(node, consume)
+        elif isinstance(node, ProjectNode):
+            self._project(node, consume)
+        elif isinstance(node, LimitNode):
+            self._limit(node, consume)
+        else:
+            raise ExecutionError(
+                f"no fused pipeline for plan node {type(node).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    # sources
+
+    def _seq_scan(self, node: SeqScanNode, consume) -> None:
+        ctx = self.ctx
+        cost = self.cost
+        ref = getattr(node, "pi_input_ref", None)
+        monitored = self.tracker is not None and ref is not None
+        per_tuple = ctx.config.progress.scan_granularity != "page"
+        handle = node.table.heap.handle
+        layout = _scan_layout(node)
+        slots = _projector(node)
+        cpu_per_row = cost.cpu_tuple + len(node.filters) * cost.cpu_operator
+
+        h = self.local(handle, "h")
+        get = self.local(ctx.buffer_pool.get_page, "get")
+        pin = self.local(ctx.buffer_pool.pin, "pin")
+        unpin = self.local(ctx.buffer_pool.unpin, "unpin")
+        pno = self.fresh("pno")
+        pg = self.fresh("pg")
+        rows = self.fresh("rows")
+        n = self.fresh("n")
+        r = self.fresh("r")
+        with self.block(f"for {pno} in range({handle.num_pages}):"):
+            self.line(f"{pg} = {get}({h}, {pno}, sequential=True)")
+            self.line(f"{rows} = {pg}.rows")
+            self.line(f"{n} = len({rows})")
+            with self.block(f"if not {n}:"):
+                self.line("continue")
+            self.line(f"{pin}({h}, {pno})")
+            with self.block("try:"):
+                if cpu_per_row:
+                    self._emit_advance(
+                        f"{_lit(cpu_per_row)} * {n}", "_CPU", maybe_zero=False
+                    )
+                if monitored and per_tuple:
+                    prb = self.fresh("prb")
+                    self.line(f"{prb} = {pg}.bytes_used / {n}")
+                if monitored and not per_tuple:
+                    seg, idx = ref
+                    self.line(
+                        f"{self._tr_input()}({seg}, {idx}, {n}, {pg}.bytes_used)"
+                    )
+                with self.block(f"for {r} in {rows}:"):
+                    if monitored and per_tuple:
+                        seg, idx = ref
+                        self._emit_input_rows(seg, idx, "1", prb)
+                    self._emit_predicates(node.filters, layout, r)
+                    if slots is None:
+                        consume(r)
+                    else:
+                        o = self.fresh("o")
+                        self.line(
+                            f"{o} = "
+                            + _tuple_display([f"{r}[{i}]" for i in slots])
+                        )
+                        consume(o)
+                self._emit_pulse()
+            with self.block("finally:"):
+                self.line(f"{unpin}({h}, {pno})")
+
+    def _index_scan(self, node: IndexScanNode, consume) -> None:
+        ctx = self.ctx
+        cost = self.cost
+        ref = getattr(node, "pi_input_ref", None)
+        monitored = self.tracker is not None and ref is not None
+        index = node.index
+        heap_handle = node.table.heap.handle
+        schema = node.table.schema
+        layout = _scan_layout(node)
+        slots = _projector(node)
+        per_row_cpu = cost.cpu_tuple + len(node.filters) * cost.cpu_operator
+
+        self._emit_advance(index.height * cost.random_page_read, "_IO")
+        self._emit_advance(index.height * cost.cpu_index_level, "_CPU")
+
+        search = self.local(
+            index.search_range(
+                node.low, node.high, node.low_inclusive, node.high_inclusive
+            ),
+            "search",
+        )
+        hh = self.local(heap_handle, "hh")
+        get = self.local(ctx.buffer_pool.get_page, "get")
+        pin = self.local(ctx.buffer_pool.pin, "pin")
+        unpin = self.local(ctx.buffer_pool.unpin, "unpin")
+        rw = self.local(schema.row_width, "rw")
+        seen = self.fresh("seen")
+        k = self.fresh("k")
+        rid = self.fresh("rid")
+        pno = self.fresh("pno")
+        slot = self.fresh("slot")
+        pg = self.fresh("pg")
+        r = self.fresh("r")
+        self.line(f"{seen} = 0")
+        with self.block(f"for {k}, {rid} in {search}:"):
+            with self.block(f"if {seen} % {index.fanout} == 0:"):
+                self._emit_advance(cost.seq_page_read, "_IO")
+                with self.block(f"if {seen}:"):
+                    self._emit_pulse()
+            self.line(f"{seen} += 1")
+            self.line(f"{pno}, {slot} = {rid}")
+            self.line(f"{pg} = {get}({hh}, {pno}, sequential=False)")
+            self.line(f"{pin}({hh}, {pno})")
+            with self.block("try:"):
+                self.line(f"{r} = {pg}.rows[{slot}]")
+                self._emit_advance(per_row_cpu, "_CPU")
+                if monitored:
+                    seg, idx = ref
+                    b = self.fresh("b")
+                    self.line(f"{b} = {rw}({r})")
+                    self._emit_input_rows(seg, idx, "1", b)
+                self._emit_predicates(node.filters, layout, r)
+                if slots is None:
+                    consume(r)
+                else:
+                    o = self.fresh("o")
+                    self.line(
+                        f"{o} = " + _tuple_display([f"{r}[{i}]" for i in slots])
+                    )
+                    consume(o)
+            with self.block("finally:"):
+                self.line(f"{unpin}({hh}, {pno})")
+
+    def _merge_join(self, node: MergeJoinNode, consume) -> None:
+        # Not fused: the volcano operator runs as a row source and
+        # everything above it is fused.  Its children are volcano
+        # operators too (built by MergeJoinOp itself).
+        from repro.executor.merge_join import MergeJoinOp
+
+        op = MergeJoinOp(node, self.ctx)
+        self.ops.append(op)
+        opv = self.local(op, "mj")
+        it = self.fresh("it")
+        with self.block(f"for {it} in {opv}.rows():"):
+            with self.block(f"if {it} is PULSE:"):
+                self._emit_pulse()
+                self.line("continue")
+            consume(it)
+
+    # ------------------------------------------------------------------
+    # streaming stages
+
+    def _project(self, node: ProjectNode, consume) -> None:
+        cost = self.cost
+        segment = getattr(node, "pi_output_segment", None)
+        monitored = self.tracker is not None and segment is not None
+        layout = {c.coordinate: i for i, c in enumerate(node.child.columns)}
+        computed = sum(1 for e in node.exprs if not isinstance(e, ColumnExpr))
+        per_row = cost.cpu_tuple + computed * cost.cpu_operator
+        # ProjectOp folds its fixed width as header + sum(...) — mirror that
+        # exact float-addition order, not row_width_fn's incremental one.
+        var_slots = [
+            i for i, e in enumerate(node.exprs) if isinstance(e.type, StringType)
+        ]
+        fixed = float(TUPLE_HEADER_BYTES) + sum(
+            e.type.width(None)
+            for e in node.exprs
+            if not isinstance(e.type, StringType)
+        )
+
+        # Expressions fuse into one output tuple display — column
+        # references and simple computations become inline source, the
+        # rest keep their compiled closures.  No per-expression hop.
+        # An identity projection (every input slot passed through in
+        # order) reuses the input tuple outright: every row in the engine
+        # is an immutable tuple, so the rebuilt copy volcano makes is
+        # observationally the same object.
+        identity = len(node.exprs) == len(node.child.columns) and all(
+            isinstance(e, ColumnExpr) and layout.get(e.coordinate) == i
+            for i, e in enumerate(node.exprs)
+        )
+        closures: dict[int, str] = {}
+
+        def part_src(i, e, rowvar: str) -> str:
+            src = self._value_src(e, lambda s: f"{rowvar}[{s}]", layout)
+            if src is not None:
+                return src
+            name = closures.get(i)
+            if name is None:
+                name = closures[i] = self.local(compile_expr(e, layout), "fn")
+            return f"{name}({rowvar})"
+
+        def stage(rowvar: str) -> None:
+            self._emit_advance(per_row, "_CPU")
+            if identity:
+                o = rowvar
+            else:
+                parts = [
+                    part_src(i, e, rowvar) for i, e in enumerate(node.exprs)
+                ]
+                o = self.fresh("o")
+                self.line(f"{o} = " + _tuple_display(parts))
+            if monitored:
+                w = self._emit_width(o, fixed, var_slots)
+                self._emit_output_rows(segment, w)
+            consume(o)
+
+        self._node(node.child, stage)
+
+    def _filter(self, node: FilterNode, consume) -> None:
+        layout = layout_of(node.child.columns)
+        per_row = len(node.predicates) * self.cost.cpu_operator
+
+        def stage(rowvar: str) -> None:
+            self._emit_advance(per_row, "_CPU")
+            self._emit_predicates(node.predicates, layout, rowvar)
+            consume(rowvar)
+
+        self._node(node.child, stage)
+
+    def _distinct(self, node: DistinctNode, consume) -> None:
+        per_row = self.cost.cpu_hash
+        seen = self.fresh("seen")
+        add = self.fresh("seenadd")
+        self.line(f"{seen} = set()")
+        self.line(f"{add} = {seen}.add")
+
+        def stage(rowvar: str) -> None:
+            self._emit_advance(per_row, "_CPU")
+            with self.block(f"if {rowvar} in {seen}:"):
+                self.line("continue")
+            self.line(f"{add}({rowvar})")
+            consume(rowvar)
+
+        self._node(node.child, stage)
+
+    def _limit(self, node: LimitNode, consume) -> None:
+        if node.limit <= 0:
+            # The volcano LimitOp never pulls its child; emit nothing.
+            return
+        rem = self.fresh("rem")
+        self.line(f"{rem} = {node.limit}")
+
+        def stage(rowvar: str) -> None:
+            consume(rowvar)
+            self.line(f"{rem} -= 1")
+            with self.block(f"if {rem} <= 0:"):
+                self.line("raise _Stop")
+
+        with self.block("try:"):
+            self._node(node.child, stage)
+        with self.block("except _Stop:"):
+            self.line("pass")
+
+    # ------------------------------------------------------------------
+    # hash join
+
+    def _hash_join(self, node: HashJoinNode, consume) -> None:
+        if node.num_batches == 1:
+            self._hash_join_memory(node, consume)
+        else:
+            self._hash_join_partitioned(node, consume)
+
+    def _build_row_update(
+        self, rowvar: str, key_expr: str, table: str, tget: str
+    ) -> None:
+        """Shared build-side hash-table insert (NULL keys never join)."""
+        k = self.fresh("k")
+        bkt = self.fresh("bkt")
+        self.line(f"{k} = {key_expr}")
+        with self.block(f"if {k} is not None:"):
+            self.line(f"{bkt} = {tget}({k})")
+            with self.block(f"if {bkt} is None:"):
+                self.line(f"{table}[{k}] = [{rowvar}]")
+            with self.block("else:"):
+                self.line(f"{bkt}.append({rowvar})")
+
+    def _probe_row(
+        self, node: HashJoinNode, rowvar: str, table_get: str, consume
+    ) -> None:
+        """Per-probe-row code: key lookup, bucket charge, match emission."""
+        cost = self.cost
+        layout = None
+        if node.extra_filters:
+            from repro.executor.rowops import concat_layout
+
+            layout = concat_layout(node.build.columns, node.probe.columns)
+        per_match = cost.cpu_tuple + len(node.extra_filters) * cost.cpu_operator
+        k = self.fresh("k")
+        bkt = self.fresh("bkt")
+        br = self.fresh("br")
+        self.line(
+            f"{k} = " + self._key_expr(node.probe.columns, node.probe_keys, rowvar)
+        )
+        with self.block(f"if {k} is None:"):
+            self.line("continue")
+        self.line(f"{bkt} = {table_get}({k})")
+        with self.block(f"if {bkt} is None:"):
+            self.line("continue")
+        if per_match:
+            self._emit_advance(
+                f"{_lit(per_match)} * len({bkt})", "_CPU", maybe_zero=False
+            )
+        combine = self._combine_expr(
+            node.build.columns, node.probe.columns, node.columns, br, rowvar
+        )
+        with self.block(f"for {br} in {bkt}:"):
+            if node.extra_filters:
+                self._emit_predicates(
+                    node.extra_filters,
+                    layout,
+                    None,
+                    split=(br, rowvar, len(node.build.columns)),
+                )
+            o = self.fresh("o")
+            self.line(f"{o} = {combine}")
+            consume(o)
+
+    def _hash_join_memory(self, node: HashJoinNode, consume) -> None:
+        cost = self.cost
+        build_segment = getattr(node, "pi_build_segment", None)
+        hash_ref = getattr(node, "pi_hash_input_ref", None)
+        mon_build = self.tracker is not None and build_segment is not None
+        fixed, var_slots = self._width_parts(
+            [c.type for c in node.build.columns]
+        )
+        table = self.fresh("tbl")
+        tget = self.fresh("tget")
+        trows = self.fresh("trows")
+        tbytes = self.fresh("tbytes")
+        self.line(f"{table} = {{}}")
+        self.line(f"{tget} = {table}.get")
+        self.line(f"{trows} = 0")
+        self.line(f"{tbytes} = 0.0")
+
+        def build_sink(rowvar: str) -> None:
+            self._emit_advance(cost.cpu_hash, "_CPU")
+            w = self._emit_width(rowvar, fixed, var_slots)
+            if not var_slots:
+                wv = self.fresh("w")
+                self.line(f"{wv} = {w}")
+                w = wv
+            self.line(f"{trows} += 1")
+            self.line(f"{tbytes} += {w}")
+            if mon_build:
+                self._emit_output_rows(build_segment, w)
+            self._build_row_update(
+                rowvar,
+                self._key_expr(node.build.columns, node.build_keys, rowvar),
+                table,
+                tget,
+            )
+
+        self._node(node.build, build_sink)
+        if mon_build:
+            self.line(f"{self._tr_segfin()}({build_segment})")
+        if self.tracker is not None and hash_ref is not None:
+            # The probe segment "handles" the hash table once as it starts.
+            self.line(
+                f"{self._tr_input()}"
+                f"({hash_ref[0]}, {hash_ref[1]}, {trows}, {tbytes})"
+            )
+
+        def probe_stage(rowvar: str) -> None:
+            self._emit_advance(cost.cpu_hash, "_CPU")
+            self._probe_row(node, rowvar, tget, consume)
+
+        self._node(node.probe, probe_stage)
+
+    def _hash_join_partitioned(self, node: HashJoinNode, consume) -> None:
+        ctx = self.ctx
+        cost = self.cost
+        nb = node.num_batches
+        mk = self.local(_make_partitions, "mkparts")
+        ctxv = self.local(ctx, "ctx")
+        temps = self.local(self.temps, "temps")
+        sh = self.local(_stable_hash, "sh")
+
+        def partition(child, columns, keys, segment, name: str) -> str:
+            monitored = self.tracker is not None and segment is not None
+            fixed, var_slots = self._width_parts([c.type for c in columns])
+            cols = self.local(columns, "cols")
+            parts = self.fresh("parts")
+            apps = self.fresh("apps")
+            self.line(f"{parts} = {mk}({ctxv}, {temps}, {cols}, {nb}, {name!r})")
+            self.line(f"{apps} = [p.append for p in {parts}]")
+
+            def sink(rowvar: str) -> None:
+                self._emit_advance(cost.cpu_hash, "_CPU")
+                k = self.fresh("k")
+                self.line(
+                    f"{k} = " + self._key_expr(columns, keys, rowvar)
+                )
+                b = self.fresh("b")
+                self.line(
+                    f"{b} = {sh}({k}) % {nb} if {k} is not None else 0"
+                )
+                self.line(f"{apps}[{b}]({rowvar})")
+                if monitored:
+                    w = self._emit_width(rowvar, fixed, var_slots)
+                    self._emit_output_rows(segment, w)
+
+            self._node(child, sink)
+            p = self.fresh("p")
+            with self.block(f"for {p} in {parts}:"):
+                self.line(f"{p}.flush()")
+            if monitored:
+                self.line(f"{self._tr_segfin()}({segment})")
+            return parts
+
+        build_parts = partition(
+            node.build,
+            node.build.columns,
+            node.build_keys,
+            getattr(node, "pi_build_segment", None),
+            f"hj_build_{id(node)}",
+        )
+        probe_parts = partition(
+            node.probe,
+            node.probe.columns,
+            node.probe_keys,
+            getattr(node, "pi_probe_segment", None),
+            f"hj_probe_{id(node)}",
+        )
+
+        pa_ref = getattr(node, "pi_pa_input_ref", None)
+        pb_ref = getattr(node, "pi_pb_input_ref", None)
+        dread = self.local(ctx.disk.read_page, "dread")
+
+        def read_partition(handle_expr: str, ref, per_row) -> None:
+            """Page loop over one spilled partition; ``per_row`` emits the
+            consumer's code for each row (mirrors ``_read_partition``)."""
+            h = self.fresh("h")
+            pno = self.fresh("pno")
+            pg = self.fresh("pg")
+            n = self.fresh("n")
+            r = self.fresh("r")
+            self.line(f"{h} = {handle_expr}")
+            with self.block(f"for {pno} in range({h}.num_pages):"):
+                self.line(f"{pg} = {dread}({h}, {pno}, sequential=True)")
+                self.line(f"{n} = len({pg}.rows)")
+                if cost.cpu_tuple:
+                    with self.block(f"if {n}:"):
+                        self._emit_advance(
+                            f"{_lit(cost.cpu_tuple)} * {n}",
+                            "_CPU",
+                            maybe_zero=False,
+                        )
+                if self.tracker is not None and ref is not None:
+                    self.line(
+                        f"{self._tr_input()}"
+                        f"({ref[0]}, {ref[1]}, {n}, {pg}.bytes_used)"
+                    )
+                with self.block(f"for {r} in {pg}.rows:"):
+                    per_row(r)
+                self._emit_pulse()
+
+        b = self.fresh("b")
+        table = self.fresh("tbl")
+        tget = self.fresh("tget")
+        with self.block(f"for {b} in range({nb}):"):
+            self.line(f"{table} = {{}}")
+            self.line(f"{tget} = {table}.get")
+
+            def build_row(rowvar: str) -> None:
+                self._emit_advance(cost.cpu_hash, "_CPU")
+                self._build_row_update(
+                    rowvar,
+                    self._key_expr(node.build.columns, node.build_keys, rowvar),
+                    table,
+                    tget,
+                )
+
+            read_partition(f"{build_parts}[{b}].handle", pa_ref, build_row)
+
+            def probe_row(rowvar: str) -> None:
+                self._emit_advance(cost.cpu_hash, "_CPU")
+                self._probe_row(node, rowvar, tget, consume)
+
+            read_partition(f"{probe_parts}[{b}].handle", pb_ref, probe_row)
+
+    # ------------------------------------------------------------------
+    # nested loops join
+
+    def _nest_loop(self, node: NestLoopNode, consume) -> None:
+        ctx = self.ctx
+        cost = self.cost
+        inner_ref = getattr(node, "pi_inner_input_ref", None)
+        fixed, var_slots = self._width_parts(
+            [c.type for c in node.inner.columns]
+        )
+        layout = None
+        if node.predicates:
+            from repro.executor.rowops import concat_layout
+
+            layout = concat_layout(node.outer.columns, node.inner.columns)
+
+        inner = self.fresh("inner")
+        iapp = self.fresh("iapp")
+        ibytes = self.fresh("ibytes")
+        self.line(f"{inner} = []")
+        self.line(f"{iapp} = {inner}.append")
+        self.line(f"{ibytes} = 0.0")
+
+        def inner_sink(rowvar: str) -> None:
+            self._emit_advance(cost.cpu_tuple, "_CPU")
+            w = self._emit_width(rowvar, fixed, var_slots)
+            self.line(f"{ibytes} += {w}")
+            self.line(f"{iapp}({rowvar})")
+
+        self._node(node.inner, inner_sink)
+        if self.tracker is not None and inner_ref is not None:
+            self.line(
+                f"{self._tr_input()}({inner_ref[0]}, {inner_ref[1]}, "
+                f"len({inner}), {ibytes})"
+            )
+
+        poc = self.fresh("poc")
+        rio = self.fresh("rio")
+        first = self.fresh("first")
+        self.line(
+            f"{poc} = len({inner}) * {_lit(cost.cpu_operator)}"
+            f" * {max(1, len(node.predicates))}"
+        )
+        self.line(f"{rio} = 0.0")
+        with self.block(f"if {ibytes} > {_lit(ctx.work_mem_bytes)}:"):
+            self.line(
+                f"{rio} = ({ibytes} / {ctx.config.page_size})"
+                f" * {_lit(cost.seq_page_read)}"
+            )
+        self.line(f"{first} = True")
+
+        ir = self.fresh("ir")
+        combine = self._combine_expr(
+            node.outer.columns, node.inner.columns, node.columns, "OUTER", ir
+        )
+
+        def outer_stage(rowvar: str) -> None:
+            self._emit_advance(poc, "_CPU")
+            with self.block(f"if {rio} and not {first}:"):
+                self._emit_advance(rio, "_IO", maybe_zero=False)
+            self.line(f"{first} = False")
+            with self.block(f"for {ir} in {inner}:"):
+                if node.predicates:
+                    self._emit_predicates(
+                        node.predicates,
+                        layout,
+                        None,
+                        split=(rowvar, ir, len(node.outer.columns)),
+                    )
+                o = self.fresh("o")
+                self.line(f"{o} = " + combine.replace("OUTER", rowvar))
+                consume(o)
+
+        self._node(node.outer, outer_stage)
+
+    # ------------------------------------------------------------------
+    # sort
+
+    def _sort(self, node: SortNode, consume) -> None:
+        ctx = self.ctx
+        cost = self.cost
+        helper = _FusedSort(node, ctx)
+        self.sorts.append(helper)
+        hv = self.local(helper, "sort")
+        keyv = self.local(helper.key, "skey")
+        segment = helper.segment
+        ref = helper.merge_ref
+        mon_out = self.tracker is not None and segment is not None
+        mon_in = self.tracker is not None and ref is not None
+        fixed, var_slots = self._width_parts([c.type for c in node.columns])
+
+        buf = self.fresh("buf")
+        bapp = self.fresh("bapp")
+        bbytes = self.fresh("bbytes")
+        self.line(f"{buf} = []")
+        self.line(f"{bapp} = {buf}.append")
+        self.line(f"{bbytes} = 0.0")
+
+        def absorb(rowvar: str) -> None:
+            self._emit_advance(cost.cpu_tuple, "_CPU")
+            w = self._emit_width(rowvar, fixed, var_slots)
+            if mon_out:
+                self._emit_output_rows(segment, w)
+            self.line(f"{bapp}({rowvar})")
+            self.line(f"{bbytes} += {w}")
+            with self.block(f"if {bbytes} > {_lit(ctx.work_mem_bytes)}:"):
+                self.line(f"yield from {hv}.spill({buf})")
+                self.line(f"{buf} = []")
+                self.line(f"{bapp} = {buf}.append")
+                self.line(f"{bbytes} = 0.0")
+
+        self._node(node.child, absorb)
+
+        mem = self.fresh("mem")
+        self.line(f"{mem} = None")
+        with self.block(f"if {hv}.runs:"):
+            with self.block(f"if {buf}:"):
+                self.line(f"yield from {hv}.spill({buf})")
+            self.line(f"yield from {hv}.collapse()")
+        with self.block("else:"):
+            self.line(f"yield from {hv}.sort_buffer({buf})")
+            self.line(f"{mem} = {buf}")
+        if mon_out:
+            self.line(f"{self._tr_segfin()}({segment})")
+
+        r = self.fresh("r")
+        st = self.fresh("st")
+        with self.block(f"if {mem} is not None:"):
+            with self.block(f"for {st}, {r} in enumerate({mem}, 1):"):
+                self._emit_advance(cost.cpu_tuple, "_CPU")
+                if mon_in:
+                    w = self._emit_width(r, fixed, var_slots)
+                    self._emit_input_rows(ref[0], ref[1], "1", w)
+                # The single-pass loop gives a consumer's ``continue``
+                # (filter/distinct row drop) a target that still falls
+                # through to the pulse-cadence check below, exactly like
+                # the volcano sort whose pulses don't depend on parents.
+                with self.block("for _sk in _ONE:"):
+                    consume(r)
+                with self.block(f"if {st} % {_MERGE_PULSE_ROWS} == 0:"):
+                    self._emit_pulse()
+        with self.block("else:"):
+            cmp_ = self.fresh("cmp")
+            merged = self.fresh("merged")
+            self.line(
+                f"{cmp_} = {_lit(cost.cpu_compare)}"
+                f" * max(1, len({hv}.runs)).bit_length()"
+            )
+            self.line(f"{merged} = 0")
+            with self.block(
+                f"for {r} in heapq.merge("
+                f"*({hv}.read_run(rr) for rr in {hv}.runs), key={keyv}):"
+            ):
+                self._emit_advance(cmp_, "_CPU")
+                with self.block("for _sk in _ONE:"):
+                    consume(r)
+                self.line(f"{merged} += 1")
+                with self.block(f"if {merged} % {_MERGE_PULSE_ROWS} == 0:"):
+                    self._emit_pulse()
+
+    # ------------------------------------------------------------------
+    # hash aggregation
+
+    def _aggregate(self, node: HashAggregateNode, consume) -> None:
+        from repro.executor.aggregate import HashAggregateOp, _AggState
+        from repro.executor.rowops import row_width_fn
+
+        cost = self.cost
+        segment = getattr(node, "pi_agg_segment", None)
+        groups_ref = getattr(node, "pi_groups_input_ref", None)
+        mon_seg = self.tracker is not None and segment is not None
+        mon_ref = self.tracker is not None and groups_ref is not None
+        child_layout = layout_of(node.child.columns)
+        key_slots = [child_layout[k] for k in node.group_keys]
+        for agg in node.aggregates:
+            if not isinstance(agg, AggregateExpr):
+                raise ExecutionError("aggregate node holds a non-aggregate")
+        kinds = [a.kind for a in node.aggregates]
+        na = len(node.aggregates)
+        per_row = cost.cpu_hash + na * cost.cpu_operator
+        statev = self.local(_AggState, "AggState")
+        finv = self.local(HashAggregateOp._finalize, "aggfin")
+        wfv = self.local(row_width_fn(node.columns), "aggw")
+        arg_closures: dict[int, str] = {}
+
+        def arg_src(i: int, rowvar: str) -> Optional[str]:
+            """Inline source of aggregate i's argument (None = count(*))."""
+            arg = node.aggregates[i].arg
+            if arg is None:
+                return None
+            src = self._value_src(
+                arg, lambda s: f"{rowvar}[{s}]", child_layout
+            )
+            if src is not None:
+                return src
+            name = arg_closures.get(i)
+            if name is None:
+                name = arg_closures[i] = self.local(
+                    compile_expr(arg, child_layout), "afn"
+                )
+            return f"{name}({rowvar})"
+
+        groups = self.fresh("groups")
+        gget = self.fresh("gget")
+        grows = self.fresh("grows")
+        st0 = self.fresh("st0")
+        self.line(f"{groups} = {{}}")
+        self.line(f"{gget} = {groups}.get")
+        self.line(f"{grows} = {{}}")
+        if not node.group_keys:
+            # Single-group aggregation keeps its one state in a local
+            # instead of hashing the empty key per row (silent work).
+            self.line(f"{st0} = None")
+
+        def key_expr(rowvar: str) -> str:
+            if not key_slots:
+                return "()"
+            if len(key_slots) == 1:
+                return f"{rowvar}[{key_slots[0]}]"
+            return _tuple_display([f"{rowvar}[{s}]" for s in key_slots])
+
+        def absorb(rowvar: str) -> None:
+            self._emit_advance(per_row, "_CPU")
+            if not node.group_keys:
+                st = st0
+                with self.block(f"if {st} is None:"):
+                    self.line(f"{st} = {statev}({na})")
+                    self.line(f"{groups}[()] = {st}")
+                    self.line(f"{grows}[()] = {rowvar}")
+            else:
+                k = self.fresh("k")
+                st = self.fresh("st")
+                self.line(f"{k} = {key_expr(rowvar)}")
+                self.line(f"{st} = {gget}({k})")
+                with self.block(f"if {st} is None:"):
+                    self.line(f"{st} = {statev}({na})")
+                    self.line(f"{groups}[{k}] = {st}")
+                    self.line(f"{grows}[{k}] = {rowvar}")
+            for i in range(na):
+                src = arg_src(i, rowvar)
+                if src is None:  # count(*)
+                    self.line(f"{st}.counts[{i}] += 1")
+                    continue
+                v = self.fresh("v")
+                self.line(f"{v} = {src}")
+                with self.block(f"if {v} is not None:"):  # aggregates skip NULLs
+                    self.line(f"{st}.counts[{i}] += 1")
+                    kind = kinds[i]
+                    if kind in ("sum", "avg"):
+                        self.line(f"{st}.sums[{i}] += {v}")
+                    elif kind == "min":
+                        with self.block(
+                            f"if {st}.mins[{i}] is None"
+                            f" or {v} < {st}.mins[{i}]:"
+                        ):
+                            self.line(f"{st}.mins[{i}] = {v}")
+                    elif kind == "max":
+                        with self.block(
+                            f"if {st}.maxs[{i}] is None"
+                            f" or {v} > {st}.maxs[{i}]:"
+                        ):
+                            self.line(f"{st}.maxs[{i}] = {v}")
+
+        self._node(node.child, absorb)
+
+        if not node.group_keys:
+            # Global aggregates over an empty input still produce one row.
+            with self.block(f"if {st0} is None:"):
+                self.line(f"{groups}[()] = {statev}({na})")
+                self.line(f"{grows}[()] = None")
+
+        output = self.fresh("outputs")
+        oapp = self.fresh("oapp")
+        k = self.fresh("k")
+        st = self.fresh("st")
+        br = self.fresh("br")
+        vals = self.fresh("vals")
+        o = self.fresh("o")
+        self.line(f"{output} = []")
+        self.line(f"{oapp} = {output}.append")
+        with self.block(f"for {k}, {st} in {groups}.items():"):
+            self.line(f"{br} = {grows}[{k}]")
+            with self.block(f"if {br} is not None:"):
+                self.line(
+                    f"{vals} = ["
+                    + ", ".join(f"{br}[{s}]" for s in key_slots)
+                    + "]"
+                )
+            with self.block("else:"):
+                self.line(f"{vals} = []")
+            for i, kind in enumerate(kinds):
+                self.line(f"{vals}.append({finv}({kind!r}, {st}, {i}))")
+            self.line(f"{o} = tuple({vals})")
+            self._emit_advance(cost.cpu_tuple, "_CPU")
+            if mon_seg:
+                w = self.fresh("w")
+                self.line(f"{w} = {wfv}({o})")
+                self._emit_output_rows(segment, w)
+            self.line(f"{oapp}({o})")
+        if mon_seg:
+            self.line(f"{self._tr_segfin()}({segment})")
+
+        def stream() -> None:
+            with self.block(f"for {o} in {output}:"):
+                self._emit_advance(cost.cpu_tuple, "_CPU")
+                if mon_ref:
+                    w = self.fresh("w")
+                    self.line(f"{w} = {wfv}({o})")
+                    self._emit_input_rows(groups_ref[0], groups_ref[1], "1", w)
+                consume(o)
+
+        stream()
+
+
+class FusedQuery:
+    """A compiled fused program for one plan, plus its cleanup state."""
+
+    def __init__(self, root: PhysicalNode, ctx: ExecContext):
+        compiler = _Compiler(ctx, ctx.config.progress.batch_rows)
+        source = compiler.compile(root)
+        #: Generated source, kept for debugging / inspection.
+        self.source = source
+        self._ops = compiler.ops
+        self._sorts = compiler.sorts
+        self._temps = compiler.temps
+        env = compiler.env
+        code = compile(source, "<fused-plan>", "exec")
+        exec(code, env)  # noqa: S102 - engine-generated source, no user input
+        self._gen = env["_fused_run"]()
+
+    def run(self) -> Iterator:
+        """The program's item stream: Batch objects and PULSE markers."""
+        return self._gen
+
+    def close(self) -> None:
+        """Release resources: pins (via generator unwind), temps, operators."""
+        self._gen.close()
+        for op in self._ops:
+            op.close()
+        for sort in self._sorts:
+            sort.drop()
+        for f in self._temps:
+            f.drop()
+        self._temps.clear()
+
+
+class _Block:
+    """Indentation context for :class:`_Compiler` (with-statement helper)."""
+
+    def __init__(self, compiler: _Compiler):
+        self._c = compiler
+
+    def __enter__(self) -> "_Block":
+        self._c.depth += 1
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._c.depth -= 1

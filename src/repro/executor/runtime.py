@@ -7,6 +7,7 @@ from typing import Iterator, Optional
 
 from repro.errors import ExecutionError
 from repro.executor.base import PULSE, ExecContext, build_operator
+from repro.executor.batch import Batch
 from repro.executor.work import WorkTracker
 from repro.planner.optimizer import PlannedQuery
 from repro.planner.physical import PhysicalNode
@@ -116,9 +117,44 @@ def execute(planned: PlannedQuery, ctx: ExecContext) -> Iterator[tuple]:
         finally:
             sub_op.close()
 
-    op = build_operator(planned.root, ctx)
+    # The fused batch engine compiles the whole plan into one loop nest
+    # (bit-identical charges; Batch items to the driver).  Paths that must
+    # observe per-operator streams — the analysis pulse probe and EXPLAIN
+    # ANALYZE row counting — always run the volcano row engine.
+    use_fused = (
+        ctx.config.progress.engine != "row"
+        and ctx.pulse_probe is None
+        and not ctx.count_rows
+    )
     produced = 0
     completed = False
+    if use_fused:
+        from repro.executor.fused import FusedQuery
+
+        fq = FusedQuery(planned.root, ctx)
+        try:
+            if ctx.trace is None:
+                yield from fq.run()
+            else:
+                for item in fq.run():
+                    if item is not PULSE:
+                        produced += len(item)
+                    yield item
+            completed = True
+        finally:
+            fq.close()
+            if completed:
+                if ctx.tracker is not None:
+                    ctx.tracker.finish_all()
+                if ctx.trace is not None:
+                    from repro.obs.events import ExecutionFinished
+
+                    ctx.trace.emit(
+                        ExecutionFinished(t=ctx.clock.now, rows=produced)
+                    )
+        return
+
+    op = build_operator(planned.root, ctx)
     try:
         if ctx.trace is None:
             yield from op.rows()
@@ -153,13 +189,24 @@ def run_query(
     """
     started = ctx.clock.now
     rows: list[tuple] = []
+    rows_append = rows.append
+    rows_extend = rows.extend
     produced = 0
-    for row in execute(planned, ctx):
-        if row is PULSE:
+    for item in execute(planned, ctx):
+        if item is PULSE:
+            continue
+        if type(item) is Batch:
+            brows = item.rows()
+            produced += len(brows)
+            if keep_rows:
+                if max_rows is None:
+                    rows_extend(brows)
+                elif len(rows) < max_rows:
+                    rows_extend(brows[: max_rows - len(rows)])
             continue
         produced += 1
         if keep_rows and (max_rows is None or len(rows) < max_rows):
-            rows.append(row)
+            rows_append(item)
     finished = ctx.clock.now
     return QueryResult(
         rows=rows,

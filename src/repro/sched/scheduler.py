@@ -52,6 +52,7 @@ from repro.core.indicator import ProgressIndicator
 from repro.database import Database
 from repro.errors import ProgressError, QueryTimeoutError
 from repro.executor.base import PULSE, ExecContext
+from repro.executor.batch import Batch
 from repro.executor.runtime import QueryResult, execute
 from repro.obs.bus import TraceBus
 from repro.planner.optimizer import PlannedQuery
@@ -306,6 +307,7 @@ class CooperativeScheduler:
         reason = "quantum"
         keep = task.keep_rows
         cap = task.max_rows
+        rows = task.rows  # never rebound; hoisted out of the hot loop
 
         task.state = RUNNING
         prev_owner = disk.set_owner(task.name)
@@ -332,10 +334,18 @@ class CooperativeScheduler:
                     if self._quantum_spent(task, start_pages, pulses):
                         task.state = SUSPENDED
                         break
+                elif type(item) is Batch:
+                    brows = item.rows()
+                    task.row_count += len(brows)
+                    if keep:
+                        if cap is None:
+                            rows.extend(brows)
+                        elif len(rows) < cap:
+                            rows.extend(brows[: cap - len(rows)])
                 else:
                     task.row_count += 1
-                    if keep and (cap is None or len(task.rows) < cap):
-                        task.rows.append(item)
+                    if keep and (cap is None or len(rows) < cap):
+                        rows.append(item)
         except Exception as exc:  # noqa: REPRO007 - containment boundary:
             # one query's failure (e.g. an injected I/O fault past its
             # retry budget) must not take down its siblings; the error is

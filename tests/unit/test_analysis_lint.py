@@ -317,6 +317,97 @@ class TestUnseededRandomRule:
         assert "REPRO008" not in rules_of(findings)
 
 
+class TestHotLoopDispatchRule:
+    """REPRO009: no per-row dispatch overhead in allowlisted hot loops."""
+
+    HOT_PATH = "src/repro/executor/runtime.py"
+
+    def test_flags_isinstance_in_hot_loop(self):
+        findings = lint_source(
+            "def run_query(items):\n"
+            "    for item in items:\n"
+            "        if isinstance(item, tuple):\n"
+            "            pass\n",
+            self.HOT_PATH,
+        )
+        assert rules_of(findings) == {"REPRO009"}
+        assert "identity" in findings[0].message
+
+    def test_flags_deep_attribute_chain_call(self):
+        findings = lint_source(
+            "def run_query(task, items):\n"
+            "    for item in items:\n"
+            "        task.rows.append(item)\n",
+            self.HOT_PATH,
+        )
+        assert rules_of(findings) == {"REPRO009"}
+        assert "hoist" in findings[0].message
+
+    def test_hoisted_bound_method_is_fine(self):
+        findings = lint_source(
+            "def run_query(task, items):\n"
+            "    append = task.rows.append\n"
+            "    for item in items:\n"
+            "        append(item)\n",
+            self.HOT_PATH,
+        )
+        assert findings == []
+
+    def test_identity_dispatch_is_fine(self):
+        findings = lint_source(
+            "def run_query(items, PULSE, Batch):\n"
+            "    n = 0\n"
+            "    for item in items:\n"
+            "        if item is PULSE:\n"
+            "            continue\n"
+            "        if type(item) is Batch:\n"
+            "            n += len(item.rows())\n",
+            self.HOT_PATH,
+        )
+        assert findings == []
+
+    def test_outside_hot_loop_not_flagged(self):
+        # Same function name, not an allowlisted file: unchecked.
+        findings = lint_source(
+            "def run_query(items):\n"
+            "    for item in items:\n"
+            "        if isinstance(item, tuple):\n"
+            "            pass\n",
+            "src/repro/obs/x.py",
+        )
+        assert findings == []
+
+    def test_code_before_the_loop_not_flagged(self):
+        findings = lint_source(
+            "def run_query(task, items):\n"
+            "    if isinstance(task, str):\n"
+            "        raise TypeError\n"
+            "    for item in items:\n"
+            "        pass\n",
+            self.HOT_PATH,
+        )
+        assert findings == []
+
+    def test_scheduler_slice_loop_is_allowlisted(self):
+        findings = lint_source(
+            "def _run_slice(self, task):\n"
+            "    while True:\n"
+            "        task.rows.extend(task.gen.fetch())\n",
+            "src/repro/sched/scheduler.py",
+        )
+        assert rules_of(findings) == {"REPRO009"}
+
+    def test_noqa_silences(self):
+        findings = lint_source(
+            "def run_query(items):\n"
+            "    for item in items:\n"
+            "        if isinstance(item, tuple):  # noqa: REPRO009\n"
+            "            pass\n",
+            self.HOT_PATH,
+        )
+        assert findings == []
+
+
 def test_shipped_tree_is_clean():
     """The lint pass lands green on the repo's own source tree."""
     assert lint_paths([REPO_SRC]) == []

@@ -1,0 +1,123 @@
+"""Scheduler × batch engine: quantum slicing sees identical boundaries.
+
+The batch engine moves rows in :class:`Batch` containers but must flush
+every batch *before* yielding ``PULSE`` — the scheduler only observes
+charge state at pulses, so batching may never stretch a work quantum.
+These tests pin that interaction: batch sizes are capped by
+``batch_rows``, quantum budgets still bound every slice, and a 16-query
+concurrent run keeps the cooperative guarantees (exactly one terminal
+state per task, monotone per-task indicators) with the *identical*
+virtual-time interleaving the row engine produces.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.executor.base import PULSE, ExecContext
+from repro.executor.batch import Batch
+from repro.executor.runtime import execute
+from repro.sched import FINISHED, CooperativeScheduler
+from repro.workloads import queries, tpcr
+
+#: Slice reasons that end a task for good.
+_TERMINAL_REASONS = {"finished", "failed", "timeout", "cancelled"}
+
+
+def _db(engine="batch", batch_rows=None, scale=0.002):
+    progress = {"engine": engine}
+    if batch_rows is not None:
+        progress["batch_rows"] = batch_rows
+    config = SystemConfig().with_progress(**progress)
+    return tpcr.build_database(scale=scale, subset_rows=60, config=config)
+
+
+def _sixteen(sched):
+    """Submit the 16-query mixed workload (4 × Q1/Q2/Q3/Q5)."""
+    tasks = []
+    for i in range(16):
+        sql = (queries.Q1, queries.Q2, queries.Q3, queries.Q5)[i % 4]
+        tasks.append(sched.submit(sql, name=f"q{i:02d}", keep_rows=False))
+    return tasks
+
+
+class TestBatchBounds:
+    def test_batches_never_exceed_batch_rows(self):
+        db = _db(batch_rows=32)
+        planned = db.prepare(queries.Q2)
+        ctx = ExecContext(db.clock, db.disk, db.buffer_pool, db.config)
+        sizes = []
+        for item in execute(planned, ctx):
+            if item is PULSE:
+                continue
+            assert type(item) is Batch
+            sizes.append(len(item))
+        assert sizes, "the batch engine should have produced batches"
+        assert all(1 <= size <= 32 for size in sizes)
+
+    def test_batches_flush_before_every_pulse(self):
+        # An oversized batch_rows forces every flush to come from a PULSE
+        # boundary: each batch must be immediately followed by the pulse
+        # that flushed it, never held across one.
+        db = _db(batch_rows=1 << 20)
+        planned = db.prepare(queries.Q1)
+        ctx = ExecContext(db.clock, db.disk, db.buffer_pool, db.config)
+        items = list(execute(planned, ctx))
+        for i, item in enumerate(items):
+            if type(item) is Batch:
+                assert i + 1 == len(items) or items[i + 1] is PULSE
+
+    def test_quantum_bounds_slices_under_batching(self):
+        sched = CooperativeScheduler(_db(), quantum_pages=2)
+        task = sched.submit(queries.Q1, name="a", keep_rows=False)
+        sched.run()
+        for record in task.slices:
+            if record.reason == "quantum":
+                assert record.pages <= sched.quantum_pages + 1
+
+
+class TestSixteenQueryWorkload:
+    def test_one_terminal_state_per_task_and_monotone_indicators(self):
+        sched = CooperativeScheduler(_db())
+        tasks = _sixteen(sched)
+        sched.run()
+        for task in tasks:
+            assert task.state == FINISHED
+            terminal = [
+                s for s in task.slices if s.reason in _TERMINAL_REASONS
+            ]
+            assert len(terminal) == 1
+            assert terminal[0].reason == "finished"
+            assert terminal[0] is task.slices[-1]
+            # Monotone indicator: work done and completed fraction only
+            # ever grow across the task's report history.
+            assert task.log is not None
+            reports = list(task.log)
+            assert reports, "a monitored task records reports"
+            for prev, cur in zip(reports, reports[1:]):
+                assert cur.done_pages >= prev.done_pages
+                assert cur.fraction_done >= prev.fraction_done
+            assert reports[-1].finished
+
+    def test_interleaving_is_bit_identical_to_the_row_engine(self):
+        """Virtual-time scheduling cannot tell the engines apart.
+
+        Both engines charge the same virtual costs and pulse at the same
+        points, so 16 interleaved queries produce the *identical* slice
+        sequence — same order, same virtual timestamps, same page and
+        pulse counts — and the same per-task row counts.
+        """
+        runs = {}
+        for engine in ("row", "batch"):
+            sched = CooperativeScheduler(_db(engine=engine))
+            tasks = _sixteen(sched)
+            sched.run()
+            runs[engine] = (
+                [
+                    (s.seq, s.task, s.started_at, s.ended_at, s.pulses,
+                     s.pages, s.reason)
+                    for s in sched.slices
+                ],
+                {t.name: t.row_count for t in tasks},
+            )
+        assert runs["batch"][0] == runs["row"][0]
+        assert runs["batch"][1] == runs["row"][1]
