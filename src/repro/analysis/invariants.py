@@ -1,6 +1,6 @@
 """Plan/segment invariant verifier.
 
-The refinement machinery of :mod:`repro.core.refine` is only correct when
+The refinement machinery of :mod:`repro.estimators.refinement` is only correct when
 the segment decomposition produced by :mod:`repro.core.segments` obeys a
 set of structural invariants that nothing at run time re-checks: ids must
 be dense and topologically ordered, every blocking operator must close a

@@ -77,6 +77,14 @@ Item-kind dispatch in these loops is by identity (``item is PULSE``,
 to locals before the loop — the idiom that keeps the batch engine's
 real-time win from leaking back out through the drivers.  Deliberate
 exceptions carry ``# noqa: REPRO009``.
+
+``REPRO010`` **no-legacy-refine-import** — no new imports of
+``repro.core.refine``: the refinement layer moved behind the pluggable
+estimator interface of :mod:`repro.estimators`, and ``core.refine`` is a
+deprecation shim only (``ProgressEstimator`` warns on instantiation).
+Import the snapshot types from ``repro.estimators`` and construct
+estimators via ``make_estimator``.  The shim module itself and test
+files are exempt.
 """
 
 from __future__ import annotations
@@ -92,8 +100,10 @@ _WALL_CLOCK_TIME_ATTRS = frozenset(
 )
 #: Wall-clock constructors of the ``datetime`` module.
 _WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
-#: Packages REPRO001 applies to (the simulated-time core of the engine).
-_CLOCKED_PACKAGES = frozenset({"core", "executor"})
+#: Packages REPRO001 applies to (the simulated-time core of the engine;
+#: ``estimators`` runs inside the indicator's tick path, so the same
+#: no-wall-clock / silent / typed-errors contracts apply).
+_CLOCKED_PACKAGES = frozenset({"core", "executor", "estimators"})
 
 #: Name fragments that mark a value as a progress fraction for REPRO002.
 _FRACTION_NAME_HINTS = ("fraction", "progress", "percent")
@@ -699,4 +709,59 @@ def _check_hot_loop_dispatch(
                         f"loop of {fn.name}(); hoist the bound method to "
                         f"a local before the loop",
                     )
+    return out
+
+
+# ----------------------------------------------------------------------
+# REPRO010 — no new imports of the deprecated core.refine shim
+
+#: The legacy module the estimator redesign left behind as a shim.
+_LEGACY_REFINE_MODULE = "repro.core.refine"
+
+
+def _refine_exempt(ctx: LintContext) -> bool:
+    """The shim module itself and test files may import it."""
+    path = ctx.path.replace("\\", "/")
+    if path.endswith("core/refine.py"):
+        return True
+    parts = path.split("/")
+    return any(p in ("tests", "test") for p in parts) or parts[-1].startswith(
+        "test_"
+    )
+
+
+@_rule("REPRO010", "no-legacy-refine-import")
+def _check_legacy_refine_import(
+    tree: ast.AST, ctx: LintContext
+) -> list[LintFinding]:
+    if _refine_exempt(ctx):
+        return []
+    out = []
+
+    def flag(node: ast.AST, what: str) -> None:
+        out.append(
+            LintFinding(
+                rule="REPRO010",
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=f"import of the deprecated refine shim {what!r}; "
+                f"use repro.estimators (make_estimator, EstimateSnapshot)",
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == _LEGACY_REFINE_MODULE or alias.name.startswith(
+                    _LEGACY_REFINE_MODULE + "."
+                ):
+                    flag(node, alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == _LEGACY_REFINE_MODULE:
+                flag(node, node.module)
+            elif node.module == "repro.core":
+                for alias in node.names:
+                    if alias.name == "refine":
+                        flag(node, f"repro.core.refine (via {alias.name})")
     return out

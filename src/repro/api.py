@@ -178,11 +178,17 @@ class Session:
         on_report=None,
         timeout: Optional[float] = None,
         deadline: Optional[float] = None,
+        estimator: Optional[str] = None,
     ) -> QueryHandle:
         """Submit a query (SQL text or a prepared plan) for execution.
 
         No work happens until the session is driven — by this or any
         other handle's ``.result()``, or by :meth:`run`.
+
+        ``estimator`` names the progress-estimation strategy for this
+        query ("paper", "dne", "tgn", "history", "ensemble", or any name
+        registered via :func:`repro.estimators.register_estimator`);
+        ``None`` follows ``ProgressConfig.estimator``.
 
         ``timeout`` (virtual seconds from the query's first slice) or
         ``deadline`` (absolute virtual-clock instant) arm the scheduler's
@@ -200,6 +206,7 @@ class Session:
             on_report=on_report,
             timeout=timeout,
             deadline=deadline,
+            estimator=estimator,
         )
         return QueryHandle(self, task)
 

@@ -104,6 +104,14 @@ class ProgressConfig:
     #: "optimizer" (never extrapolate from observed outputs), or
     #: "extrapolate" (raw y/p, no smoothing).  Ablation knob.
     refine_mode: str = "paper"
+    #: Which registered progress estimator runs each query: "paper" (the
+    #: default §4.5 blend), "dne", "tgn", "history", any name added via
+    #: :func:`repro.estimators.register_estimator`, or "ensemble" (race
+    #: every registered candidate and let the online selector pick).
+    #: ``Session.submit(estimator=...)`` overrides per query.  When this
+    #: is left at "paper", a non-default ``refine_mode`` still maps onto
+    #: the matching estimator for backward compatibility.
+    estimator: str = "paper"
     #: How scans report bytes to the tracker: "tuple" (as each tuple is
     #: processed — the paper's semantics, required for smooth progress on
     #: CPU-bound consumers like Q5) or "page" (whole pages at read time;

@@ -7,9 +7,12 @@ Pipeline:
    segment's dominant input(s) (Sections 4.2 and 4.5).
 2. The executor reports tuple/byte counts into a
    :class:`~repro.executor.work.WorkTracker` as the query runs.
-3. :mod:`repro.core.refine` re-estimates segment output cardinalities with
-   the paper's ``E = p*E2 + (1-p)*E1`` heuristic and propagates refined
-   estimates upward (Sections 4.3 and 4.5).
+3. A pluggable :class:`~repro.estimators.Estimator`
+   (:mod:`repro.estimators`; the default "paper" strategy re-estimates
+   segment output cardinalities with ``E = p*E2 + (1-p)*E1``) propagates
+   refined estimates upward (Sections 4.3 and 4.5).  Alternatives — DNE/
+   TGN blends, history-learned corrections, the online ensemble selector
+   — are chosen per query or via ``ProgressConfig.estimator``.
 4. :mod:`repro.core.speed` converts U to time from observed execution
    speed over the last T seconds (Section 4.6).
 5. :class:`~repro.core.indicator.ProgressIndicator` samples everything on
@@ -28,8 +31,13 @@ from repro.core.breakdown import (
 from repro.core.concurrent import ConcurrentWorkload, QueryRun
 from repro.core.history import ProgressLog
 from repro.core.indicator import ProgressIndicator
-from repro.core.refine import ProgressEstimator, SegmentEstimate
 from repro.core.report import ProgressReport
+from repro.estimators import (
+    Estimator,
+    EstimateSnapshot,
+    SegmentEstimate,
+    make_estimator,
+)
 from repro.core.segments import SegmentInput, SegmentSpec, build_segments
 from repro.core.speed import (
     DecayingSpeedEstimator,
@@ -50,8 +58,10 @@ __all__ = [
     "build_segments",
     "SegmentSpec",
     "SegmentInput",
-    "ProgressEstimator",
+    "Estimator",
+    "EstimateSnapshot",
     "SegmentEstimate",
+    "make_estimator",
     "ProgressIndicator",
     "ProgressReport",
     "ProgressLog",

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.refine import EstimateSnapshot
+from repro.estimators.base import EstimateSnapshot
 from repro.executor.work import WorkTracker
 
 

@@ -44,14 +44,21 @@ from typing import Callable, Optional
 
 from repro.config import SystemConfig
 from repro.core.history import ProgressLog
-from repro.core.refine import EstimateSnapshot, ProgressEstimator
 from repro.core.report import ProgressReport
 from repro.core.segments import build_segments, initial_total_cost_bytes
 from repro.core.speed import make_speed_estimator
 from repro.errors import ProgressError
+from repro.estimators import (
+    EstimateSnapshot,
+    EstimatorContext,
+    estimator_for_refine_mode,
+    make_estimator,
+)
+from repro.estimators.history import HistoryStore
 from repro.executor.work import WorkTracker
 from repro.obs.bus import TraceBus
 from repro.obs.events import (
+    CandidateEstimated,
     CardinalityRefined,
     DominantSwitched,
     IndicatorDegraded,
@@ -84,6 +91,8 @@ class ProgressIndicator:
         on_report: Optional[Callable[[ProgressReport], None]] = None,
         trace: Optional[TraceBus] = None,
         label: str = "query",
+        estimator: Optional[str] = None,
+        history: Optional[HistoryStore] = None,
     ) -> None:
         self._config = config or planned.config
         self._progress_cfg = self._config.progress
@@ -105,8 +114,20 @@ class ProgressIndicator:
             clock=clock,
         )
         self.tracker.trace = trace
-        self.estimator = ProgressEstimator(
-            self.segments, self.tracker, refine_mode=self._progress_cfg.refine_mode
+        # Which estimation strategy runs this query: the explicit submit
+        # argument wins, else ProgressConfig.estimator.  The legacy
+        # refine_mode ablation knob keeps working by mapping its
+        # non-default values onto the matching registered estimator
+        # ("optimizer" -> tgn, "extrapolate" -> dne) — a bad mode must
+        # still raise here even when an explicit estimator overrides it.
+        mode_estimator = estimator_for_refine_mode(self._progress_cfg.refine_mode)
+        name = estimator if estimator is not None else self._progress_cfg.estimator
+        if estimator is None and name == "paper" and mode_estimator != "paper":
+            name = mode_estimator
+        self.estimator_name = name
+        self.estimator = make_estimator(
+            name, self.segments, self.tracker,
+            EstimatorContext(history=history),
         )
         self._speed = make_speed_estimator(
             self._progress_cfg.speed_estimator,
@@ -238,6 +259,7 @@ class ProgressIndicator:
             est_remaining_seconds=remaining,
             current_segment=snapshot.current_segment,
             finished=finished,
+            estimator=self.estimator.provenance,
         )
 
     def _safe_record(self, t: float, finished: bool) -> ProgressReport:
@@ -317,6 +339,7 @@ class ProgressIndicator:
             self._emit_refinement(t, snapshot)
         report = self._build_report(t, snapshot, finished)
         self._emit_report(t, report)
+        self._emit_candidates(t)
         return report
 
     def _emit_report(self, t: float, report: ProgressReport) -> None:
@@ -339,7 +362,44 @@ class ProgressIndicator:
             current_segment=report.current_segment,
             finished=report.finished,
             degraded=report.degraded,
+            estimator=report.estimator,
         ))
+
+    def _emit_candidates(self, t: float) -> None:
+        """Trace every racing candidate's estimate (ensemble runs only).
+
+        One :class:`CandidateEstimated` per candidate per report tick —
+        the per-estimator audit and the leaderboard's per-estimator
+        columns are scored entirely from this stream.  Remaining-time
+        uses the same speed/warmup rule as the displayed report, so the
+        candidates differ only by their cost estimates.
+        """
+        if self._trace is None:
+            return
+        candidates = self.estimator.candidate_estimates()
+        if not candidates:
+            return
+        elapsed = t - self.started_at
+        speed = self._speed.speed()
+        if elapsed < self._progress_cfg.warmup:
+            speed = None
+        for cand in candidates:
+            done = cand.done_bytes / self._page_size
+            total = cand.est_total_bytes / self._page_size
+            remaining = None
+            if speed is not None and speed > 0:
+                remaining = max(total - done, 0.0) / speed
+            self._trace.emit(CandidateEstimated(
+                t=t,
+                estimator=cand.name,
+                elapsed=elapsed,
+                done_pages=done,
+                est_cost_pages=total,
+                fraction_done=cand.fraction_done,
+                est_remaining_seconds=remaining,
+                selected=cand.selected,
+                score=cand.score,
+            ))
 
     def _emit_refinement(self, t: float, snapshot: EstimateSnapshot) -> None:
         """Emit the per-tick §4.5 provenance and §4.3 transitions."""
@@ -441,6 +501,17 @@ class ProgressIndicator:
         self._report_ticker.cancel()
         final = self._safe_record(self._clock.now, finished=True)
         self.reports.append(final)
+        try:
+            # Let the estimator learn from the completed run (the history
+            # estimator feeds actual cardinalities back into its store).
+            # Only on clean completion — abort() skips this on purpose:
+            # interrupted counters are not ground truth.
+            self.estimator.on_finish()
+        except Exception as exc:  # noqa: REPRO007 - degrade boundary:
+            # failed learning must not break query completion.
+            self._note_degraded(
+                self._clock.now, phase="on_finish", fallback="skip", error=exc
+            )
         if self._trace is not None:
             self._trace.emit(QueryFinished(
                 t=self._clock.now,

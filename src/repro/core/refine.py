@@ -1,131 +1,48 @@
-"""Continuous refinement of the query cost estimate (Sections 4.3 & 4.5).
+"""Deprecated shim — the refinement layer moved to :mod:`repro.estimators`.
 
-For every segment the estimator combines:
+This module used to hold the Section 4.3/4.5 refinement math.  That code
+now lives behind the pluggable estimator interface:
 
-* **Base-input refinement** (Section 4.3): keep the optimizer's Ne until
-  the scan finishes (then the exact Np is known) or until the actual
-  number of tuples read exceeds Ne (then use the running count).
-* **Output-cardinality refinement** (Section 4.5): with dominant-input
-  fraction ``p``, observed outputs ``y``, and the optimizer's (re-invoked)
-  estimate ``E1``, use ``E = p*E2 + (1-p)*E1`` where ``E2 = y/p`` — which
-  simplifies to ``E = y + (1-p)*E1``.  Segments with two dominant inputs
-  (sort-merge joins) use ``p = max(qA, qB)``.
-* **Upward propagation**: a future segment's E1 is recomputed from its
-  inputs' *current* refined estimates via the multiplicative factor the
-  optimizer recorded at plan time (its cost-estimation module, re-invoked).
-* **Exact accounting** for finished segments.
+* the snapshot dataclasses are :mod:`repro.estimators.base`;
+* the refinement core and the paper blend are
+  :mod:`repro.estimators.refinement`;
+* estimators are constructed by name via
+  :func:`repro.estimators.make_estimator`.
 
-Everything is recomputed from the tracker's counters on demand — the
-estimator itself is stateless between snapshots, which keeps it trivially
-consistent with whatever the executor has done so far.
+``ProgressEstimator`` remains importable here for old callers: it is the
+legacy ``(specs, tracker, refine_mode=...)`` constructor, delegating to
+the matching registered estimator ("paper"/"tgn"/"dne") and emitting a
+:class:`DeprecationWarning` on instantiation.  Lint rule REPRO010 bans
+new in-repo imports of this module — import from ``repro.estimators``
+instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import warnings
 
 from repro.core.segments import SegmentSpec
-from repro.executor.work import SegmentCounters, WorkTracker
+from repro.estimators.base import (  # noqa: F401 - re-exported for old callers
+    INPUT_SOURCES,
+    EstimateSnapshot,
+    InputEstimate,
+    SegmentEstimate,
+)
+from repro.estimators.refinement import (  # noqa: F401 - re-exported
+    REFINE_MODES,
+    RefinementEstimator,
+    estimator_for_refine_mode,
+)
+from repro.executor.work import WorkTracker
 
 
-#: Provenance values for :attr:`InputEstimate.source` (§4.3 / §4.5):
-#: base inputs move "ne" -> "overrun" -> "exact"; child inputs are
-#: "child" (propagated moving estimate) or "child_final" (producer done).
-INPUT_SOURCES = ("ne", "overrun", "exact", "child", "child_final")
+class ProgressEstimator(RefinementEstimator):
+    """Deprecated: the pre-redesign refinement entry point.
 
-
-@dataclass
-class InputEstimate:
-    """Refined view of one segment input."""
-
-    index: int
-    label: str
-    rows_read: int
-    bytes_read: float
-    est_rows: float
-    est_width: float
-    dominant: bool
-    #: Where ``est_rows`` comes from right now (one of INPUT_SOURCES).
-    source: str = "ne"
-
-    @property
-    def est_bytes(self) -> float:
-        return self.est_rows * self.est_width
-
-    @property
-    def progress(self) -> float:
-        """Fraction of this input processed so far (q of Section 4.5)."""
-        if self.est_rows <= 0:
-            return 1.0
-        return min(1.0, self.rows_read / self.est_rows)
-
-
-@dataclass
-class SegmentEstimate:
-    """Refined view of one segment."""
-
-    spec: SegmentSpec
-    status: str  # "pending" | "running" | "finished"
-    inputs: list[InputEstimate]
-    #: Dominant-input fraction p (0 for pending, 1 for finished).
-    p: float
-    #: Current output-cardinality estimate E (exact when finished).
-    est_output_rows: float
-    est_output_width: float
-    #: Current total cost estimate of this segment, in bytes.
-    est_cost_bytes: float
-    done_bytes: float
-    #: The optimizer's re-invoked estimate E1 (upward propagation).
-    e1: float = 0.0
-    #: The pure extrapolation E2 = y/p; None while p == 0.
-    e2: Optional[float] = None
-    #: Index of the input currently deciding p (the arg-max progress
-    #: among dominant inputs), or None before any progress / when done.
-    dominant_input: Optional[int] = None
-
-    @property
-    def remaining_bytes(self) -> float:
-        return max(0.0, self.est_cost_bytes - self.done_bytes)
-
-
-@dataclass
-class EstimateSnapshot:
-    """A full refinement pass at one instant."""
-
-    segments: list[SegmentEstimate]
-    est_total_bytes: float
-    done_bytes: float
-    current_segment: Optional[int]
-
-    @property
-    def remaining_bytes(self) -> float:
-        return max(0.0, self.est_total_bytes - self.done_bytes)
-
-    @property
-    def fraction_done(self) -> float:
-        if self.est_total_bytes <= 0:
-            return 1.0
-        return min(1.0, self.done_bytes / self.est_total_bytes)
-
-    def pages(self, page_size: int) -> tuple[float, float, float]:
-        """(done, total, remaining) in U (pages)."""
-        return (
-            self.done_bytes / page_size,
-            self.est_total_bytes / page_size,
-            self.remaining_bytes / page_size,
-        )
-
-
-#: Output-cardinality refinement modes (the A2 ablation):
-#: "paper" is E = p*E2 + (1-p)*E1; "optimizer" never extrapolates from
-#: observed outputs (E = E1, inputs still refined per Section 4.3);
-#: "extrapolate" uses raw E2 = y/p with no smoothing toward E1.
-REFINE_MODES = ("paper", "optimizer", "extrapolate")
-
-
-class ProgressEstimator:
-    """Recomputes refined estimates from tracker counters."""
+    Delegates to the registered estimator matching ``refine_mode``
+    ("paper" -> the paper blend, "optimizer" -> "tgn", "extrapolate" ->
+    "dne"), so behaviour is bit-identical to the old in-place math.
+    """
 
     def __init__(
         self,
@@ -133,155 +50,28 @@ class ProgressEstimator:
         tracker: WorkTracker,
         refine_mode: str = "paper",
     ) -> None:
-        if refine_mode not in REFINE_MODES:
-            raise ValueError(f"unknown refine mode {refine_mode!r}")
-        self._specs = specs
-        self._tracker = tracker
+        # Validate first: a bad mode is a ValueError, same as before.
+        name = estimator_for_refine_mode(refine_mode)
+        warnings.warn(
+            "repro.core.refine.ProgressEstimator is deprecated; use "
+            "repro.estimators.make_estimator(name, specs, tracker)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.estimators import make_estimator
+
+        super().__init__(specs, tracker)
+        self._delegate = make_estimator(name, specs, tracker)
         self._refine_mode = refine_mode
 
     @property
-    def specs(self) -> list[SegmentSpec]:
-        return self._specs
+    def name(self) -> str:  # type: ignore[override]
+        return self._delegate.name
+
+    def _blend(self, y: float, p: float, e1: float) -> float:
+        # Keep subclass-of-RefinementEstimator semantics for any old
+        # caller poking at internals: forward to the delegate's rule.
+        return self._delegate._blend(y, p, e1)  # type: ignore[attr-defined]
 
     def snapshot(self) -> EstimateSnapshot:
-        """Run one refinement pass (Section 4.5's refining procedure)."""
-        estimates: list[SegmentEstimate] = []
-        # Producers close before consumers, so ids are topologically ordered
-        # and each child's estimate exists before its consumers need it.
-        for spec in self._specs:
-            estimates.append(self._estimate_segment(spec, estimates))
-        total = sum(e.est_cost_bytes for e in estimates)
-        return EstimateSnapshot(
-            segments=estimates,
-            est_total_bytes=total,
-            done_bytes=self._tracker.total_done_bytes,
-            current_segment=self._tracker.current_segment(),
-        )
-
-    # ------------------------------------------------------------------
-
-    def _estimate_segment(
-        self, spec: SegmentSpec, done: list[SegmentEstimate]
-    ) -> SegmentEstimate:
-        counters = self._tracker.segments[spec.id]
-        inputs = [
-            self._estimate_input(spec, i, counters, done)
-            for i in range(len(spec.inputs))
-        ]
-
-        if counters.finished:
-            width = counters.avg_output_width()
-            if width is None:
-                width = spec.est_output_width
-            exact = float(counters.output_rows)
-            return SegmentEstimate(
-                spec=spec,
-                status="finished",
-                inputs=inputs,
-                p=1.0,
-                est_output_rows=exact,
-                est_output_width=width,
-                est_cost_bytes=counters.done_bytes,
-                done_bytes=counters.done_bytes,
-                e1=exact,
-                e2=exact,
-                dominant_input=None,
-            )
-
-        # E1: the optimizer's estimate, re-invoked with refined input
-        # cardinalities (upward propagation of Section 4.5).
-        e1 = spec.card_factor
-        for inp in inputs:
-            e1 *= max(inp.est_rows, 1e-9)
-
-        status = "running" if counters.started else "pending"
-        dominants = [inp for inp in inputs if inp.dominant]
-        dominant_input: Optional[int] = None
-        if counters.started and dominants:
-            # Two dominant inputs (sort-merge): the faster-consumed side
-            # decides p (Section 4.5, citing the LEO-style rule).
-            deciding = max(dominants, key=lambda inp: inp.progress)
-            p = deciding.progress
-            if p > 0:
-                dominant_input = deciding.index
-        else:
-            p = 0.0
-
-        y = float(counters.output_rows)
-        if self._refine_mode == "optimizer":
-            estimate = max(e1, y)
-        elif self._refine_mode == "extrapolate":
-            estimate = y / p if p > 0 else e1
-        else:
-            estimate = y + (1.0 - p) * e1  # == p*E2 + (1-p)*E1 with E2 = y/p
-        width = counters.avg_output_width()
-        if width is None:
-            width = spec.est_output_width
-
-        cost = sum(inp.est_bytes for inp in inputs) + spec.est_extra_bytes
-        if not spec.final:
-            cost += estimate * width
-        # A running segment can never cost less than what it already did.
-        cost = max(cost, counters.done_bytes)
-
-        return SegmentEstimate(
-            spec=spec,
-            status=status,
-            inputs=inputs,
-            p=p,
-            est_output_rows=estimate,
-            est_output_width=width,
-            est_cost_bytes=cost,
-            done_bytes=counters.done_bytes,
-            e1=e1,
-            e2=(y / p) if p > 0 else None,
-            dominant_input=dominant_input,
-        )
-
-    def _estimate_input(
-        self,
-        spec: SegmentSpec,
-        index: int,
-        counters: SegmentCounters,
-        done: list[SegmentEstimate],
-    ) -> InputEstimate:
-        meta = spec.inputs[index]
-        rows_read = counters.input_rows[index]
-        bytes_read = counters.input_bytes[index]
-
-        if meta.kind == "base":
-            # Section 4.3: Ne until the scan finishes or overruns it.
-            if counters.finished:
-                est_rows = float(rows_read)
-                source = "exact"
-            elif float(rows_read) > float(meta.est_rows):
-                est_rows = float(rows_read)
-                source = "overrun"
-            else:
-                est_rows = float(meta.est_rows)
-                source = "ne"
-            if rows_read > 0:
-                est_width = bytes_read / rows_read
-            else:
-                est_width = meta.est_width
-        else:
-            child = done[meta.child_segment]
-            source = "child_final" if child.status == "finished" else "child"
-            # Propagated (possibly still-moving) child estimate.
-            est_rows = child.est_output_rows
-            est_width = child.est_output_width
-            est_rows = max(est_rows, float(rows_read))
-            if rows_read > 0 and child.status == "finished":
-                # Trust observed input width once we are actually reading.
-                est_width = bytes_read / rows_read if rows_read else est_width
-
-        return InputEstimate(
-            index=index,
-            label=meta.label,
-            rows_read=rows_read,
-            bytes_read=bytes_read,
-            est_rows=est_rows,
-            est_width=est_width,
-            dominant=meta.dominant,
-            source=source,
-        )
+        return self._delegate.snapshot()

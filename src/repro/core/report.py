@@ -38,6 +38,11 @@ class ProgressReport:
     #: from the last good report or the optimizer's initial estimate, not
     #: from a fresh snapshot.
     degraded: bool = False
+    #: Provenance of the estimate: the producing estimator's registry name
+    #: ("paper", "dne", ...), or "ensemble:<name>" when the online
+    #: selector served candidate <name>.  None on degraded optimizer
+    #: fallbacks (no estimator produced the numbers).
+    estimator: Optional[str] = None
 
     @property
     def percent_done(self) -> float:

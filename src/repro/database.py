@@ -25,6 +25,7 @@ from repro.catalog.catalog import Catalog, Table
 from repro.config import SystemConfig
 from repro.core.history import ProgressLog
 from repro.core.indicator import ProgressIndicator
+from repro.estimators.history import HistoryStore
 from repro.executor.base import ExecContext
 from repro.executor.runtime import QueryResult, run_query
 from repro.planner.optimizer import Optimizer, PlannedQuery
@@ -69,6 +70,14 @@ class Database:
             self.disk, self.config.buffer_pool_pages, self.config.cost
         )
         self.catalog = Catalog(self.disk, self.config.page_size)
+        #: Cross-query estimate-correction memory for the "history"
+        #: estimator (and the ensemble's history candidate): finished
+        #: monitored queries record estimated-vs-actual cardinalities
+        #: per plan signature here.  Instance-scoped on purpose — two
+        #: Database objects never share learned state, so rebuilding a
+        #: database replays identically.  Survives :meth:`restart` (a
+        #: buffer-pool cold start does not erase what the DBA learned).
+        self.history_store = HistoryStore()
 
     # ------------------------------------------------------------------
     # schema & data

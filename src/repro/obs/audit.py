@@ -8,6 +8,12 @@ ground truth, and print the per-tick absolute remaining-time error plus
 summary statistics.  Because the trace records exactly what the indicator
 displayed, the audit is consistent with the run's :class:`ProgressLog` by
 construction — the integration tests assert this.
+
+Traces recorded with the ensemble selector also carry per-candidate
+``candidate_estimated`` events; the audit scores each estimator's stream
+separately (:class:`EstimatorAudit`) so the table shows which candidate
+would have been most accurate in hindsight, next to what the selector
+actually served.
 """
 
 from __future__ import annotations
@@ -16,7 +22,12 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import TraceError
-from repro.obs.events import QueryFinished, ReportEmitted, TraceEvent
+from repro.obs.events import (
+    CandidateEstimated,
+    QueryFinished,
+    ReportEmitted,
+    TraceEvent,
+)
 
 
 @dataclass(frozen=True)
@@ -39,6 +50,21 @@ class AuditRow:
 
 
 @dataclass(frozen=True)
+class EstimatorAudit:
+    """One racing candidate's accuracy over a monitored run."""
+
+    name: str
+    #: Candidate estimates recorded (one per report tick).
+    reports: int
+    #: Ticks at which the selector was serving this candidate.
+    selected: int
+    #: Mean / max |estimated - actual| remaining seconds over the ticks
+    #: that carried an estimate; None when the run never left warm-up.
+    mean_abs_error: Optional[float]
+    max_abs_error: Optional[float]
+
+
+@dataclass(frozen=True)
 class AuditSummary:
     """Aggregate accuracy of one monitored run."""
 
@@ -46,6 +72,9 @@ class AuditSummary:
     total_elapsed: float
     initial_cost_pages: Optional[float]
     actual_cost_pages: float
+    #: Per-candidate accuracy, in first-seen order; empty for traces
+    #: recorded without the ensemble (no candidate_estimated events).
+    estimators: tuple[EstimatorAudit, ...] = ()
 
     @property
     def mean_abs_error(self) -> Optional[float]:
@@ -65,9 +94,12 @@ def audit_events(events: list[TraceEvent]) -> AuditSummary:
     finished: Optional[QueryFinished] = None
     initial_cost: Optional[float] = None
     reports: list[ReportEmitted] = []
+    candidates: dict[str, list[CandidateEstimated]] = {}
     for event in events:
         if isinstance(event, ReportEmitted):
             reports.append(event)
+        elif isinstance(event, CandidateEstimated):
+            candidates.setdefault(event.estimator, []).append(event)
         elif isinstance(event, QueryFinished):
             finished = event
         elif event.kind == "query_started":
@@ -92,6 +124,28 @@ def audit_events(events: list[TraceEvent]) -> AuditSummary:
         total_elapsed=finished.elapsed,
         initial_cost_pages=initial_cost,
         actual_cost_pages=finished.actual_cost_pages,
+        estimators=tuple(
+            _audit_candidate(name, stream, finished.elapsed)
+            for name, stream in candidates.items()
+        ),
+    )
+
+
+def _audit_candidate(
+    name: str, stream: list[CandidateEstimated], total_elapsed: float
+) -> EstimatorAudit:
+    """Score one candidate's estimates against the run's ground truth."""
+    errors = [
+        abs(c.est_remaining_seconds - max(0.0, total_elapsed - c.elapsed))
+        for c in stream
+        if c.est_remaining_seconds is not None
+    ]
+    return EstimatorAudit(
+        name=name,
+        reports=len(stream),
+        selected=sum(1 for c in stream if c.selected),
+        mean_abs_error=sum(errors) / len(errors) if errors else None,
+        max_abs_error=max(errors) if errors else None,
     )
 
 
@@ -127,4 +181,19 @@ def render_audit(summary: AuditSummary) -> str:
         )
     else:
         lines.append("remaining-time error : no estimates emitted (warm-up only)")
+    if summary.estimators:
+        lines.append("")
+        lines.append(
+            f"{'estimator':<12} {'ticks':>6} {'chosen':>7} "
+            f"{'mean |err|':>11} {'max |err|':>10}"
+        )
+        for est in summary.estimators:
+            mean = ("-" if est.mean_abs_error is None
+                    else f"{est.mean_abs_error:11.1f}")
+            peak = ("-" if est.max_abs_error is None
+                    else f"{est.max_abs_error:10.1f}")
+            lines.append(
+                f"{est.name:<12} {est.reports:>6} {est.selected:>7} "
+                f"{mean:>11} {peak:>10}"
+            )
     return "\n".join(lines)

@@ -158,6 +158,7 @@ def cmd_leaderboard(args: argparse.Namespace) -> int:
     from repro.obs.observatory import (
         BASELINE_PATH,
         check_regression,
+        check_selector,
         load_leaderboard,
         render_aggregates,
         run_leaderboard,
@@ -182,7 +183,9 @@ def cmd_leaderboard(args: argparse.Namespace) -> int:
         print(f"loaded leaderboard: {args.current}")
     else:
         echo = None if args.quiet else print
-        board = run_leaderboard(variants, args.grid, echo=echo)
+        board = run_leaderboard(
+            variants, args.grid, echo=echo, estimator=args.estimator
+        )
         out = args.out
         if out is None:
             out = Path("benchmarks/results") / f"leaderboard_{args.grid}.json"
@@ -201,7 +204,10 @@ def cmd_leaderboard(args: argparse.Namespace) -> int:
     print(f"\nregression gate vs {baseline_path} "
           f"(tolerance {args.tolerance:.0%}):")
     print(report.render())
-    return 0 if report.ok else 1
+    selector = check_selector(board)
+    print(f"\nselector-vs-paper gate (within this run):")
+    print(selector.render())
+    return 0 if report.ok and selector.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -245,6 +251,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     board.add_argument("--grid", choices=["tier1", "full"], default="tier1",
                        help="which variant set to run (default tier1)")
+    board.add_argument("--estimator", default="ensemble",
+                       help="estimator to submit cells with (default "
+                            "ensemble: race every registered candidate "
+                            "and score each one's stream)")
     board.add_argument("--out", default=None, metavar="JSON",
                        help="output path (default: benchmarks/results/"
                             "leaderboard_<grid>.json)")

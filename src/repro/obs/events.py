@@ -21,6 +21,9 @@ SpeedSampled/
 SpeedEstimated         §4.6 (cumulative-work sample; current speed estimate)
 TickerFired            §3 "acceptable pacing" (a periodic ticker ran)
 ReportEmitted          Figure 2 (one user-facing progress report)
+CandidateEstimated     pluggable estimators: one registered candidate's
+                       estimate at a report tick (the ensemble selector
+                       races all of them; ``selected`` marks the winner)
 BufferAccess           §4.1 (time-per-U between disk-bound and cached poles)
 PageRead/PageWritten   §4.1 (disk page transfer counters)
 ExtraPass              §4.5 (multi-stage extra pass bytes)
@@ -40,12 +43,24 @@ IndicatorDegraded      robustness: monitoring failed, query unaffected —
 Events are frozen dataclasses with a stable ``kind`` string, a lossless
 ``to_dict`` and a ``event_from_dict`` inverse, so a JSONL trace round-trips
 exactly — the estimator-accuracy audit replays traces through these types.
+
+**Schema evolution** (``TRACE_SCHEMA_VERSION``): new event kinds and new
+fields may be added, but only with defaults — deserialization fills a
+missing field from its dataclass default, so traces recorded under an
+older schema (e.g. the committed golden traces) replay unchanged.
+Removing or renaming a field, or adding one without a default, is a
+breaking change and requires regenerating every committed trace.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, fields
+from dataclasses import MISSING, asdict, dataclass, fields
 from typing import Any, Optional, Type
+
+#: Bumped on every additive change to the event vocabulary.  Version 2
+#: added ``ReportEmitted.estimator`` and the ``candidate_estimated`` kind
+#: (the pluggable-estimator redesign); version-1 traces still replay.
+TRACE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -326,6 +341,11 @@ class ReportEmitted(TraceEvent):
     estimate) rather than a fresh refinement snapshot.  Accuracy scoring
     (:mod:`repro.obs.observatory.scoring`) excludes degraded reports from
     the error metrics but counts them in coverage statistics.
+
+    ``estimator`` is the provenance of the estimate behind this report:
+    the producing estimator's registry name, or ``"ensemble:<name>"``
+    when the online selector served candidate ``<name>``.  ``None`` on
+    pre-redesign (schema v1) traces.
     """
 
     elapsed: float
@@ -337,8 +357,35 @@ class ReportEmitted(TraceEvent):
     current_segment: Optional[int]
     finished: bool
     degraded: bool = False
+    estimator: Optional[str] = None
 
     kind = "report_emitted"
+
+
+@dataclass(frozen=True)
+class CandidateEstimated(TraceEvent):
+    """One registered estimator's view of the query at a report tick.
+
+    Emitted once per candidate per report when the indicator runs the
+    ensemble selector (or any estimator exposing candidate estimates) —
+    the per-estimator accuracy audit and the leaderboard's per-estimator
+    columns are scored entirely from these events.  ``selected`` marks
+    the candidate whose estimate the selector is currently serving;
+    ``score`` is the selector's backtest score (mean absolute log-error
+    of this candidate's past predictions on since-finished segments;
+    ``None`` before anything finished).
+    """
+
+    estimator: str
+    elapsed: float
+    done_pages: float
+    est_cost_pages: float
+    fraction_done: float
+    est_remaining_seconds: Optional[float]
+    selected: bool
+    score: Optional[float]
+
+    kind = "candidate_estimated"
 
 
 # ----------------------------------------------------------------------
@@ -511,6 +558,7 @@ _EVENT_TYPES: tuple[Type[TraceEvent], ...] = (
     SpeedSampled,
     SpeedEstimated,
     ReportEmitted,
+    CandidateEstimated,
     BufferAccess,
     PageRead,
     PageWritten,
@@ -530,9 +578,18 @@ _SEGMENT_TRACE_NESTED = {"inputs": InputTrace}
 
 
 def _rebuild(cls: type, payload: dict[str, Any]) -> Any:
-    """Reconstruct one (possibly nested) trace dataclass from dict form."""
+    """Reconstruct one (possibly nested) trace dataclass from dict form.
+
+    Tolerates fields absent from the payload when the dataclass declares
+    a default — the schema-evolution contract above: old traces replay
+    under a newer vocabulary.
+    """
     kwargs: dict[str, Any] = {}
     for f in fields(cls):
+        if f.name not in payload:
+            if f.default is not MISSING or f.default_factory is not MISSING:
+                continue  # filled from the dataclass default
+            raise KeyError(f.name)
         value = payload[f.name]
         if cls is SegmentTrace and f.name in _SEGMENT_TRACE_NESTED:
             inner = _SEGMENT_TRACE_NESTED[f.name]

@@ -14,6 +14,7 @@ re-optimization PR gets an automatic accuracy trial:
 """
 
 from repro.obs.observatory.leaderboard import (
+    DEFAULT_RUN_ESTIMATOR,
     LEADERBOARD_SCHEMA,
     BASELINE_PATH,
     Leaderboard,
@@ -25,17 +26,23 @@ from repro.obs.observatory.leaderboard import (
 )
 from repro.obs.observatory.regression import (
     DEFAULT_TOLERANCE,
+    SELECTOR_GATED_METRICS,
     AggregateCheck,
     RegressionReport,
+    SelectorCheck,
+    SelectorReport,
     check_regression,
+    check_selector,
 )
 from repro.obs.observatory.scoring import (
     QERROR_FLOOR_SECONDS,
     QueryScore,
+    score_candidate_events,
     score_events,
 )
 
 __all__ = [
+    "DEFAULT_RUN_ESTIMATOR",
     "LEADERBOARD_SCHEMA",
     "BASELINE_PATH",
     "Leaderboard",
@@ -45,10 +52,15 @@ __all__ = [
     "run_leaderboard",
     "write_leaderboard",
     "DEFAULT_TOLERANCE",
+    "SELECTOR_GATED_METRICS",
     "AggregateCheck",
     "RegressionReport",
+    "SelectorCheck",
+    "SelectorReport",
     "check_regression",
+    "check_selector",
     "QERROR_FLOOR_SECONDS",
     "QueryScore",
+    "score_candidate_events",
     "score_events",
 ]

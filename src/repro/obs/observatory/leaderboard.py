@@ -6,13 +6,22 @@ per (scale × skew) dataset cell and restarted (cold buffer pool) between
 variants, mirroring the paper's Section 5.1 protocol — and replays each
 sealed trace through :mod:`repro.obs.observatory.scoring`.
 
-The persisted form is schema-versioned JSON (``repro.leaderboard/1``),
+The persisted form is schema-versioned JSON (``repro.leaderboard/2``),
 one file per run under ``benchmarks/results/``, plus the committed
 baseline ``leaderboard_baseline.json`` that the per-PR regression gate
 (:mod:`repro.obs.observatory.regression`) compares against.  Runs are
 deterministic — simulated engine, seeded generators, virtual clock — so
 the file is stable and diffable; it deliberately carries no wall-clock
 timestamp.
+
+Schema version 2 (the pluggable-estimator redesign): cells run under the
+ensemble selector by default, the board records which ``estimator``
+submitted the queries, and ``estimators`` holds one aggregate column per
+registered candidate, scored from its ``candidate_estimated`` stream with
+the identical metric definitions as the displayed reports.  The selector
+row is the board's top-level ``aggregates`` (the displayed stream *is*
+the selector's choice); the ``paper`` column is the pre-redesign
+baseline path, bit-identical by construction.
 
 Aggregates (over *scored* cells; the q-error percentiles come from an
 :class:`repro.obs.metrics.Histogram`, the same estimator whose p50/p95/p99
@@ -36,7 +45,7 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Callable, Optional, TextIO, Union
 
@@ -44,10 +53,18 @@ from repro.config import SystemConfig
 from repro.database import Database
 from repro.obs.bus import TraceBus
 from repro.obs.metrics import Histogram
-from repro.obs.observatory.scoring import QueryScore, score_events
+from repro.obs.observatory.scoring import (
+    QueryScore,
+    score_candidate_events,
+    score_events,
+)
 from repro.workloads.grid import Variant
 
-LEADERBOARD_SCHEMA = "repro.leaderboard/1"
+LEADERBOARD_SCHEMA = "repro.leaderboard/2"
+
+#: The estimator leaderboard runs submit queries with (races every
+#: registered candidate and scores each one's stream).
+DEFAULT_RUN_ESTIMATOR = "ensemble"
 
 #: The committed baseline the per-PR regression gate compares against.
 BASELINE_PATH = Path("benchmarks/results/leaderboard_baseline.json")
@@ -100,6 +117,15 @@ class Leaderboard:
     grid: str
     cells: tuple[LeaderboardCell, ...]
     aggregates: dict[str, float]
+    #: Which estimator the cells were submitted with ("ensemble": the
+    #: online selector; ``aggregates`` then scores the selector's
+    #: displayed stream).
+    estimator: str = DEFAULT_RUN_ESTIMATOR
+    #: Per-candidate aggregate columns, keyed by estimator name, each
+    #: computed with :func:`aggregate_cells` over that candidate's
+    #: ``candidate_estimated`` stream.  Empty when the run's estimator
+    #: emitted no candidate events (any non-ensemble estimator).
+    estimators: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def cell(self, name: str) -> Optional[LeaderboardCell]:
         return next((c for c in self.cells if c.name == name), None)
@@ -140,6 +166,7 @@ def run_leaderboard(
     grid_name: str,
     config: Optional[SystemConfig] = None,
     echo: Optional[Callable[[str], None]] = None,
+    estimator: str = DEFAULT_RUN_ESTIMATOR,
 ) -> Leaderboard:
     """Execute and score every variant; return the aggregated board.
 
@@ -147,10 +174,17 @@ def run_leaderboard(
     before each variant, so every query starts on a cold buffer pool.
     A variant whose query raises is still scored from its trace (the
     terminal event records the failure) and counts against coverage.
+
+    ``estimator`` is the submit-time strategy; the default ensemble also
+    emits every candidate's estimates, which land in per-estimator
+    aggregate columns.  Dataset caching is per invocation, so learned
+    history never leaks between runs — two identical calls produce
+    byte-identical boards.
     """
     config = config if config is not None else grid_config()
     datasets: dict[tuple[str, str], Database] = {}
     cells: list[LeaderboardCell] = []
+    candidate_cells: dict[str, list[LeaderboardCell]] = {}
     for variant in variants:
         db = datasets.get(variant.dataset_key)
         if db is None:
@@ -160,15 +194,21 @@ def run_leaderboard(
         row_count: Optional[int] = None
         try:
             handle = db.connect().submit(
-                variant.sql, name=variant.name, trace=trace, keep_rows=False
+                variant.sql, name=variant.name, trace=trace, keep_rows=False,
+                estimator=estimator,
             )
             row_count = handle.result().row_count
         except Exception:  # noqa: BLE001 - a failing cell is a data point,
             # not a leaderboard abort; whatever the trace recorded (possibly
             # nothing, for a plan-time failure) scores it as unscored.
             pass
-        score = score_events(list(trace.events))
+        events = list(trace.events)
+        score = score_events(events)
         cells.append(_cell_from_score(variant, score, row_count))
+        for name, cand_score in score_candidate_events(events).items():
+            candidate_cells.setdefault(name, []).append(
+                _cell_from_score(variant, cand_score, row_count)
+            )
         if echo is not None:
             echo(_cell_line(cells[-1]))
     return Leaderboard(
@@ -176,6 +216,11 @@ def run_leaderboard(
         grid=grid_name,
         cells=tuple(cells),
         aggregates=aggregate_cells(cells),
+        estimator=estimator,
+        estimators={
+            name: aggregate_cells(cand)
+            for name, cand in sorted(candidate_cells.items())
+        },
     )
 
 
@@ -258,7 +303,9 @@ def write_leaderboard(
     doc = {
         "schema": board.schema,
         "grid": board.grid,
+        "estimator": board.estimator,
         "aggregates": board.aggregates,
+        "estimators": board.estimators,
         "cells": [asdict(c) for c in board.cells],
     }
     if hasattr(target, "write"):
@@ -296,12 +343,46 @@ def load_leaderboard(source: Union[str, Path, TextIO]) -> Leaderboard:
         grid=doc.get("grid", "unknown"),
         cells=cells,
         aggregates=dict(doc["aggregates"]),
+        estimator=doc.get("estimator", DEFAULT_RUN_ESTIMATOR),
+        estimators={
+            name: dict(aggs)
+            for name, aggs in doc.get("estimators", {}).items()
+        },
     )
+
+
+#: The headline metrics shown as per-estimator columns by the CLI.
+_COLUMN_METRICS = (
+    ("qerror_geomean", "qerr_gm"),
+    ("qerror_max", "qerr_max"),
+    ("progress_err_mean", "perr_mean"),
+    ("tt10_mean", "tt10"),
+    ("monotonicity_violations", "mono"),
+)
 
 
 def render_aggregates(board: Leaderboard) -> str:
     """Aligned aggregate table for the CLI."""
-    lines = [f"leaderboard: grid={board.grid} cells={len(board.cells)}"]
+    lines = [
+        f"leaderboard: grid={board.grid} cells={len(board.cells)} "
+        f"estimator={board.estimator}"
+    ]
     for key in sorted(board.aggregates):
         lines.append(f"  {key:<24} {board.aggregates[key]:.6g}")
+    if board.estimators:
+        lines.append("")
+        lines.append("per-estimator candidate streams "
+                     "(selector row = the aggregates above):")
+        header = f"  {'estimator':<12}" + "".join(
+            f" {short:>10}" for _, short in _COLUMN_METRICS
+        )
+        lines.append(header)
+        rows = [(f"[{board.estimator}]", board.aggregates)]
+        rows += sorted(board.estimators.items())
+        for name, aggs in rows:
+            cols = "".join(
+                f" {aggs[metric]:>10.4g}" if metric in aggs else f" {'-':>10}"
+                for metric, _ in _COLUMN_METRICS
+            )
+            lines.append(f"  {name:<12}{cols}")
     return "\n".join(lines)

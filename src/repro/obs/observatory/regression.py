@@ -21,6 +21,12 @@ Gate rules:
 * Aggregates present in the baseline but absent from the current run
   fail; new aggregates in the current run are ignored (forward
   compatible).
+
+The estimator redesign adds a second, within-run gate
+(:func:`check_selector`): when the board raced the ensemble, the
+selector's displayed stream must be at least as accurate as the paper
+baseline candidate on the headline metrics — an online selector that
+loses to its own default candidate is a defect, not a tuning question.
 """
 
 from __future__ import annotations
@@ -99,6 +105,81 @@ class RegressionReport:
         lines.append("")
         lines.append("gate: PASS" if self.ok else "gate: FAIL")
         return "\n".join(lines)
+
+
+#: Metrics on which the ensemble selector must not lose to the paper
+#: candidate (within-run comparison; see :func:`check_selector`).
+SELECTOR_GATED_METRICS = ("qerror_geomean", "progress_err_mean")
+
+#: Absolute slack for the selector-vs-paper comparison: equality passes
+#: (the selector riding the paper candidate throughout is a valid
+#: outcome), and only a real accuracy loss beyond float noise fails.
+SELECTOR_SLACK = 1e-9
+
+
+@dataclass(frozen=True)
+class SelectorCheck:
+    """Selector-vs-paper on one metric (lower is better for both)."""
+
+    metric: str
+    paper: float
+    selector: float
+    ok: bool
+
+
+@dataclass(frozen=True)
+class SelectorReport:
+    """The within-run selector gate's verdict."""
+
+    checks: tuple[SelectorCheck, ...]
+    #: True when the board carried no candidate columns to compare (a
+    #: non-ensemble run); the gate is then vacuous, not failed.
+    skipped: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def render(self) -> str:
+        if self.skipped:
+            return "selector gate: skipped (no candidate streams in this run)"
+        header = (
+            f"{'metric':<24} {'paper':>12} {'selector':>12}  verdict"
+        )
+        lines = [header, "-" * len(header)]
+        for c in self.checks:
+            verdict = "ok" if c.ok else "LOSES TO PAPER"
+            lines.append(
+                f"{c.metric:<24} {c.paper:>12.6g} {c.selector:>12.6g}  "
+                f"{verdict}"
+            )
+        lines.append("")
+        lines.append("selector gate: PASS" if self.ok else "selector gate: FAIL")
+        return "\n".join(lines)
+
+
+def check_selector(current: Leaderboard) -> SelectorReport:
+    """Gate the selector's stream against its own paper candidate.
+
+    Compares the board's top-level aggregates (the displayed stream —
+    the selector's choices when run with the ensemble) to the ``paper``
+    candidate column on :data:`SELECTOR_GATED_METRICS`.  Ties pass;
+    skipped (vacuously ok) when the run has no ``paper`` column.
+    """
+    paper = current.estimators.get("paper")
+    if paper is None:
+        return SelectorReport(checks=(), skipped=True)
+    checks = []
+    for metric in SELECTOR_GATED_METRICS:
+        if metric not in paper or metric not in current.aggregates:
+            continue
+        base = float(paper[metric])
+        cur = float(current.aggregates[metric])
+        checks.append(SelectorCheck(
+            metric=metric, paper=base, selector=cur,
+            ok=cur <= base + SELECTOR_SLACK,
+        ))
+    return SelectorReport(checks=tuple(checks))
 
 
 def check_regression(

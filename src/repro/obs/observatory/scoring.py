@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.obs.events import (
+    CandidateEstimated,
     QueryCancelled,
     QueryFailed,
     QueryFinished,
@@ -124,11 +125,43 @@ def score_events(events: list[TraceEvent]) -> QueryScore:
     reports = [e for e in events if isinstance(e, ReportEmitted)]
     terminal, finished = _terminal_of(events)
     eligible = [r for r in reports if not r.degraded]
+    return _score_stream(terminal, finished, len(reports), eligible)
+
+
+def score_candidate_events(events: list[TraceEvent]) -> dict[str, QueryScore]:
+    """Score each estimator's candidate stream from one query's trace.
+
+    Groups ``candidate_estimated`` events by estimator name and scores
+    each stream with exactly the metric definitions above — one
+    :class:`QueryScore` per racing candidate, against the same
+    ``query_finished`` ground truth as the displayed reports.  Empty for
+    traces recorded without the ensemble (no candidate events).
+    """
+    terminal, finished = _terminal_of(events)
+    by_name: dict[str, list[CandidateEstimated]] = {}
+    for event in events:
+        if isinstance(event, CandidateEstimated):
+            by_name.setdefault(event.estimator, []).append(event)
+    return {
+        name: _score_stream(terminal, finished, len(stream), stream)
+        for name, stream in by_name.items()
+    }
+
+
+def _score_stream(
+    terminal: str,
+    finished: Optional[QueryFinished],
+    reports_total: int,
+    eligible: "list",
+) -> QueryScore:
+    """Shared metric core: ``eligible`` is any sample sequence exposing
+    ``elapsed``, ``fraction_done`` and ``est_remaining_seconds`` (both
+    :class:`ReportEmitted` and :class:`CandidateEstimated` qualify)."""
     estimated = [r for r in eligible if r.est_remaining_seconds is not None]
 
     coverage = dict(
-        reports_total=len(reports),
-        reports_degraded=len(reports) - len(eligible),
+        reports_total=reports_total,
+        reports_degraded=reports_total - len(eligible),
         reports_estimated=len(estimated),
     )
     if terminal != "finished" or finished is None or not eligible:
@@ -167,7 +200,7 @@ def score_events(events: list[TraceEvent]) -> QueryScore:
     )
 
 
-def _time_to_within(estimated: list[ReportEmitted], total: float) -> float:
+def _time_to_within(estimated: "list", total: float) -> float:
     """Earliest elapsed fraction from which all estimates stay in band."""
     if not estimated or total <= 0:
         return 1.0

@@ -6,7 +6,7 @@ cardinality, width and byte estimates the progress indicator starts from
 DeWitt).  Its cost-estimation entry points are deliberately reusable at run
 time — Section 4.5 refines a running query's estimates by re-invoking the
 optimizer's cost module with improved input cardinalities, and
-:mod:`repro.core.refine` does exactly that through the factors recorded on
+:mod:`repro.estimators.refinement` does exactly that through the factors recorded on
 each plan node.
 """
 

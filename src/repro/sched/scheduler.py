@@ -108,12 +108,15 @@ class CooperativeScheduler:
         on_report=None,
         timeout: Optional[float] = None,
         deadline: Optional[float] = None,
+        estimator: Optional[str] = None,
     ) -> QueryTask:
         """Register a query as an in-flight task (no work happens yet).
 
         ``query`` is SQL text or an already-prepared plan.  ``monitor``
         attaches a per-task :class:`ProgressIndicator` (``on_report``,
-        if given, observes each of its periodic reports).  ``trace`` is a
+        if given, observes each of its periodic reports; ``estimator``
+        picks the registered estimation strategy for this query,
+        defaulting to ``ProgressConfig.estimator``).  ``trace`` is a
         :class:`TraceBus` to record into, ``True`` to create one, or
         ``None`` to follow the config/env default (``REPRO_TRACE``).
 
@@ -142,6 +145,7 @@ class CooperativeScheduler:
             indicator = ProgressIndicator(
                 planned, self.db.clock, self.db.config,
                 on_report=on_report, trace=bus, label=name,
+                estimator=estimator, history=self.db.history_store,
             )
         else:
             self.db._gate_unmonitored(planned, label=name)

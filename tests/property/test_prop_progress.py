@@ -3,9 +3,9 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.refine import ProgressEstimator
 from repro.core.segments import SegmentInput, SegmentSpec
 from repro.database import Database
+from repro.estimators.refinement import PaperEstimator
 from repro.executor.work import WorkTracker
 from repro.storage.schema import Column, Schema
 from repro.storage.types import INTEGER, string
@@ -39,7 +39,7 @@ def run_refiner(ne, x, y, factor):
         tracker.input_rows(0, 0, x, x * 40.0)
     if y:
         tracker.output_rows(0, y, y * 50.0)
-    return ProgressEstimator([spec], tracker).snapshot()
+    return PaperEstimator([spec], tracker).snapshot()
 
 
 class TestRefinementProperties:

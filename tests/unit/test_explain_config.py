@@ -8,9 +8,8 @@ from repro.config import (
     ProgressConfig,
     SystemConfig,
 )
-from repro.core.refine import ProgressEstimator
 from repro.core.segments import build_segments
-from repro.executor.work import WorkTracker
+from repro.estimators import estimator_for_refine_mode
 from repro.planner.explain import explain
 from repro.workloads import queries, tpcr
 
@@ -99,9 +98,11 @@ class TestConfig:
 
 
 class TestEstimatorConfig:
-    def test_estimator_rejects_bad_mode(self, tiny_tpcr):
-        plan = tiny_tpcr.prepare("select * from customer")
-        specs = build_segments(plan.root)
-        tracker = WorkTracker([len(s.inputs) for s in specs], specs[-1].id)
+    def test_refine_mode_maps_to_estimators(self):
+        assert estimator_for_refine_mode("paper") == "paper"
+        assert estimator_for_refine_mode("optimizer") == "tgn"
+        assert estimator_for_refine_mode("extrapolate") == "dne"
+
+    def test_estimator_rejects_bad_mode(self):
         with pytest.raises(ValueError):
-            ProgressEstimator(specs, tracker, refine_mode="nope")
+            estimator_for_refine_mode("nope")

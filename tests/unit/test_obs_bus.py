@@ -114,8 +114,20 @@ class TestBusSubscribers:
 
 class TestEventWireFormat:
     def test_every_kind_is_registered_and_unique(self):
-        assert len(EVENT_KINDS) == 26
+        assert len(EVENT_KINDS) == 27
         assert "event" not in EVENT_KINDS  # base class is not wire-visible
+
+    def test_v1_payload_replays_without_new_fields(self):
+        """Schema evolution: fields added with defaults (schema v2's
+        ``ReportEmitted.estimator``) must not break old-trace replay."""
+        payload = {
+            "kind": "report_emitted", "t": 10.0, "elapsed": 10.0,
+            "done_pages": 5.0, "est_cost_pages": 50.0, "fraction_done": 0.1,
+            "speed_pages_per_sec": 1.0, "est_remaining_seconds": 45.0,
+            "current_segment": 0, "finished": False, "degraded": False,
+        }
+        event = event_from_dict(payload)
+        assert event.estimator is None
 
     def test_round_trip_flat_event(self):
         event = CardinalityRefined(

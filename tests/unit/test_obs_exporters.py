@@ -39,6 +39,9 @@ from repro.obs.exporters import (
 DATA = Path(__file__).parent / "data"
 GOLDEN_JSONL = DATA / "obs_golden.trace.jsonl"
 GOLDEN_CHROME = DATA / "obs_golden.trace.json"
+#: The schema-v1 JSONL (pre-``estimator`` field), pinned forever: new
+#: event fields must be additive-with-defaults so old traces replay.
+GOLDEN_V1_JSONL = DATA / "obs_golden_v1.trace.jsonl"
 
 
 def golden_events() -> list[TraceEvent]:
@@ -99,6 +102,12 @@ class TestJsonl:
 
     def test_read_from_golden_path(self):
         assert read_jsonl(GOLDEN_JSONL) == golden_events()
+
+    def test_schema_v1_golden_still_replays(self):
+        """Traces recorded before ``ReportEmitted.estimator`` existed
+        (schema v1) must replay into the current vocabulary unchanged —
+        the missing field fills from its dataclass default."""
+        assert read_jsonl(GOLDEN_V1_JSONL) == golden_events()
 
 
 class TestChromeTrace:

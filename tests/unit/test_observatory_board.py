@@ -9,11 +9,14 @@ import json
 import pytest
 
 from repro.core.indicator import ProgressIndicator
+from repro.estimators import estimator_names
 from repro.obs.observatory import (
     LEADERBOARD_SCHEMA,
+    SELECTOR_GATED_METRICS,
     Leaderboard,
     LeaderboardCell,
     check_regression,
+    check_selector,
     load_leaderboard,
     render_aggregates,
     run_leaderboard,
@@ -223,6 +226,59 @@ class TestSabotage:
         assert not report.ok
         regressed = {c.metric for c in report.checks if not c.ok}
         assert "qerror_geomean" in regressed
+
+
+class TestEstimatorColumns:
+    def test_selector_run_records_every_candidate(self, small_board):
+        assert small_board.estimator == "ensemble"
+        assert set(small_board.estimators) == set(
+            estimator_names(include_ensemble=False)
+        )
+        for aggs in small_board.estimators.values():
+            assert aggs["coverage"] == 1.0
+
+    def test_non_ensemble_run_has_no_columns(self):
+        by_name = variants_by_name()
+        board = run_leaderboard(
+            [by_name[SMALL_GRID[0]]], "small", estimator="paper"
+        )
+        assert board.estimator == "paper"
+        assert board.estimators == {}
+
+    def test_render_shows_the_selector_row_and_columns(self, small_board):
+        text = render_aggregates(small_board)
+        assert "[ensemble]" in text
+        assert "qerr_gm" in text
+        for name in small_board.estimators:
+            assert name in text
+
+
+class TestSelectorGate:
+    def test_selector_never_loses_to_paper(self, small_board):
+        report = check_selector(small_board)
+        assert not report.skipped
+        assert report.ok
+        assert {c.metric for c in report.checks} == set(SELECTOR_GATED_METRICS)
+        assert "selector gate: PASS" in report.render()
+
+    def test_losing_selector_fails(self, small_board):
+        paper = small_board.estimators["paper"]
+        worse = dataclasses.replace(
+            small_board,
+            aggregates=small_board.aggregates
+            | {"qerror_geomean": paper["qerror_geomean"] * 1.5},
+        )
+        report = check_selector(worse)
+        assert not report.ok
+        assert "LOSES TO PAPER" in report.render()
+        assert "selector gate: FAIL" in report.render()
+
+    def test_run_without_candidates_is_vacuously_ok(self, small_board):
+        bare = dataclasses.replace(small_board, estimators={})
+        report = check_selector(bare)
+        assert report.skipped
+        assert report.ok
+        assert "skipped" in report.render()
 
 
 class TestCellHelpers:

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core.refine import ProgressEstimator
 from repro.core.segments import SegmentInput, SegmentSpec
+from repro.estimators.refinement import PaperEstimator
 from repro.executor.work import WorkTracker
 
 
@@ -38,7 +38,7 @@ def setup(specs):
     tracker = WorkTracker(
         [len(s.inputs) for s in specs], final_segment=specs[-1].id
     )
-    return ProgressEstimator(specs, tracker), tracker
+    return PaperEstimator(specs, tracker), tracker
 
 
 class TestBaseInputRefinement:
