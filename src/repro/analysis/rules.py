@@ -85,6 +85,15 @@ deprecation shim only (``ProgressEstimator`` warns on instantiation).
 Import the snapshot types from ``repro.estimators`` and construct
 estimators via ``make_estimator``.  The shim module itself and test
 files are exempt.
+
+``REPRO011`` **no-raw-scheduler** — no direct
+``CooperativeScheduler(...)`` construction outside ``service/`` and
+``sched/``.  A raw scheduler has no admission control, no tenant
+accounting and no shedding loop: queries submitted to one bypass every
+overload protection the service layer exists to provide.  Production
+code obtains a scheduler through :class:`repro.service.QueryService`
+(``db.service()``) or the :class:`repro.api.Session` facade; the
+``sched`` package itself and test files are exempt.
 """
 
 from __future__ import annotations
@@ -764,4 +773,50 @@ def _check_legacy_refine_import(
                 for alias in node.names:
                     if alias.name == "refine":
                         flag(node, f"repro.core.refine (via {alias.name})")
+    return out
+
+
+# ----------------------------------------------------------------------
+# REPRO011 — no raw CooperativeScheduler construction outside the service
+
+#: Packages allowed to construct the scheduler directly: the scheduler's
+#: own package and the service layer that wraps it.
+_SCHEDULER_OWNER_PACKAGES = frozenset({"sched", "service"})
+
+
+def _scheduler_exempt(ctx: LintContext) -> bool:
+    if any(p in _SCHEDULER_OWNER_PACKAGES for p in ctx.packages):
+        return True
+    path = ctx.path.replace("\\", "/")
+    parts = path.split("/")
+    return any(p in ("tests", "test") for p in parts) or parts[-1].startswith(
+        "test_"
+    )
+
+
+@_rule("REPRO011", "no-raw-scheduler")
+def _check_raw_scheduler(tree: ast.AST, ctx: LintContext) -> list[LintFinding]:
+    if _scheduler_exempt(ctx):
+        return []
+    out = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+        else:
+            dotted = _dotted(node.func)
+            name = dotted.split(".")[-1] if dotted is not None else None
+        if name == "CooperativeScheduler":
+            out.append(
+                LintFinding(
+                    rule="REPRO011",
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message="raw CooperativeScheduler() bypasses admission "
+                    "control, tenant accounting and shedding; go through "
+                    "db.service() / Session (repro.service, repro.api)",
+                )
+            )
     return out

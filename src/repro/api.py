@@ -33,8 +33,8 @@ from repro.errors import ProgressError
 from repro.executor.runtime import QueryResult
 from repro.obs.bus import SealedTrace, TraceBus
 from repro.planner.optimizer import PlannedQuery
-from repro.sched.scheduler import DEFAULT_QUANTUM_PAGES, CooperativeScheduler
-from repro.sched.task import CANCELLED, FAILED, TIMED_OUT, QueryTask
+from repro.sched.scheduler import DEFAULT_QUANTUM_PAGES
+from repro.sched.task import CANCELLED, FAILED, SHED, TIMED_OUT, QueryTask
 
 if TYPE_CHECKING:  # pragma: no cover - circular at import time only
     from repro.database import Database, MonitoredResult
@@ -84,13 +84,15 @@ class QueryHandle:
 
         Other in-flight queries advance too (cooperative interleaving).
         Raises the original executor error for a failed query,
-        :class:`~repro.errors.QueryTimeoutError` for a timed-out one, and
-        :class:`ProgressError` for a cancelled one.
+        :class:`~repro.errors.QueryTimeoutError` for a timed-out one,
+        :class:`~repro.errors.QueryShedError` for one evicted by the
+        service's load-shedding policy, and :class:`ProgressError` for a
+        cancelled one.
         """
         task = self._task
         if not task.done:
-            self._session.scheduler.run_until(task)
-        if task.state in (FAILED, TIMED_OUT):
+            self._session.service.run_until(task)
+        if task.state in (FAILED, TIMED_OUT, SHED):
             assert task.error is not None
             raise task.error
         if task.state == CANCELLED:
@@ -150,6 +152,18 @@ class Session:
     single virtual clock.  Separate sessions on the same database are
     independent schedulers (their queries do not interleave with each
     other — submit through one session for a concurrent workload).
+
+    Every session fronts a :class:`~repro.service.QueryService`, so all
+    submissions pass through admission control.  The default
+    :class:`~repro.config.ServiceConfig` is fully permissive (no limits,
+    shedding off) and changes nothing; configure limits via
+    ``SystemConfig.with_service(...)`` and this facade honors them —
+    ``submit`` then blocks until the service admits the statement
+    (pumping the in-flight workload, classic synchronous-connection
+    semantics) and raises
+    :class:`~repro.errors.AdmissionRejectedError` when the admission
+    queue is full.  For non-blocking submission and per-tenant control,
+    use :meth:`repro.database.Database.service` directly.
     """
 
     def __init__(
@@ -158,10 +172,13 @@ class Session:
         policy: str = "round_robin",
         quantum_pages: int = DEFAULT_QUANTUM_PAGES,
     ) -> None:
+        from repro.service.service import QueryService
+
         self.db = db
-        self.scheduler = CooperativeScheduler(
+        self.service = QueryService(
             db, policy=policy, quantum_pages=quantum_pages
         )
+        self.scheduler = self.service.scheduler
 
     # ------------------------------------------------------------------
 
@@ -169,6 +186,7 @@ class Session:
         self,
         query: Union[str, PlannedQuery],
         *,
+        tenant: str = "default",
         name: Optional[str] = None,
         monitor: bool = True,
         trace: Union[None, bool, TraceBus] = None,
@@ -185,6 +203,10 @@ class Session:
         No work happens until the session is driven — by this or any
         other handle's ``.result()``, or by :meth:`run`.
 
+        ``tenant`` attributes the query for the service layer's
+        admission accounting and fair share (irrelevant under the
+        permissive default config).
+
         ``estimator`` names the progress-estimation strategy for this
         query ("paper", "dne", "tgn", "history", "ensemble", or any name
         registered via :func:`repro.estimators.register_estimator`);
@@ -195,8 +217,9 @@ class Session:
         watchdog; past it the query is unwound and ``.result()`` raises
         :class:`~repro.errors.QueryTimeoutError`.
         """
-        task = self.scheduler.submit(
+        sh = self.service.submit(
             query,
+            tenant=tenant,
             name=name,
             monitor=monitor,
             trace=trace,
@@ -208,6 +231,14 @@ class Session:
             deadline=deadline,
             estimator=estimator,
         )
+        if sh.rejection is not None:
+            raise sh.rejection
+        task = sh.task
+        if task is None:
+            # Queued: block until the service admits the statement,
+            # pumping the in-flight workload meanwhile.  Unreachable
+            # under the permissive default ServiceConfig.
+            task = self.service._run_until_admitted(sh)
         return QueryHandle(self, task)
 
     def execute(
@@ -225,12 +256,12 @@ class Session:
 
     def run(self) -> list[QueryHandle]:
         """Drive every in-flight query to a terminal state."""
-        self.scheduler.run()
+        self.service.run()
         return [QueryHandle(self, t) for t in self.scheduler.tasks.values()]
 
     def step(self) -> Optional[QueryHandle]:
         """Grant exactly one scheduler slice (fine-grained driving)."""
-        task = self.scheduler.step()
+        task = self.service.step()
         return None if task is None else QueryHandle(self, task)
 
     @property

@@ -14,6 +14,7 @@ paper's figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 #: Size of one storage page in bytes.  One page of bytes is also one unit of
 #: work "U" for the progress indicator (paper Section 4.1).
@@ -149,6 +150,63 @@ class ProgressConfig:
 
 
 @dataclass(frozen=True)
+class ServiceConfig:
+    """Multi-tenant service knobs (:mod:`repro.service`, paper §6 automated).
+
+    The defaults are deliberately **permissive** — no saturation limit,
+    no tenant budgets, shedding off — so a plain
+    :class:`~repro.api.Session` (which routes every submission through a
+    service front-end for admission accounting) behaves exactly like the
+    raw scheduler.  Production-shaped deployments tighten the knobs::
+
+        cfg = SystemConfig().with_service(
+            max_inflight=32, shedding=True,
+            tenant_cost_budget_pages=5_000.0,
+        )
+    """
+
+    #: Maximum concurrently admitted (in-flight) queries; past it new
+    #: submissions wait in the admission queue.  ``None`` = unbounded.
+    max_inflight: Optional[int] = None
+    #: Bounded admission-queue capacity; a submission arriving with this
+    #: many already waiting gets the explicit ``ADMISSION_REJECTED``
+    #: outcome (no task is ever created for it).
+    admission_queue_limit: int = 10_000
+    #: Default per-tenant budget for the summed *predicted* cost (U
+    #: pages) of its concurrently admitted queries; a submission pushing
+    #: the tenant past it queues until the tenant's own queries drain
+    #: (``tenant_throttled``).  ``None`` = unlimited.  Per-tenant
+    #: overrides via :meth:`repro.service.QueryService.register_tenant`.
+    tenant_cost_budget_pages: Optional[float] = None
+    #: Fair-share weight assigned to tenants never explicitly registered.
+    default_tenant_weight: float = 1.0
+    #: Whether the load-shedding policy loop acts on deadline-bearing
+    #: queries (deprioritize, then evict).  Off, the watchdog alone
+    #: enforces deadlines — queries die *at* the deadline instead of
+    #: being evicted early once predicted to miss it.
+    shedding: bool = False
+    #: A query is *flagged* when its predicted overrun — (now + estimated
+    #: remaining) − deadline — exceeds this fraction of its total
+    #: deadline budget (deadline − first slice) ...
+    shed_overrun_fraction: float = 0.10
+    #: ... and recovers (strikes reset, demotions lifted) only when the
+    #: overrun drops below this fraction.  The band between the two is
+    #: the hysteresis dead zone: estimator noise oscillating inside it
+    #: changes nothing (König et al.: estimate error is worst exactly
+    #: when these decisions matter, so single-sample actions are banned).
+    shed_recover_fraction: float = 0.0
+    #: Consecutive flagged policy checks before the query is demoted
+    #: (its effective fair-share weight halves per demotion).
+    deprioritize_after: int = 1
+    #: Consecutive flagged policy checks before the query is evicted
+    #: (terminal ``shed`` state, ``query_shed`` trace event).
+    shed_after: int = 3
+    #: Minimum virtual seconds between shedding evaluations of one query
+    #: — the policy samples at slice boundaries, this rate-limits it.
+    policy_interval: float = 5.0
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Complete engine configuration."""
 
@@ -162,6 +220,7 @@ class SystemConfig:
     cost: CostModelConfig = field(default_factory=CostModelConfig)
     planner: PlannerConfig = field(default_factory=PlannerConfig)
     progress: ProgressConfig = field(default_factory=ProgressConfig)
+    service: ServiceConfig = field(default_factory=ServiceConfig)
 
     def with_planner(self, **kwargs) -> "SystemConfig":
         """Return a copy with planner flags replaced."""
@@ -174,3 +233,7 @@ class SystemConfig:
     def with_cost(self, **kwargs) -> "SystemConfig":
         """Return a copy with cost-model constants replaced."""
         return replace(self, cost=replace(self.cost, **kwargs))
+
+    def with_service(self, **kwargs) -> "SystemConfig":
+        """Return a copy with multi-tenant service knobs replaced."""
+        return replace(self, service=replace(self.service, **kwargs))

@@ -65,6 +65,7 @@ from repro.obs.events import (
     QueryCancelled,
     QueryFailed,
     QueryFinished,
+    QueryShed,
     QueryStarted,
     QueryTimedOut,
     RefinementTick,
@@ -186,6 +187,16 @@ class ProgressIndicator:
             self._progress_cfg.update_interval, self._sample_report
         )
 
+    @property
+    def finalized(self) -> bool:
+        """Whether :meth:`finalize` or :meth:`abort` already ran.
+
+        Terminal-transition paths (scheduler, service) check this before
+        aborting so an indicator is never finalized twice — the
+        exactly-once contract the chaos harness verifies.
+        """
+        return self._finalized
+
     # ------------------------------------------------------------------
     # ticker callbacks
 
@@ -243,11 +254,7 @@ class ProgressIndicator:
         speed = self._speed.speed()
         if elapsed < self._progress_cfg.warmup:
             speed = None  # the indicator "watches" before first estimate
-        remaining = None
-        if speed is not None and speed > 0:
-            _done, _total, remaining_pages = snapshot.pages(self._page_size)
-            remaining = remaining_pages / speed
-
+        remaining = snapshot.remaining_seconds(self._page_size, speed)
         done, total, _ = snapshot.pages(self._page_size)
         return ProgressReport(
             time=t,
@@ -537,11 +544,12 @@ class ProgressIndicator:
         (the work counters stay wherever the unwound executor left
         them), and the trace records the terminal event matching
         ``reason`` — :class:`QueryCancelled`, :class:`QueryTimedOut`
-        (``"timeout"``) or :class:`QueryFailed` (``"failed"``) — rather
-        than ``QueryFinished``: the audit must not treat the final
-        snapshot as ground truth.
+        (``"timeout"``), :class:`QueryFailed` (``"failed"``) or
+        :class:`QueryShed` (``"shed"``, the service's load-shedding
+        eviction) — rather than ``QueryFinished``: the audit must not
+        treat the final snapshot as ground truth.
         """
-        if reason not in ("cancelled", "timeout", "failed"):
+        if reason not in ("cancelled", "timeout", "failed", "shed"):
             raise ProgressError(f"unknown abort reason {reason!r}")
         if self._finalized:
             raise ProgressError("indicator already finalized")
@@ -558,6 +566,12 @@ class ProgressIndicator:
                 self._trace.emit(QueryTimedOut(
                     t=now, elapsed=elapsed, done_pages=done_pages,
                     fraction_done=final.fraction_done,
+                ))
+            elif reason == "shed":
+                self._trace.emit(QueryShed(
+                    t=now, elapsed=elapsed, done_pages=done_pages,
+                    fraction_done=final.fraction_done,
+                    reason="<unknown>" if error is None else str(error),
                 ))
             elif reason == "failed":
                 self._trace.emit(QueryFailed(

@@ -19,10 +19,11 @@ if TYPE_CHECKING:  # pragma: no cover - analysis/fault/obs imported lazily
     from repro.fault.injector import FaultInjector
     from repro.fault.plan import FaultPlan
     from repro.obs.bus import SealedTrace, TraceBus
+    from repro.service.service import QueryService
 
 from repro.catalog.analyze import analyze_table
 from repro.catalog.catalog import Catalog, Table
-from repro.config import SystemConfig
+from repro.config import ServiceConfig, SystemConfig
 from repro.core.history import ProgressLog
 from repro.core.indicator import ProgressIndicator
 from repro.estimators.history import HistoryStore
@@ -163,6 +164,32 @@ class Database:
             quantum_pages=DEFAULT_QUANTUM_PAGES
             if quantum_pages is None
             else quantum_pages,
+        )
+
+    def service(
+        self,
+        config: Optional["ServiceConfig"] = None,
+        policy: str = "weighted_fair",
+        quantum_pages: Optional[int] = None,
+        trace: Union[None, bool, "TraceBus"] = None,
+    ) -> "QueryService":
+        """Open a :class:`repro.service.QueryService` — the multi-tenant
+        front-end with admission control, load shedding and fair share.
+
+        ``config`` defaults to this database's
+        :attr:`SystemConfig.service` knobs (``with_service(...)``).
+        """
+        from repro.sched.scheduler import DEFAULT_QUANTUM_PAGES
+        from repro.service.service import QueryService
+
+        return QueryService(
+            self,
+            config=config,
+            policy=policy,
+            quantum_pages=DEFAULT_QUANTUM_PAGES
+            if quantum_pages is None
+            else quantum_pages,
+            trace=trace,
         )
 
     # ------------------------------------------------------------------

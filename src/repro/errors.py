@@ -118,6 +118,26 @@ class QueryTimeoutError(ReproError):
     """
 
 
+class QueryShedError(ReproError):
+    """The service's load-shedding policy evicted a query.
+
+    Raised to the caller (``QueryHandle.result()``) after the shedding
+    loop decided — from the query's own remaining-time estimate — that it
+    could not meet its deadline under the current load and unwound it
+    cooperatively to the ``shed`` terminal state to free capacity for
+    queries that still can (paper §6, automated).
+    """
+
+
+class AdmissionRejectedError(ReproError):
+    """The admission controller refused a submission outright.
+
+    Only raised when the bounded admission queue is full (or the caller
+    asked for a hard rejection instead of queueing); a rejected query
+    never became a scheduler task, so there is nothing to unwind.
+    """
+
+
 class ProgressError(ReproError):
     """Raised for invalid progress-indicator configuration or use."""
 

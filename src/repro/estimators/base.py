@@ -120,6 +120,22 @@ class EstimateSnapshot:
             self.remaining_bytes / page_size,
         )
 
+    def remaining_seconds(
+        self, page_size: int, speed_pages_per_sec: Optional[float]
+    ) -> Optional[float]:
+        """Remaining-time surface: estimated seconds of work left.
+
+        The one conversion every consumer of an estimate shares — the
+        indicator's reports and the service's admission/shedding control
+        loop both divide remaining U by the observed speed.  ``None``
+        when no usable speed exists yet (warmup, or a stalled query):
+        control layers must treat "no estimate" as "take no action", not
+        as zero.
+        """
+        if speed_pages_per_sec is None or speed_pages_per_sec <= 0:
+            return None
+        return (self.remaining_bytes / page_size) / speed_pages_per_sec
+
 
 @dataclass(frozen=True)
 class CandidateEstimate:

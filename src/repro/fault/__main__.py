@@ -37,7 +37,14 @@ def main(argv: list[str] | None = None) -> int:
         "--scale", type=float, default=0.002,
         help="TPC-R scale factor for the test database (default 0.002)",
     )
+    parser.add_argument(
+        "--concurrency", type=int, default=1, metavar="N",
+        help="run N concurrent copies of the whole suite per seed, so "
+        "overload and fault injection are exercised together (default 1)",
+    )
     args = parser.parse_args(argv)
+    if args.concurrency < 1:
+        parser.error("--concurrency must be >= 1")
 
     seeds = list(args.seeds) if args.seeds else list(CI_SEEDS)
     for _ in range(args.random):
@@ -48,7 +55,7 @@ def main(argv: list[str] | None = None) -> int:
     harness = ChaosHarness(scale=args.scale)
     failures = 0
     for seed in seeds:
-        result = harness.run_seed(seed)
+        result = harness.run_seed(seed, concurrency=args.concurrency)
         print(result.summary())
         for violation in result.violations:
             print(f"  VIOLATION: {violation}")

@@ -11,7 +11,7 @@ guarantees:
 
 1. every query ends in **exactly one** terminal state (its trace carries
    exactly one of ``query_finished`` / ``query_failed`` /
-   ``query_cancelled`` / ``query_timed_out``);
+   ``query_cancelled`` / ``query_timed_out`` / ``query_shed``);
 2. reported progress (``done_pages``) is **monotone** over each query's
    report history, faults or not;
 3. after the workload drains, **no buffer pins** remain and **no temp
@@ -44,7 +44,13 @@ from repro.workloads import tpcr
 
 #: Trace event kinds that terminate a query's stream.
 TERMINAL_KINDS = frozenset(
-    {"query_finished", "query_failed", "query_cancelled", "query_timed_out"}
+    {
+        "query_finished",
+        "query_failed",
+        "query_cancelled",
+        "query_timed_out",
+        "query_shed",
+    }
 )
 
 #: Fixed seeds CI replays on every push (plus one fresh random seed).
@@ -160,14 +166,29 @@ class ChaosHarness:
 
     # ------------------------------------------------------------------
 
-    def run_seed(self, seed: int) -> ChaosResult:
+    def run_seed(self, seed: int, concurrency: int = 1) -> ChaosResult:
         """One chaos run: install the seed's plan, drain the suite
-        concurrently with mid-flight disruptions, check every invariant."""
+        concurrently with mid-flight disruptions, check every invariant.
+
+        ``concurrency`` replicates the whole suite N times in flight at
+        once (copies named ``q#2``, ``q#3``, …), so overload and fault
+        injection are exercised together — the regime the service
+        layer's admission/shedding decisions are designed for.  Every
+        copy is held to the same invariants against the same fault-free
+        baseline.
+        """
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
         db = self.db
         plan = plan_for_seed(seed)
         result = ChaosResult(seed=seed, plan=plan)
         rng = random.Random(~seed)  # disruption stream, distinct from plan's
-        names = list(self.suite)
+        workload: list[tuple[str, str, str]] = []  # (copy name, base, sql)
+        for copy in range(concurrency):
+            for name, sql in self.suite.items():
+                copy_name = name if copy == 0 else f"{name}#{copy + 1}"
+                workload.append((copy_name, name, sql))
+        names = [w[0] for w in workload]
 
         # Seed-dependent disruptions: cancel / timeout / sabotage one
         # query each (possibly the same one), on some seeds only.
@@ -182,12 +203,14 @@ class ChaosHarness:
         session = db.connect()
         try:
             handles = {}
-            for name, sql in self.suite.items():
+            for copy_name, _, sql in workload:
                 timeout = (
-                    rng.uniform(5.0, 60.0) if name == timeout_name else None
+                    rng.uniform(5.0, 60.0)
+                    if copy_name == timeout_name
+                    else None
                 )
-                handles[name] = session.submit(
-                    sql, name=name, trace=True, timeout=timeout
+                handles[copy_name] = session.submit(
+                    sql, name=copy_name, trace=True, timeout=timeout
                 )
 
             steps = 0
@@ -205,19 +228,26 @@ class ChaosHarness:
             db.clear_faults()
 
         result.counters = injector.counters()
-        for name, handle in handles.items():
-            task = handle.task
-            self._check_query(result, name, task, sabotage_name)
+        for copy_name, base_name, _ in workload:
+            task = handles[copy_name].task
+            self._check_query(
+                result, copy_name, task, sabotage_name, baseline=base_name
+            )
         self._check_shared_state(result)
         return result
 
-    def run_suite(self, seeds: list[int]) -> list[ChaosResult]:
-        return [self.run_seed(seed) for seed in seeds]
+    def run_suite(
+        self, seeds: list[int], concurrency: int = 1
+    ) -> list[ChaosResult]:
+        return [self.run_seed(seed, concurrency=concurrency) for seed in seeds]
 
     # ------------------------------------------------------------------
     # invariant checks
 
-    def _check_query(self, result, name, task, sabotage_name) -> None:
+    def _check_query(
+        self, result, name, task, sabotage_name, baseline=None
+    ) -> None:
+        baseline = name if baseline is None else baseline
         trace = task.sealed_trace()
         terminal = (
             sum(trace.counts().get(k, 0) for k in TERMINAL_KINDS)
@@ -264,7 +294,7 @@ class ChaosHarness:
             result.violations.append(f"{name}: done_pages not monotone")
 
         if task.state == "finished":
-            outcome.rows_match = sorted(task.rows) == self.baselines[name]
+            outcome.rows_match = sorted(task.rows) == self.baselines[baseline]
             if not outcome.rows_match:
                 result.violations.append(
                     f"{name}: finished with rows differing from the "

@@ -38,6 +38,13 @@ IoRetried/IoGaveUp     robustness: transient-I/O retry with backoff
 IndicatorDegraded      robustness: monitoring failed, query unaffected —
                        the indicator serves its last-good / optimizer
                        fallback estimate ("degrade, don't die")
+AdmissionDecided       §6 (service front-end: one submission's admission
+                       verdict — admitted, queued, or rejected)
+QueryShed              §6 (the load-shedding policy evicted a query its
+                       own remaining-time estimate predicted would miss
+                       its deadline)
+TenantThrottled        §6 (a tenant hit its cost budget; its submission
+                       waits in the admission queue)
 =====================  =====================================================
 
 Events are frozen dataclasses with a stable ``kind`` string, a lossless
@@ -59,8 +66,12 @@ from typing import Any, Optional, Type
 
 #: Bumped on every additive change to the event vocabulary.  Version 2
 #: added ``ReportEmitted.estimator`` and the ``candidate_estimated`` kind
-#: (the pluggable-estimator redesign); version-1 traces still replay.
-TRACE_SCHEMA_VERSION = 2
+#: (the pluggable-estimator redesign); version 3 added the multi-tenant
+#: service kinds ``admission_decided`` / ``query_shed`` /
+#: ``tenant_throttled``.  Both bumps are additive (new kinds only, new
+#: fields only with defaults), so version-1 and version-2 traces still
+#: replay through the defaults-fill path in :func:`_rebuild`.
+TRACE_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -496,6 +507,72 @@ class IndicatorDegraded(TraceEvent):
 
 
 # ----------------------------------------------------------------------
+# multi-tenant service control loop (repro.service, paper §6 automated)
+
+
+@dataclass(frozen=True)
+class AdmissionDecided(TraceEvent):
+    """The admission controller ruled on one submission.
+
+    ``outcome`` is "admitted" (a scheduler task exists now), "queued"
+    (waiting in the bounded admission queue for capacity or tenant
+    budget) or "rejected" (the queue itself was full — the explicit
+    ``ADMISSION_REJECTED`` terminal outcome; no task was ever created).
+    ``predicted_cost_pages`` is the optimizer's initial cost estimate
+    the decision was gated on; ``inflight``/``queued`` snapshot the
+    service's saturation at decision time.
+    """
+
+    tenant: str
+    query: str
+    outcome: str
+    reason: str
+    predicted_cost_pages: float
+    inflight: int
+    queued: int
+
+    kind = "admission_decided"
+
+
+@dataclass(frozen=True)
+class QueryShed(TraceEvent):
+    """The load-shedding policy evicted a monitored query (§6).
+
+    Emitted by the indicator's abort path, exactly like the other
+    terminal events: the counters stop wherever the cooperative unwind
+    interrupted execution, and ``fraction_done`` is the last estimate at
+    eviction time.  ``reason`` carries the policy's verdict (typically
+    the predicted deadline miss that triggered the eviction).
+    """
+
+    elapsed: float
+    done_pages: float
+    fraction_done: float
+    reason: str = "deadline"
+
+    kind = "query_shed"
+
+
+@dataclass(frozen=True)
+class TenantThrottled(TraceEvent):
+    """A tenant's submission was held back by its cost budget.
+
+    ``inflight_cost_pages`` is the predicted cost of the tenant's
+    currently admitted queries; admitting ``query`` would push it past
+    ``budget_pages``, so the submission waits in the admission queue
+    until the tenant's own queries drain.
+    """
+
+    tenant: str
+    query: str
+    inflight_cost_pages: float
+    budget_pages: float
+    queued: int
+
+    kind = "tenant_throttled"
+
+
+# ----------------------------------------------------------------------
 # cooperative-execution probes (the static/dynamic pulse cross-check)
 
 
@@ -559,6 +636,9 @@ _EVENT_TYPES: tuple[Type[TraceEvent], ...] = (
     SpeedEstimated,
     ReportEmitted,
     CandidateEstimated,
+    AdmissionDecided,
+    QueryShed,
+    TenantThrottled,
     BufferAccess,
     PageRead,
     PageWritten,

@@ -10,7 +10,8 @@ buffer pool produces the speed dips the paper induced synthetically.
 Entry points:
 
 * :class:`CooperativeScheduler` — submit/step/run/cancel.
-* :mod:`repro.sched.policy` — round-robin and priority policies.
+* :mod:`repro.sched.policy` — round-robin, priority and weighted
+  fair-share policies.
 * ``python -m repro.sched.demo`` — a runnable smoke demo.
 
 The thread-based :class:`repro.core.concurrent.ConcurrentWorkload`
@@ -23,6 +24,7 @@ from repro.sched.policy import (
     PriorityPolicy,
     RoundRobinPolicy,
     SchedulingPolicy,
+    WeightedFairPolicy,
     make_policy,
 )
 from repro.sched.scheduler import DEFAULT_QUANTUM_PAGES, CooperativeScheduler
@@ -34,7 +36,9 @@ from repro.sched.task import (
     PENDING,
     RUNNABLE_STATES,
     RUNNING,
+    SHED,
     SUSPENDED,
+    TIMED_OUT,
     QueryTask,
     SliceRecord,
 )
@@ -48,12 +52,15 @@ __all__ = [
     "PENDING",
     "RUNNABLE_STATES",
     "RUNNING",
+    "SHED",
     "SUSPENDED",
+    "TIMED_OUT",
     "CooperativeScheduler",
     "PriorityPolicy",
     "QueryTask",
     "RoundRobinPolicy",
     "SchedulingPolicy",
     "SliceRecord",
+    "WeightedFairPolicy",
     "make_policy",
 ]

@@ -57,14 +57,61 @@ class PriorityPolicy(SchedulingPolicy):
         )
 
 
+class WeightedFairPolicy(SchedulingPolicy):
+    """Weighted fair sharing of U across tenants (the service layer's
+    fair-share accounting, paper §6).
+
+    Classic weighted-fair-queueing on the work unit U: every slice's
+    pages are charged to the task's tenant (``tenant_ref.consumed_pages``,
+    maintained by the scheduler), and the next slice goes to the runnable
+    task whose tenant has the smallest *virtual time* — consumed U
+    divided by tenant weight.  Tenants therefore converge to U shares
+    proportional to their weights while they stay backlogged, regardless
+    of how many queries each has in flight.
+
+    Two refinements keep it useful standalone:
+
+    * a task with no tenant (submitted outside the service) is its own
+      tenant of weight 1 — its ``charged_pages`` is its virtual time —
+      so the policy degrades to per-query fairness;
+    * shedding demotions double a task's virtual time per demotion
+      (halved effective weight): a query predicted to miss its deadline
+      yields its slices to ones that can still make it, without being
+      starved forever.
+
+    Ties (same virtual time — e.g. several queries of one tenant) break
+    round-robin on ``(last_sliced, seq)``, exactly like the base policy,
+    so the choice stays deterministic.
+    """
+
+    name = "weighted_fair"
+
+    def choose(self, runnable: Sequence[QueryTask]) -> QueryTask:
+        def virtual_time(t: QueryTask) -> tuple[float, int, int]:
+            ref = t.tenant_ref
+            if ref is not None:
+                consumed = ref.consumed_pages
+                weight = ref.weight if ref.weight > 0 else 1e-9
+            else:
+                consumed = t.charged_pages
+                weight = 1.0
+            if t.demotions:
+                weight /= 2.0 ** t.demotions
+            return (consumed / weight, t.last_sliced, t.seq)
+
+        return min(runnable, key=virtual_time)
+
+
 _POLICIES = {
     RoundRobinPolicy.name: RoundRobinPolicy,
     PriorityPolicy.name: PriorityPolicy,
+    WeightedFairPolicy.name: WeightedFairPolicy,
 }
 
 
 def make_policy(name: str) -> SchedulingPolicy:
-    """Instantiate a policy by name ("round_robin" or "priority")."""
+    """Instantiate a policy by name ("round_robin", "priority" or
+    "weighted_fair")."""
     try:
         cls = _POLICIES[name]
     except KeyError:

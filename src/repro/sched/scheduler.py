@@ -41,16 +41,17 @@ Robustness (the :mod:`repro.fault` layer's contract) lives here too:
   PULSE or, while suspended, by the deadline sweep in :meth:`step`.
 
 Every task therefore ends in exactly one terminal state: FINISHED,
-FAILED, CANCELLED or TIMED_OUT.
+FAILED, CANCELLED, TIMED_OUT or SHED (the service's load-shedding
+policy evicted it — see :mod:`repro.service`).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from repro.core.indicator import ProgressIndicator
 from repro.database import Database
-from repro.errors import ProgressError, QueryTimeoutError
+from repro.errors import ProgressError, QueryShedError, QueryTimeoutError
 from repro.executor.base import PULSE, ExecContext
 from repro.executor.batch import Batch
 from repro.executor.runtime import QueryResult, execute
@@ -62,6 +63,7 @@ from repro.sched.task import (
     FAILED,
     FINISHED,
     RUNNING,
+    SHED,
     SUSPENDED,
     TIMED_OUT,
     QueryTask,
@@ -87,9 +89,20 @@ class CooperativeScheduler:
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
         self.quantum_pages = quantum_pages
         self.tasks: dict[str, QueryTask] = {}
+        #: Non-terminal tasks only, in submission order.  The watchdog
+        #: sweep and the runnable scan iterate this instead of ``tasks``,
+        #: so a step costs O(in-flight), not O(everything ever submitted)
+        #: — the difference between thousands of drained queries being
+        #: free and each one taxing every later slice.
+        self._active: dict[str, QueryTask] = {}
         #: Every slice granted, in order — the interleaving log the
         #: determinism tests compare across runs.
         self.slices: list[SliceRecord] = []
+        #: Called exactly once per task, at its terminal transition —
+        #: however the task got there (finish, fail, cancel, timeout,
+        #: shed).  The service layer hooks this to settle per-tenant
+        #: in-flight cost without rescanning the task table.
+        self.on_retire: Optional[Callable[[QueryTask], None]] = None
         self._page_size = db.config.page_size
         self._seq = 0
 
@@ -172,6 +185,7 @@ class CooperativeScheduler:
             deadline=deadline,
         )
         self.tasks[name] = task
+        self._active[name] = task
         return task
 
     def _resolve_trace(
@@ -193,7 +207,7 @@ class CooperativeScheduler:
     @property
     def runnable(self) -> list[QueryTask]:
         """Tasks that can receive a slice, in submission order."""
-        return [t for t in self.tasks.values() if t.runnable]
+        return [t for t in self._active.values() if t.runnable]
 
     def step(self) -> Optional[QueryTask]:
         """Grant one slice to the policy's pick; None if nothing runnable.
@@ -213,7 +227,8 @@ class CooperativeScheduler:
 
     def _expire_deadlines(self) -> None:
         now = self.db.clock.now
-        for task in self.tasks.values():
+        # Snapshot: _timeout() retires tasks from the active index.
+        for task in list(self._active.values()):
             if (
                 task.deadline is not None
                 and not task.done
@@ -287,11 +302,35 @@ class CooperativeScheduler:
             return task
         if task.state == RUNNING:  # pragma: no cover - single-threaded guard
             raise ProgressError(f"task {task.name!r} is mid-slice")
-        task.gen.close()
-        task.state = CANCELLED
-        task.finished_at = self.db.clock.now
-        if task.indicator is not None:
-            task.log = task.indicator.abort()
+        self._terminate(task, CANCELLED, abort_reason="cancelled")
+        return task
+
+    def shed(
+        self, task: Union[str, QueryTask], reason: str = "deadline"
+    ) -> QueryTask:
+        """Evict an in-flight task (service load-shedding, paper §6).
+
+        Same cooperative unwind as :meth:`cancel` — pins release, temp
+        files drop, the indicator's last report keeps ``finished=False``
+        — but the terminal state, stored error and trace event all say
+        *shed*: the system gave up on this query to protect the rest of
+        the workload, the user didn't.  Idempotent on terminal tasks.
+        """
+        task = self._lookup(task)
+        if task.done:
+            return task
+        if task.state == RUNNING:  # pragma: no cover - single-threaded guard
+            raise ProgressError(f"task {task.name!r} is mid-slice")
+        elapsed = (
+            0.0
+            if task.started_at is None
+            else self.db.clock.now - task.started_at
+        )
+        error = QueryShedError(
+            f"query {task.name!r} was shed by the load-shedding policy "
+            f"({reason}; elapsed {elapsed:.3f}s)"
+        )
+        self._terminate(task, SHED, abort_reason="shed", error=error)
         return task
 
     # ------------------------------------------------------------------
@@ -380,17 +419,53 @@ class CooperativeScheduler:
             self._seq += 1
             task.slices.append(record)
             self.slices.append(record)
+            # Fair-share accounting: charge the slice's U to the task
+            # (and its tenant, when the service attached one).  Pulses
+            # stand in for pages on unmonitored tasks, mirroring the
+            # quantum rule above.
+            used = record.pages if record.pages > 0 else float(pulses)
+            task.charged_pages += used
+            ref = task.tenant_ref
+            if ref is not None:
+                ref.consumed_pages += used
+
+    def _terminate(
+        self,
+        task: QueryTask,
+        state: str,
+        abort_reason: str,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Move a task to an abnormal terminal state, unwinding exactly once.
+
+        The state flips *before* the coroutine is closed, so re-entrant
+        termination attempts (a watchdog sweep and a service eviction
+        targeting the same task in one step, or a user ``cancel()`` after
+        either) observe ``task.done`` and back off.  The indicator abort
+        runs in a ``finally`` — even an operator ``finally`` block that
+        raises mid-close cannot leave a zombie task with a live ticker —
+        and is itself guarded so an already-finalized indicator is never
+        aborted twice.
+        """
+        task.state = state
+        task.error = error
+        task.finished_at = self.db.clock.now
+        self._active.pop(task.name, None)
+        try:
+            task.gen.close()
+        finally:
+            if task.indicator is not None and not task.indicator.finalized:
+                task.log = task.indicator.abort(
+                    reason=abort_reason, error=error
+                )
+            if self.on_retire is not None:
+                self.on_retire(task)
 
     def _fail(self, task: QueryTask, error: Optional[BaseException]) -> None:
         """Move a task to FAILED: unwind the coroutine (operator
         ``finally`` blocks release pins and drop temp files), store the
         error for ``result()``, abort the indicator."""
-        task.state = FAILED
-        task.error = error
-        task.finished_at = self.db.clock.now
-        task.gen.close()
-        if task.indicator is not None:
-            task.log = task.indicator.abort(reason="failed", error=error)
+        self._terminate(task, FAILED, abort_reason="failed", error=error)
 
     def _timeout(self, task: QueryTask) -> None:
         """Move a task to TIMED_OUT: same unwind as cancellation, but the
@@ -400,20 +475,17 @@ class CooperativeScheduler:
             if task.started_at is None
             else self.db.clock.now - task.started_at
         )
-        task.state = TIMED_OUT
-        task.error = QueryTimeoutError(
+        error = QueryTimeoutError(
             f"query {task.name!r} exceeded its deadline "
             f"(elapsed {elapsed:.3f}s)"
         )
-        task.finished_at = self.db.clock.now
-        task.gen.close()
-        if task.indicator is not None:
-            task.log = task.indicator.abort(reason="timeout")
+        self._terminate(task, TIMED_OUT, abort_reason="timeout", error=error)
 
     def _finish(self, task: QueryTask) -> None:
         clock = self.db.clock
         task.state = FINISHED
         task.finished_at = clock.now
+        self._active.pop(task.name, None)
         assert task.started_at is not None
         task.result = QueryResult(
             rows=task.rows,
@@ -425,6 +497,8 @@ class CooperativeScheduler:
         )
         if task.indicator is not None:
             task.log = task.indicator.finalize()
+        if self.on_retire is not None:
+            self.on_retire(task)
 
     def _done_pages(self, task: QueryTask) -> float:
         if task.indicator is None:

@@ -9,7 +9,7 @@ virtual-clock instants.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Any, Iterator, Optional
 
 from repro.core.history import ProgressLog
 from repro.core.indicator import ProgressIndicator
@@ -26,11 +26,12 @@ FINISHED = "finished"     #: ran to completion
 CANCELLED = "cancelled"   #: cancelled before completion
 FAILED = "failed"         #: raised out of the executor
 TIMED_OUT = "timed_out"   #: exceeded its statement timeout / deadline
+SHED = "shed"             #: evicted by the service's load-shedding policy
 
 #: States from which a task can still receive slices.
 RUNNABLE_STATES = frozenset({PENDING, SUSPENDED})
 #: Terminal states — every task ends in exactly one of these.
-DONE_STATES = frozenset({FINISHED, CANCELLED, FAILED, TIMED_OUT})
+DONE_STATES = frozenset({FINISHED, CANCELLED, FAILED, TIMED_OUT, SHED})
 
 
 @dataclass(frozen=True)
@@ -91,6 +92,18 @@ class QueryTask:
         #: DBA load-management block (paper §6): a blocked task keeps its
         #: state but receives no slices until resumed.
         self.blocked = False
+        #: Fair-share accounting: tenant name and the tenant registry
+        #: entry (an object with ``weight`` and ``consumed_pages``; see
+        #: :mod:`repro.service.tenant`).  ``None`` outside the service.
+        self.tenant: str = "default"
+        self.tenant_ref: Optional[Any] = None
+        #: U (pages; pulse-equivalents when unmonitored) charged to this
+        #: task across all its slices — the scheduler maintains it so
+        #: fair-share policies never rescan the slice log.
+        self.charged_pages: float = 0.0
+        #: Shedding-policy demotions: each halves the task's effective
+        #: fair-share weight (graded deprioritization before eviction).
+        self.demotions = 0
         self.rows: list[tuple] = []
         self.row_count = 0
         self.started_at: Optional[float] = None

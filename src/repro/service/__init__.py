@@ -1,0 +1,62 @@
+"""Overload-robust multi-tenant query service (paper §6, automated).
+
+The paper closes by arguing a progress indicator is more than a UI
+widget: its remaining-time estimates are an input to *load management*.
+This package takes that seriously and builds the service layer on top of
+the cooperative scheduler:
+
+* :class:`QueryService` — the front-end: admission control on predicted
+  cost vs per-tenant budgets and service saturation, a bounded admission
+  queue, a load-shedding policy loop driven by each query's own
+  remaining-time estimate, and per-tenant weighted fair-share accounting.
+* :class:`ServiceHandle` — one submission's lifecycle: explicit
+  admitted / queued / rejected outcome, then the usual progress /
+  result / cancel surface.
+* :class:`~repro.service.tenant.Tenant` /
+  :class:`~repro.service.tenant.TenantRegistry` — fair-share weights,
+  budgets and live accounting.
+* :class:`~repro.service.admission.AdmissionController` and
+  :class:`~repro.service.shedding.SheddingPolicy` — the two pure
+  decision cores, separately testable.
+
+Knobs live on :class:`repro.config.ServiceConfig`
+(``SystemConfig.with_service(...)``); the defaults are fully permissive,
+which is how :class:`repro.api.Session` stays a zero-surprise facade.
+The service owns its scheduler — lint rule REPRO011 keeps direct
+``CooperativeScheduler()`` construction inside this package and
+:mod:`repro.sched`.
+"""
+
+from repro.service.admission import (
+    ADMISSION_REJECTED,
+    ADMITTED,
+    QUEUED,
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.service.service import QueryService, ServiceHandle
+from repro.service.shedding import (
+    DEPRIORITIZE,
+    EVICT,
+    KEEP,
+    ShedDecision,
+    SheddingPolicy,
+)
+from repro.service.tenant import Tenant, TenantRegistry
+
+__all__ = [
+    "ADMISSION_REJECTED",
+    "ADMITTED",
+    "DEPRIORITIZE",
+    "EVICT",
+    "KEEP",
+    "QUEUED",
+    "AdmissionController",
+    "AdmissionDecision",
+    "QueryService",
+    "ServiceHandle",
+    "ShedDecision",
+    "SheddingPolicy",
+    "Tenant",
+    "TenantRegistry",
+]

@@ -1,0 +1,184 @@
+"""Property-based tests: service fairness and shedding invariants.
+
+Random workloads, admission configs and mid-flight disruptions
+(suspend / resume / cancel / shed) against one shared database; the
+invariants mirror the chaos harness's, plus the tentpole's fairness
+claim: weighted tenants converge to their share of total U.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ServiceConfig, SystemConfig
+from repro.sched.task import DONE_STATES
+from repro.service import ADMISSION_REJECTED
+from repro.workloads import queries, tpcr
+
+_DB = tpcr.build_database(
+    scale=0.002,
+    subset_rows=60,
+    config=SystemConfig(work_mem_pages=8, buffer_pool_pages=24),
+)
+
+_SQL = {"Q1": queries.Q1, "Q3": queries.Q3, "Q5": queries.Q5}
+
+submissions = st.lists(
+    st.tuples(
+        st.sampled_from(sorted(_SQL)),
+        st.sampled_from(["acme", "globex"]),
+        st.one_of(st.none(), st.floats(min_value=2.0, max_value=40.0)),
+    ),
+    min_size=2,
+    max_size=6,
+)
+
+admission_cfg = st.tuples(
+    st.one_of(st.none(), st.integers(min_value=1, max_value=4)),
+    st.integers(min_value=0, max_value=8),
+    st.booleans(),
+)
+
+disruptions = st.tuples(
+    st.integers(min_value=1, max_value=30),   # suspend at step
+    st.integers(min_value=1, max_value=20),   # resume after N more steps
+    st.integers(min_value=0, max_value=40),   # cancel at step (0 = never)
+    st.integers(min_value=0, max_value=40),   # shed at step (0 = never)
+)
+
+
+def _drive(service, handles, suspend_at, resume_after, cancel_at, shed_at):
+    """Drain the workload with scripted mid-flight disruptions."""
+
+    def active():
+        return [
+            h.task
+            for h in handles
+            if h.task is not None and not h.task.done
+        ]
+
+    steps = 0
+    suspended = None
+    while True:
+        if service.step() is None:
+            if suspended is None:
+                break
+            # A suspended task can wedge the drain (it may hold the
+            # only capacity); lift the block and keep going.
+            service.scheduler.resume(suspended)
+            suspended = None
+            continue
+        steps += 1
+        live = active()
+        if steps == suspend_at and live:
+            suspended = live[0]
+            service.scheduler.suspend(suspended)
+        if suspended is not None and steps == suspend_at + resume_after:
+            service.scheduler.resume(suspended)
+            suspended = None
+        if cancel_at and steps == cancel_at and live:
+            service.scheduler.cancel(live[-1])
+        if shed_at and steps == shed_at and live:
+            service.scheduler.shed(live[0], reason="property disruption")
+    return steps
+
+
+class TestTerminalStateAndMonotonicity:
+    @given(work=submissions, cfg=admission_cfg, chaos=disruptions)
+    @settings(max_examples=10, deadline=None)
+    def test_every_admitted_query_ends_in_exactly_one_terminal_state(
+        self, work, cfg, chaos
+    ):
+        max_inflight, queue_limit, shedding = cfg
+        _DB.restart()
+        service = _DB.service(
+            config=ServiceConfig(
+                max_inflight=max_inflight,
+                admission_queue_limit=queue_limit,
+                shedding=shedding,
+                policy_interval=0.5,
+                shed_after=2,
+            )
+        )
+        base = _DB.clock.now
+        handles = []
+        for i, (qname, tenant, deadline_offset) in enumerate(work):
+            handles.append(
+                service.submit(
+                    _SQL[qname],
+                    name=f"w{i}",
+                    tenant=tenant,
+                    keep_rows=False,
+                    deadline=(
+                        None
+                        if deadline_offset is None
+                        else base + deadline_offset
+                    ),
+                )
+            )
+        _drive(service, handles, *chaos)
+
+        admitted = 0
+        for handle in handles:
+            if handle.outcome == ADMISSION_REJECTED:
+                assert handle.task is None
+                assert handle.done
+                continue
+            if handle.task is None:
+                # only a queue-cancelled submission may lack a task
+                assert handle.state == "cancelled"
+                continue
+            admitted += 1
+            task = handle.task
+            # exactly one terminal state, and the books agree
+            assert task.state in DONE_STATES
+            if task.indicator is not None:
+                assert task.indicator.finalized
+                # reported progress is monotone across every disruption
+                log = task.log
+                if log is not None:
+                    done = [r.done_pages for r in log.reports]
+                    assert all(
+                        b >= a - 1e-9 for a, b in zip(done, done[1:])
+                    )
+        # the retire hook settled every admitted query exactly once
+        terminal_total = sum(
+            service.counters[k]
+            for k in ("finished", "failed", "cancelled", "timed_out", "shed")
+        )
+        assert terminal_total >= admitted
+        assert service.inflight == 0
+        for tenant in service.tenants:
+            assert tenant.inflight == 0
+            assert tenant.inflight_cost_pages == 0.0
+        # cooperative unwind on every path: no leaked shared state
+        assert _DB.buffer_pool.pinned_count == 0
+        assert _DB.disk.temp_file_count() == 0
+
+
+class TestWeightedFairness:
+    @given(weight=st.floats(min_value=1.5, max_value=8.0))
+    @settings(max_examples=8, deadline=None)
+    def test_tenants_converge_to_their_u_share(self, weight):
+        _DB.restart()
+        service = _DB.service(policy="weighted_fair")
+        service.register_tenant("gold", weight=weight)
+        service.register_tenant("bronze", weight=1.0)
+        g = service.submit(
+            queries.Q2, name="g", tenant="gold", keep_rows=False
+        )
+        b = service.submit(
+            queries.Q2, name="b", tenant="bronze", keep_rows=False
+        )
+        # Identical backlogged queries: the heavier tenant finishes
+        # first, having been granted ~weight x the other's U.
+        while not g.done and not b.done:
+            assert service.step() is not None
+        assert g.done and not b.done
+        gold = service.tenants.get("gold")
+        bronze = service.tenants.get("bronze")
+        assert bronze.consumed_pages > 0
+        ratio = gold.consumed_pages / bronze.consumed_pages
+        assert ratio == pytest.approx(weight, rel=0.35)

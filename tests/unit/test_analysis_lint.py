@@ -449,6 +449,48 @@ class TestLegacyRefineImportRule:
         ) == []
 
 
+class TestRawSchedulerRule:
+    def test_flags_direct_construction(self):
+        findings = lint_source(
+            "from repro.sched.scheduler import CooperativeScheduler\n"
+            "sched = CooperativeScheduler(db)\n",
+            "src/repro/bench/x.py",
+        )
+        assert rules_of(findings) == {"REPRO011"}
+
+    def test_flags_attribute_construction(self):
+        findings = lint_source(
+            "import repro.sched.scheduler as scheduler\n"
+            "sched = scheduler.CooperativeScheduler(db, policy='fifo')\n",
+            "tools/x.py",
+        )
+        assert rules_of(findings) == {"REPRO011"}
+
+    def test_service_package_may_construct(self):
+        assert lint_source(
+            "sched = CooperativeScheduler(db)\n",
+            "src/repro/service/service.py",
+        ) == []
+
+    def test_sched_package_may_construct(self):
+        assert lint_source(
+            "sched = CooperativeScheduler(db)\n",
+            "src/repro/sched/demo.py",
+        ) == []
+
+    def test_tests_exempt(self):
+        assert lint_source(
+            "sched = CooperativeScheduler(db)\n",
+            "tests/unit/test_sched_scheduler.py",
+        ) == []
+
+    def test_service_call_is_the_blessed_path(self):
+        assert lint_source(
+            "service = db.service()\nsched = service.scheduler\n",
+            "src/repro/bench/x.py",
+        ) == []
+
+
 def test_shipped_tree_is_clean():
     """The lint pass lands green on the repo's own source tree."""
     assert lint_paths([REPO_SRC]) == []

@@ -17,15 +17,18 @@ from pathlib import Path
 import pytest
 
 from repro.obs.events import (
+    AdmissionDecided,
     CardinalityRefined,
     PageRead,
     QueryFinished,
+    QueryShed,
     QueryStarted,
     ReportEmitted,
     SegmentFinished,
     SegmentMeta,
     SegmentStarted,
     SpeedEstimated,
+    TenantThrottled,
     TraceEvent,
 )
 from repro.obs.exporters import (
@@ -42,6 +45,8 @@ GOLDEN_CHROME = DATA / "obs_golden.trace.json"
 #: The schema-v1 JSONL (pre-``estimator`` field), pinned forever: new
 #: event fields must be additive-with-defaults so old traces replay.
 GOLDEN_V1_JSONL = DATA / "obs_golden_v1.trace.jsonl"
+#: The service-layer events (schema v3: admission / shedding / tenants).
+GOLDEN_SERVICE_JSONL = DATA / "obs_golden_service.trace.jsonl"
 
 
 def golden_events() -> list[TraceEvent]:
@@ -82,10 +87,44 @@ def golden_events() -> list[TraceEvent]:
     ]
 
 
+def golden_service_events() -> list[TraceEvent]:
+    """A fixed overload episode: admit, throttle, reject, shed."""
+    return [
+        AdmissionDecided(
+            t=0.0, tenant="acme", query="q1", outcome="admitted",
+            reason="capacity available", predicted_cost_pages=218.5,
+            inflight=0, queued=0,
+        ),
+        TenantThrottled(
+            t=0.0, tenant="acme", query="q2",
+            inflight_cost_pages=218.5, budget_pages=300.0, queued=0,
+        ),
+        AdmissionDecided(
+            t=0.0, tenant="acme", query="q2", outcome="queued",
+            reason="tenant 'acme' over cost budget "
+            "(218 + 218 > 300 pages)",
+            predicted_cost_pages=218.5, inflight=1, queued=0,
+        ),
+        AdmissionDecided(
+            t=0.5, tenant="acme", query="q3", outcome="rejected",
+            reason="admission queue full (1 waiting, limit 1; "
+            "tenant 'acme' over cost budget (218 + 218 > 300 pages))",
+            predicted_cost_pages=218.5, inflight=1, queued=1,
+        ),
+        QueryShed(
+            t=12.0, elapsed=12.0, done_pages=58.0,
+            fraction_done=0.2654416857925202,
+            reason="predicted to miss deadline by 31.2s "
+            "(2 consecutive over-budget estimates)",
+        ),
+    ]
+
+
 def regenerate() -> None:  # pragma: no cover - developer tool
     DATA.mkdir(exist_ok=True)
     write_jsonl(golden_events(), GOLDEN_JSONL)
     write_chrome_trace(golden_events(), GOLDEN_CHROME)
+    write_jsonl(golden_service_events(), GOLDEN_SERVICE_JSONL)
 
 
 class TestJsonl:
@@ -108,6 +147,40 @@ class TestJsonl:
         (schema v1) must replay into the current vocabulary unchanged —
         the missing field fills from its dataclass default."""
         assert read_jsonl(GOLDEN_V1_JSONL) == golden_events()
+
+
+class TestServiceGolden:
+    """Schema v3 pins the service vocabulary (admission / shedding /
+    tenants): the golden file is the wire contract for dashboards that
+    consume ``admission_decided`` / ``tenant_throttled`` / ``query_shed``."""
+
+    def test_matches_golden_file(self, tmp_path):
+        out = tmp_path / "svc.jsonl"
+        events = golden_service_events()
+        assert write_jsonl(events, out) == len(events)
+        assert out.read_text() == GOLDEN_SERVICE_JSONL.read_text()
+
+    def test_round_trip_is_lossless(self):
+        buf = io.StringIO()
+        write_jsonl(golden_service_events(), buf)
+        buf.seek(0)
+        assert read_jsonl(buf) == golden_service_events()
+
+    def test_read_from_golden_path(self):
+        assert read_jsonl(GOLDEN_SERVICE_JSONL) == golden_service_events()
+
+    def test_shed_reason_defaults_fill(self):
+        """A ``query_shed`` recorded without ``reason`` (the field has a
+        default) must replay — the additive-with-defaults schema rule."""
+        line = json.dumps(
+            {"kind": "query_shed", "t": 1.0, "elapsed": 1.0,
+             "done_pages": 2.0, "fraction_done": 0.1}
+        )
+        events = read_jsonl(io.StringIO(line + "\n"))
+        assert events == [
+            QueryShed(t=1.0, elapsed=1.0, done_pages=2.0, fraction_done=0.1)
+        ]
+        assert events[0].reason == "deadline"
 
 
 class TestChromeTrace:

@@ -7,12 +7,14 @@ import pytest
 from repro.config import SystemConfig
 from repro.errors import (
     ProgressError,
+    QueryShedError,
     QueryTimeoutError,
     SpillSpaceError,
     TransientIOError,
 )
+from repro.executor.base import PULSE
 from repro.fault import FaultPlan, RetryPolicy
-from repro.sched.task import DONE_STATES, FAILED, FINISHED, TIMED_OUT
+from repro.sched.task import CANCELLED, DONE_STATES, FAILED, FINISHED, SHED, TIMED_OUT
 from repro.workloads import queries, tpcr
 
 
@@ -170,3 +172,93 @@ class TestContainment:
             session.scheduler.step()
         assert handle.state == FAILED
         assert db.buffer_pool.pinned_count == 0
+
+
+class TestEvictionUnwind:
+    """Regression: watchdog/eviction must unwind mid-spill state exactly
+    once, on every termination path — the historical bug was the terminal
+    transition closing the coroutine *before* flipping the state, so a
+    raising operator ``finally`` left a zombie SUSPENDED task with a live
+    indicator (and a second cancel could unwind it again)."""
+
+    def _spill_mid_flight(self, session, handle):
+        """Step until the query has live mid-spill state (temp files)."""
+        db = session.db
+        while db.disk.temp_file_count() == 0:
+            assert session.step() is not None, "query never spilled"
+            assert not handle.done
+        return db.disk.temp_file_count()
+
+    def test_past_deadline_mid_spill_releases_exactly_once(self):
+        db = _db(work_mem_pages=8)
+        session = db.connect()
+        handle = session.submit(queries.Q2, name="q", trace=True)
+        temps = self._spill_mid_flight(session, handle)
+        assert temps > 0
+
+        task = handle.task
+        aborts = []
+        indicator = task.indicator
+        original_abort = indicator.abort
+        indicator.abort = lambda **kw: aborts.append(kw) or original_abort(**kw)
+
+        # Arm the deadline at "now": the very next watchdog sweep fires
+        # while the query is suspended mid-spill.
+        task.deadline = db.clock.now
+        session.step()
+        assert task.state == TIMED_OUT
+        assert db.buffer_pool.pinned_count == 0
+        assert db.disk.temp_file_count() == 0
+        assert len(aborts) == 1
+        assert indicator.finalized
+
+        # Idempotence: cancel and shed after the timeout are no-ops —
+        # no second unwind, no second indicator abort, state unchanged.
+        session.scheduler.cancel(task)
+        session.scheduler.shed(task)
+        assert task.state == TIMED_OUT
+        assert len(aborts) == 1
+        assert handle.trace().counts().get("query_timed_out") == 1
+
+    def test_shed_mid_spill_releases_pins_and_temps(self):
+        db = _db(work_mem_pages=8)
+        session = db.connect()
+        handle = session.submit(queries.Q2, name="q", trace=True)
+        assert self._spill_mid_flight(session, handle) > 0
+
+        task = session.scheduler.shed(handle.task, reason="test eviction")
+        assert task.state == SHED
+        assert task.done
+        assert db.buffer_pool.pinned_count == 0
+        assert db.disk.temp_file_count() == 0
+        assert handle.trace().counts().get("query_shed") == 1
+        with pytest.raises(QueryShedError, match="test eviction"):
+            handle.result()
+
+    def test_raising_operator_finally_cannot_leave_a_zombie(self):
+        db = _db()
+        session = db.connect()
+        handle = session.submit(queries.Q1, name="q")
+        session.step()  # arm: one slice so the task is mid-flight
+
+        def nasty():
+            try:
+                while True:
+                    yield PULSE
+            finally:
+                raise RuntimeError("operator finally boom")
+
+        task = handle.task
+        task.gen.close()
+        gen = nasty()
+        next(gen)  # enter the try so close() runs the finally
+        task.gen = gen
+        with pytest.raises(RuntimeError, match="finally boom"):
+            session.scheduler.cancel(task)
+        # Despite the raise, the task is terminally cancelled and its
+        # indicator was aborted — no zombie with a live ticker.
+        assert task.state == CANCELLED
+        assert task.done
+        assert task.indicator.finalized
+        assert task.log is not None
+
